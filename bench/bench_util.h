@@ -1,0 +1,54 @@
+// Shared plumbing for the figure-reproduction harnesses.
+//
+// Every fig* binary prints the paper's series as aligned text rows. The
+// default ("quick") mode uses a reduced key space and shorter windows so
+// the whole bench suite runs in minutes; pass --full for paper-scale
+// parameters (10M keys, longer measurement windows).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "testbed/testbed.h"
+
+namespace orbit::benchutil {
+
+struct Mode {
+  bool full = false;
+};
+
+inline Mode ParseArgs(int argc, char** argv) {
+  Mode mode;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) mode.full = true;
+  }
+  return mode;
+}
+
+// The paper's §5.1 testbed: 4 client nodes, 32 emulated servers at 100K
+// RPS, 10M keys, zipf-0.99, bimodal 82%/18% 64B/1024B values, OrbitCache
+// preloaded with the 128 hottest items and NetCache with the cacheable
+// subset of the 10K hottest.
+inline testbed::TestbedConfig PaperConfig(const Mode& mode) {
+  testbed::TestbedConfig cfg;
+  cfg.num_clients = 4;
+  cfg.num_servers = 32;
+  cfg.server_rate_rps = 100'000;
+  cfg.client_rate_rps = 8'000'000;
+  cfg.num_keys = mode.full ? 10'000'000 : 1'000'000;
+  cfg.zipf_theta = 0.99;
+  cfg.value_dist = wl::ValueDist::PaperDefault();
+  cfg.orbit_cache_size = 128;
+  cfg.netcache_size = 10'000;
+  cfg.warmup = mode.full ? 100 * kMillisecond : 50 * kMillisecond;
+  cfg.duration = mode.full ? 500 * kMillisecond : 150 * kMillisecond;
+  cfg.seed = 42;
+  return cfg;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace orbit::benchutil

@@ -1,0 +1,122 @@
+// Micro-benchmarks of the substrate data structures (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "kv/hash_table.h"
+#include "orbitcache/request_table.h"
+#include "proto/codec.h"
+#include "rmt/resources.h"
+#include "stats/histogram.h"
+#include "workload/count_min.h"
+#include "workload/keyspace.h"
+#include "workload/zipf.h"
+
+namespace {
+
+using namespace orbit;
+
+std::vector<std::string> MakeKeys(size_t n) {
+  wl::KeySpace ks(n, 16, 1);
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(ks.KeyForId(i));
+  return keys;
+}
+
+void BM_Hash64(benchmark::State& state) {
+  const std::string key(static_cast<size_t>(state.range(0)), 'k');
+  for (auto _ : state) benchmark::DoNotOptimize(Hash64(key));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Hash64)->Arg(16)->Arg(64)->Arg(1024);
+
+void BM_HashKey128(benchmark::State& state) {
+  const std::string key(static_cast<size_t>(state.range(0)), 'k');
+  for (auto _ : state) benchmark::DoNotOptimize(HashKey128(key));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashKey128)->Arg(16)->Arg(64);
+
+void BM_HashTableGet(benchmark::State& state) {
+  const auto keys = MakeKeys(static_cast<size_t>(state.range(0)));
+  kv::HashTable table;
+  for (const auto& k : keys) table.Put(k, kv::Value::Synthetic(64, 1));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Get(keys[i]));
+    i = (i + 1) % keys.size();
+  }
+}
+BENCHMARK(BM_HashTableGet)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+void BM_HashTablePut(benchmark::State& state) {
+  const auto keys = MakeKeys(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    kv::HashTable table;
+    state.ResumeTiming();
+    for (const auto& k : keys) table.Put(k, kv::Value::Synthetic(64, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashTablePut)->Arg(65536);
+
+void BM_ZipfSample(benchmark::State& state) {
+  wl::ZipfGenerator zipf(10'000'000, 0.99);
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.Sample(rng));
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  wl::CountMin cm(5, 8192);
+  const auto keys = MakeKeys(1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    cm.Update(keys[i]);
+    i = (i + 1) % keys.size();
+  }
+}
+BENCHMARK(BM_CountMinUpdate);
+
+void BM_RequestTableEnqueueDequeue(benchmark::State& state) {
+  rmt::Resources res((rmt::AsicConfig()));
+  oc::RequestTable table(&res, 1024, 8, 2);
+  oc::RequestMeta meta{1, 2, 3, 4};
+  uint32_t idx = 0;
+  for (auto _ : state) {
+    table.TryEnqueue(idx, meta);
+    benchmark::DoNotOptimize(table.TryDequeue(idx));
+    idx = (idx + 1) & 1023;
+  }
+}
+BENCHMARK(BM_RequestTableEnqueueDequeue);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  proto::Message msg;
+  msg.op = proto::Op::kReadRep;
+  msg.key = std::string(16, 'k');
+  msg.value = kv::Value::Synthetic(static_cast<uint32_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto wire = proto::Encode(msg);
+    benchmark::DoNotOptimize(proto::Decode(wire));
+  }
+  state.SetBytesProcessed(state.iterations() * (state.range(0) + 28));
+}
+BENCHMARK(BM_CodecRoundTrip)->Arg(64)->Arg(1024);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  stats::Histogram h;
+  int64_t v = 1;
+  for (auto _ : state) {
+    h.Record(v);
+    v = (v * 1103515245 + 12345) & 0xffffff;
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// Quickstart: run a small OrbitCache testbed and print what happened.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "testbed/testbed.h"
+
+int main() {
+  using namespace orbit;
+
+  testbed::TestbedConfig cfg;
+  cfg.scheme = testbed::Scheme::kOrbitCache;
+  cfg.num_clients = 2;
+  cfg.num_servers = 8;
+  cfg.server_rate_rps = 50'000;   // emulated per-server Rx limit
+  cfg.client_rate_rps = 1'000'000;  // aggregate open-loop Tx
+  cfg.num_keys = 1'000'000;
+  cfg.zipf_theta = 0.99;
+  cfg.orbit_cache_size = 64;
+  cfg.warmup = 50 * kMillisecond;
+  cfg.duration = 200 * kMillisecond;
+
+  std::printf("OrbitCache quickstart: %d clients, %d servers, zipf-%.2f over %llu keys\n\n",
+              cfg.num_clients, cfg.num_servers, cfg.zipf_theta,
+              static_cast<unsigned long long>(cfg.num_keys));
+
+  testbed::TestbedResult res = testbed::RunTestbed(cfg);
+
+  std::printf("throughput      : %.2f MRPS rx (%.2f MRPS offered)\n",
+              res.rx_rps / 1e6, res.tx_rps / 1e6);
+  std::printf("served by switch: %.2f MRPS (%.0f%% of replies)\n",
+              res.cache_served_rps / 1e6,
+              100.0 * res.cache_served_rps / res.rx_rps);
+  std::printf("served by stores: %.2f MRPS\n", res.server_served_rps / 1e6);
+  std::printf("balancing eff.  : %.2f (min/max server load)\n",
+              res.balancing_efficiency);
+  std::printf("read latency    : cached p50=%.1fus p99=%.1fus | server p50=%.1fus p99=%.1fus\n",
+              res.read_cached_latency.Median() / 1e3,
+              res.read_cached_latency.P99() / 1e3,
+              res.read_server_latency.Median() / 1e3,
+              res.read_server_latency.P99() / 1e3);
+  std::printf("overflow ratio  : %.4f (requests for cached keys sent to servers)\n",
+              res.overflow_ratio);
+  std::printf("cache packets   : %llu circulating for %zu entries\n",
+              static_cast<unsigned long long>(res.cache_packets_in_flight),
+              res.cache_entries);
+  std::printf("coherence       : %llu stale reads, %llu collisions\n\n",
+              static_cast<unsigned long long>(res.stale_reads),
+              static_cast<unsigned long long>(res.collisions));
+  std::printf("%s\n", res.resource_report.c_str());
+  std::printf("(simulated %llu events)\n",
+              static_cast<unsigned long long>(res.events_processed));
+  return 0;
+}

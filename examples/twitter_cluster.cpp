@@ -1,0 +1,52 @@
+// Production-workload walkthrough: run one of the Fig.-14 Twitter-like
+// profiles under all three schemes and compare.
+//
+//   ./build/examples/twitter_cluster [A|B|C|D|E]
+#include <cstdio>
+#include <cstring>
+
+#include "testbed/testbed.h"
+#include "workload/twitter.h"
+
+int main(int argc, char** argv) {
+  using namespace orbit;
+
+  const char* wanted = argc > 1 ? argv[1] : "E";
+  const wl::TwitterProfile* profile = nullptr;
+  for (const auto& p : wl::Fig14Profiles())
+    if (p.id == wanted) profile = &p;
+  if (profile == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (use A..E)\n", wanted);
+    return 1;
+  }
+
+  std::printf("workload %s (%s): %.0f%% NetCache-cacheable items, "
+              "%.0f%% writes, %.0f%% small values\n\n",
+              profile->id.c_str(), profile->cluster.c_str(),
+              100 * profile->cacheable_ratio, 100 * profile->write_ratio,
+              100 * profile->p_small);
+
+  for (auto scheme : {testbed::Scheme::kNoCache, testbed::Scheme::kNetCache,
+                      testbed::Scheme::kOrbitCache}) {
+    testbed::TestbedConfig cfg;
+    cfg.scheme = scheme;
+    cfg.twitter = profile;
+    cfg.num_clients = 4;
+    cfg.num_servers = 16;
+    cfg.num_keys = 1'000'000;
+    cfg.orbit_cache_size = 128;
+    cfg.netcache_size = 10'000;
+    cfg.warmup = 50 * kMillisecond;
+    cfg.duration = 150 * kMillisecond;
+
+    const testbed::SaturationResult sat = testbed::FindSaturation(cfg);
+    std::printf("%-12s: %6.2f MRPS saturated (%.0f%% served by switch, "
+                "balancing efficiency %.2f)\n",
+                testbed::SchemeName(scheme), sat.result.rx_rps / 1e6,
+                sat.result.rx_rps > 0
+                    ? 100.0 * sat.result.cache_served_rps / sat.result.rx_rps
+                    : 0.0,
+                sat.result.balancing_efficiency);
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "apps/client.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace orbit::app {
+
+ClientNode::ClientNode(sim::Simulator* sim, sim::Network* net, int port,
+                       const ClientConfig& config,
+                       std::shared_ptr<WorkloadSource> workload)
+    : sim_(sim),
+      net_(net),
+      port_(port),
+      config_(config),
+      workload_(std::move(workload)),
+      rng_(config.seed) {
+  ORBIT_CHECK(sim != nullptr && net != nullptr && workload_ != nullptr);
+  ORBIT_CHECK(config.rate_rps > 0);
+}
+
+void ClientNode::Start() {
+  ORBIT_CHECK(!running_);
+  running_ = true;
+  const double mean_gap = static_cast<double>(kSecond) / config_.rate_rps;
+  sim_->After(static_cast<SimTime>(rng_.Exponential(mean_gap)),
+              [this] { SendNext(); });
+  sim_->After(config_.timeout_sweep_period, [this] { SweepTimeouts(); });
+}
+
+void ClientNode::OpenWindow(SimTime at) {
+  rx_meter_.Open(at);
+  window_open_ = true;
+  lat_cached_.Reset();
+  lat_server_.Reset();
+  lat_write_.Reset();
+  lat_switch_.Reset();
+}
+
+void ClientNode::CloseWindow(SimTime at) {
+  rx_meter_.Close(at);
+  window_open_ = false;
+}
+
+void ClientNode::SendNext() {
+  if (!running_) return;
+  const WorkloadSource::Request req = workload_->Next(rng_);
+  SendRequest(req, /*correction=*/false, sim_->now());
+  const double mean_gap = static_cast<double>(kSecond) / config_.rate_rps;
+  sim_->After(std::max<SimTime>(1, static_cast<SimTime>(
+                                       rng_.Exponential(mean_gap))),
+              [this] { SendNext(); });
+}
+
+void ClientNode::SendRequest(const WorkloadSource::Request& req,
+                             bool correction, SimTime original_sent_at) {
+  const uint32_t seq = next_seq_++;  // wraps naturally (§3.6)
+  Pending pending;
+  pending.key = req.key;
+  pending.sent_at = original_sent_at;
+  pending.is_write = req.is_write;
+  pending.is_correction = correction;
+  pending.server = req.server;
+  pending_[seq] = pending;
+
+  proto::Message msg;
+  msg.op = correction ? proto::Op::kCorrectionReq
+                      : (req.is_write ? proto::Op::kWriteReq
+                                      : proto::Op::kReadReq);
+  msg.seq = seq;
+  msg.hkey = req.hkey;
+  msg.key = req.key;
+  if (req.is_write) {
+    // Versions are assigned by the serialization point — the storage
+    // server for write-through, the switch for write-back — never by
+    // clients (racing writers would regress them).
+    msg.value = kv::Value::Synthetic(req.value_size, 0);
+  }
+
+  ++stats_.tx_requests;
+  if (req.is_write) {
+    ++stats_.writes_sent;
+  } else {
+    ++stats_.reads_sent;
+  }
+
+  auto pkt = sim::MakePacket(config_.addr, req.server, config_.src_port,
+                             config_.orbit_port, std::move(msg));
+  pkt->sent_at = original_sent_at;
+  net_->Send(this, port_, std::move(pkt));
+}
+
+void ClientNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
+  HandleReply(*pkt);
+}
+
+void ClientNode::HandleReply(const sim::Packet& pkt) {
+  using proto::Op;
+  const proto::Message& msg = pkt.msg;
+  if (msg.op != Op::kReadRep && msg.op != Op::kWriteRep) {
+    LOG_DEBUG("client: ignoring " << proto::OpName(msg.op));
+    return;
+  }
+  auto it = pending_.find(msg.seq);
+  if (it == pending_.end()) {
+    ++stats_.stray_replies;  // timed out, duplicate, or superseded
+    return;
+  }
+  Pending& pending = it->second;
+
+  if (msg.op == Op::kReadRep && msg.key != pending.key) {
+    // Hash collision (or an inherited CacheIdx after a cache update,
+    // §3.8): fetch the correct value straight from the storage server.
+    ++stats_.collisions;
+    WorkloadSource::Request fix;
+    fix.key = pending.key;
+    fix.hkey = HashKey128(pending.key);
+    fix.server = pending.server;
+    fix.is_write = false;
+    const SimTime original = pending.sent_at;
+    pending_.erase(it);
+    SendRequest(fix, /*correction=*/true, original);
+    return;
+  }
+
+  // Multi-packet reassembly: wait for all fragments (§3.10).
+  if (msg.frag_total > 1) {
+    const uint32_t bit = 1u << (msg.frag_index & 31);
+    if ((pending.frags_seen & bit) != 0) {
+      ++stats_.duplicate_frags;
+      return;
+    }
+    pending.frags_seen |= bit;
+    const uint32_t all = msg.frag_total >= 32
+                             ? ~0u
+                             : (1u << msg.frag_total) - 1;
+    if (pending.frags_seen != all) return;
+  }
+
+  if (config_.check_staleness) {
+    uint64_t& last = last_version_[pending.key];
+    const uint64_t version = msg.value.version();
+    if (msg.op == Op::kReadRep && version > 0 && version < last)
+      ++stats_.stale_reads;
+    if (version > last) last = version;
+  }
+
+  ++stats_.rx_replies;
+  rx_meter_.Add();
+  if (timeline_ != nullptr) timeline_->Add(sim_->now());
+  if (window_open_) RecordLatency(pkt, pending);
+  pending_.erase(it);
+}
+
+void ClientNode::RecordLatency(const sim::Packet& pkt, const Pending& pending) {
+  const SimTime latency = sim_->now() - pending.sent_at;
+  if (pending.is_write) {
+    lat_write_.Record(latency);
+    return;
+  }
+  if (pkt.msg.cached != 0) {
+    lat_cached_.Record(latency);
+    lat_switch_.Record(static_cast<SimTime>(pkt.msg.latency));
+  } else {
+    lat_server_.Record(latency);
+  }
+}
+
+void ClientNode::SweepTimeouts() {
+  if (!running_) return;
+  const SimTime cutoff = sim_->now() - config_.request_timeout;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.sent_at < cutoff) {
+      ++stats_.timeouts;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  sim_->After(config_.timeout_sweep_period, [this] { SweepTimeouts(); });
+}
+
+}  // namespace orbit::app

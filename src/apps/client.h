@@ -1,0 +1,140 @@
+// Open-loop client node (paper §4).
+//
+// Generates requests with exponential inter-arrival gaps at a configured
+// rate, independent of replies (open loop), and implements the client-side
+// responsibilities of the OrbitCache protocol:
+//   * stamping OP / SEQ / HKEY on every request,
+//   * keeping the per-request pending list indexed by SEQ,
+//   * hash-collision resolution (§3.6): when a reply's key differs from
+//     the requested key, send a CRN-REQ so the storage server supplies the
+//     correct value, and
+//   * latency/throughput measurement, with switch- vs server-handled
+//     attribution via the prototype's Cached/Latency header fields.
+//
+// It also performs stale-read detection for the coherence test suite: the
+// server assigns monotonically increasing per-key versions, so a read
+// reply carrying a version lower than one this client has already
+// observed (read or acked write) is a coherence violation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "stats/histogram.h"
+#include "stats/meters.h"
+#include "stats/time_series.h"
+
+namespace orbit::app {
+
+// What a client asks for next; implemented by the testbed's workload model.
+class WorkloadSource {
+ public:
+  struct Request {
+    Key key;
+    Hash128 hkey;
+    Addr server = kInvalidAddr;
+    bool is_write = false;
+    uint32_t value_size = 0;  // for writes
+  };
+
+  virtual ~WorkloadSource() = default;
+  virtual Request Next(Rng& rng) = 0;
+};
+
+struct ClientConfig {
+  Addr addr = kInvalidAddr;
+  L4Port orbit_port = 5008;
+  L4Port src_port = 9000;
+  double rate_rps = 100'000;  // this client's open-loop Tx rate
+  SimTime request_timeout = 20 * kMillisecond;
+  SimTime timeout_sweep_period = 5 * kMillisecond;
+  uint64_t seed = 1;
+  bool check_staleness = true;
+};
+
+class ClientNode : public sim::Node {
+ public:
+  ClientNode(sim::Simulator* sim, sim::Network* net, int port,
+             const ClientConfig& config,
+             std::shared_ptr<WorkloadSource> workload);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  void OnPacket(sim::PacketPtr pkt, int port) override;
+  std::string name() const override { return "client"; }
+
+  // Opens the measurement window (called by the testbed after warmup).
+  void OpenWindow(SimTime at);
+  void CloseWindow(SimTime at);
+  // Optional per-reply timeline for the dynamic-workload experiment.
+  void AttachTimeline(stats::TimeSeries* timeline) { timeline_ = timeline; }
+
+  struct Stats {
+    uint64_t tx_requests = 0;
+    uint64_t rx_replies = 0;
+    uint64_t reads_sent = 0;
+    uint64_t writes_sent = 0;
+    uint64_t collisions = 0;   // CRN-REQs triggered
+    uint64_t timeouts = 0;
+    uint64_t stray_replies = 0;
+    uint64_t stale_reads = 0;  // coherence violations observed
+    uint64_t duplicate_frags = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const stats::ThroughputMeter& rx_meter() const { return rx_meter_; }
+  // Latency of read replies served by the switch cache vs by servers, plus
+  // write latency and switch-resident time (the header Latency field).
+  const stats::Histogram& cached_read_latency() const { return lat_cached_; }
+  const stats::Histogram& server_read_latency() const { return lat_server_; }
+  const stats::Histogram& write_latency() const { return lat_write_; }
+  const stats::Histogram& switch_resident() const { return lat_switch_; }
+
+ private:
+  struct Pending {
+    Key key;
+    SimTime sent_at = 0;
+    bool is_write = false;
+    bool is_correction = false;
+    Addr server = kInvalidAddr;
+    uint32_t frags_seen = 0;  // bitmap over frag_index (≤ 32 fragments)
+  };
+
+  void SendNext();
+  void SendRequest(const WorkloadSource::Request& req, bool correction,
+                   SimTime original_sent_at);
+  void HandleReply(const sim::Packet& pkt);
+  void SweepTimeouts();
+  void RecordLatency(const sim::Packet& pkt, const Pending& pending);
+
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  int port_;
+  ClientConfig config_;
+  std::shared_ptr<WorkloadSource> workload_;
+  Rng rng_;
+
+  bool running_ = false;
+  uint32_t next_seq_ = 1;
+  std::unordered_map<uint32_t, Pending> pending_;
+  std::unordered_map<Key, uint64_t> last_version_;  // staleness tracking
+
+  stats::ThroughputMeter rx_meter_;
+  stats::Histogram lat_cached_;
+  stats::Histogram lat_server_;
+  stats::Histogram lat_write_;
+  stats::Histogram lat_switch_;
+  stats::TimeSeries* timeline_ = nullptr;
+  bool window_open_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace orbit::app

@@ -1,0 +1,178 @@
+#include "apps/server.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace orbit::app {
+
+ServerNode::ServerNode(sim::Simulator* sim, sim::Network* net, int port,
+                       const ServerConfig& config, ValueSizeFn value_size)
+    : sim_(sim),
+      net_(net),
+      port_(port),
+      config_(config),
+      value_size_(std::move(value_size)),
+      top_k_(config.report_k > 0 ? config.report_k : 1, 5, 2048,
+             0x746f706bull + config.srv_id) {
+  ORBIT_CHECK(sim != nullptr && net != nullptr);
+  ORBIT_CHECK(value_size_ != nullptr);
+}
+
+void ServerNode::Start() {
+  if (config_.controller_addr == kInvalidAddr) return;
+  sim_->After(config_.report_period, [this] { SendReport(); });
+}
+
+void ServerNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
+  using proto::Op;
+  const Op op = pkt->msg.op;
+  if (op != Op::kReadReq && op != Op::kWriteReq && op != Op::kFetchReq &&
+      op != Op::kCorrectionReq) {
+    LOG_DEBUG(name() << ": ignoring " << proto::OpName(op));
+    return;
+  }
+
+  // Rx rate limiting: a single-server FIFO queue with a fixed service time
+  // (the paper's per-emulated-server Rx throughput cap) and a bounded
+  // socket buffer.
+  if (queue_depth_ >= config_.rx_queue_limit) {
+    ++stats_.dropped;
+    return;
+  }
+  const SimTime service =
+      config_.service_rate_rps > 0
+          ? static_cast<SimTime>(static_cast<double>(kSecond) /
+                                 config_.service_rate_rps)
+          : config_.base_processing;
+  busy_until_ = std::max(busy_until_, sim_->now()) + service;
+  ++queue_depth_;
+  sim::Packet* raw = pkt.release();
+  sim_->At(busy_until_, [this, raw] {
+    --queue_depth_;
+    Process(sim::PacketPtr(raw));
+  });
+}
+
+kv::Value ServerNode::GetOrSynthesize(const Key& key) {
+  if (auto v = store_.Get(key)) return *v;
+  store_.Put(key, value_size_(key));
+  return *store_.Get(key);
+}
+
+void ServerNode::Process(sim::PacketPtr pkt) {
+  using proto::Op;
+  ++stats_.requests;
+  const proto::Message& req = pkt->msg;
+  if (config_.controller_addr != kInvalidAddr) top_k_.Update(req.key);
+
+  switch (req.op) {
+    case Op::kReadReq:
+    case Op::kCorrectionReq: {
+      req.op == Op::kReadReq ? ++stats_.reads : ++stats_.corrections;
+      proto::Message rep;
+      rep.op = Op::kReadRep;
+      rep.seq = req.seq;
+      rep.hkey = req.hkey;
+      rep.epoch = req.epoch;
+      rep.key = req.key;
+      rep.value = GetOrSynthesize(req.key);
+      Reply(*pkt, std::move(rep));
+      return;
+    }
+    case Op::kWriteReq: {
+      if ((req.flag & proto::kFlagFlush) != 0) {
+        // Write-back eviction flush: apply silently (§3.10 extension).
+        ++stats_.flushes;
+        store_.PutVersioned(req.key, req.value.size(), req.value.version());
+        return;
+      }
+      ++stats_.writes;
+      const uint64_t version = store_.Put(req.key, req.value.size());
+      proto::Message rep;
+      rep.op = Op::kWriteRep;
+      rep.seq = req.seq;
+      rep.hkey = req.hkey;
+      rep.epoch = req.epoch;
+      rep.flag = req.flag;
+      rep.key = req.key;
+      // For cached items the reply carries the new value so the switch can
+      // refresh its cache packet in the same round trip (§3.3); otherwise
+      // only the version metadata rides along (zero payload bytes).
+      rep.value = (req.flag & proto::kFlagCachedWrite) != 0
+                      ? kv::Value::Synthetic(req.value.size(), version)
+                      : kv::Value::Synthetic(0, version);
+      Reply(*pkt, std::move(rep));
+      return;
+    }
+    case Op::kFetchReq: {
+      ++stats_.fetches;
+      proto::Message rep;
+      rep.op = Op::kFetchRep;
+      rep.seq = req.seq;
+      rep.hkey = req.hkey;
+      rep.epoch = req.epoch;
+      rep.key = req.key;
+      rep.value = GetOrSynthesize(req.key);
+      Reply(*pkt, std::move(rep));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void ServerNode::Reply(const sim::Packet& req, proto::Message msg) {
+  msg.srv_id = config_.srv_id;
+  msg.cached = 0;
+  msg.latency = req.msg.latency;
+
+  const uint32_t budget =
+      proto::kMaxPayloadBytes - static_cast<uint32_t>(msg.key.size());
+  const uint32_t size = msg.value.size();
+  uint8_t frag_total = 1;
+  if (size > budget) {
+    ORBIT_CHECK_MSG(config_.multi_packet,
+                    name() << ": value of " << size
+                           << "B exceeds one packet and multi-packet "
+                              "support is disabled");
+    frag_total = static_cast<uint8_t>((size + budget - 1) / budget);
+  }
+
+  for (uint8_t i = 0; i < frag_total; ++i) {
+    proto::Message frag = msg;
+    frag.frag_index = i;
+    frag.frag_total = frag_total;
+    if (frag_total > 1) {
+      const uint32_t off = i * budget;
+      frag.value = kv::Value::Synthetic(std::min(budget, size - off),
+                                        msg.value.version());
+    }
+    auto rep = sim::MakePacket(config_.addr, req.src, config_.orbit_port,
+                               req.sport, std::move(frag));
+    rep->sent_at = sim_->now();
+    ++stats_.replies;
+    net_->Send(this, port_, std::move(rep));
+  }
+}
+
+void ServerNode::SendReport() {
+  for (const auto& entry : top_k_.Snapshot()) {
+    proto::Message msg;
+    msg.op = proto::Op::kTopKReport;
+    msg.key = entry.key;
+    // The per-key count rides in the value's version field (metadata only,
+    // no payload bytes on the wire beyond the key).
+    msg.value = kv::Value::Synthetic(0, entry.count);
+    auto pkt = sim::MakePacket(config_.addr, config_.controller_addr,
+                               config_.ctrl_port, config_.ctrl_port,
+                               std::move(msg));
+    pkt->tcp = true;  // reports use TCP in the paper (§3.9)
+    net_->Send(this, port_, std::move(pkt));
+  }
+  top_k_.Reset();
+  sim_->After(config_.report_period, [this] { SendReport(); });
+}
+
+}  // namespace orbit::app

@@ -1,0 +1,97 @@
+// Storage-server node: the paper's "shim layer" (§3.1) between OrbitCache
+// messages and the key-value store, emulating one logical storage server
+// (the testbed runs 8 such servers per physical node, each pinned to a
+// core and rate-limited to 100K RPS so the servers are the bottleneck,
+// §4/§5.1).
+//
+// Values are synthesized lazily on first access — the size comes from the
+// workload's deterministic per-key size function — so 10M-key workloads
+// don't require preloading gigabytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+#include "kv/kv_store.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "workload/top_k.h"
+
+namespace orbit::app {
+
+struct ServerConfig {
+  Addr addr = kInvalidAddr;
+  uint8_t srv_id = 0;
+  L4Port orbit_port = 5008;
+
+  // Request service rate (the paper's Rx throughput limit). 0 disables the
+  // limit; a fixed per-request processing time still applies.
+  double service_rate_rps = 100'000;
+  SimTime base_processing = 2 * kMicrosecond;  // when unlimited
+  size_t rx_queue_limit = 256;  // bounded socket buffer (max ~2.6ms sojourn)
+
+  // §3.10 multi-packet support: fragment values that exceed one packet.
+  bool multi_packet = false;
+
+  // Top-k popularity reporting to the controller (§3.8). Disabled when the
+  // controller address is invalid.
+  Addr controller_addr = kInvalidAddr;
+  L4Port ctrl_port = 7000;
+  SimTime report_period = 100 * kMillisecond;
+  size_t report_k = 16;
+};
+
+class ServerNode : public sim::Node {
+ public:
+  using ValueSizeFn = std::function<uint32_t(const Key&)>;
+
+  ServerNode(sim::Simulator* sim, sim::Network* net, int port,
+             const ServerConfig& config, ValueSizeFn value_size);
+
+  // Starts the top-k report timer (call after wiring).
+  void Start();
+
+  void OnPacket(sim::PacketPtr pkt, int port) override;
+  std::string name() const override {
+    return "server-" + std::to_string(config_.srv_id);
+  }
+
+  struct Stats {
+    uint64_t requests = 0;   // data requests accepted for processing
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t fetches = 0;
+    uint64_t corrections = 0;
+    uint64_t flushes = 0;    // write-back eviction flushes applied
+    uint64_t dropped = 0;    // Rx queue overflow
+    uint64_t replies = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  kv::KvStore& store() { return store_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  void Process(sim::PacketPtr pkt);
+  void Reply(const sim::Packet& req, proto::Message msg);
+  void SendReport();
+  kv::Value GetOrSynthesize(const Key& key);
+
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  int port_;
+  ServerConfig config_;
+  ValueSizeFn value_size_;
+
+  kv::KvStore store_;
+  wl::TopKTracker top_k_;
+
+  SimTime busy_until_ = 0;
+  size_t queue_depth_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace orbit::app

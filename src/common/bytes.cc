@@ -1,0 +1,77 @@
+#include "common/bytes.h"
+
+#include "common/check.h"
+
+namespace orbit {
+
+void ByteWriter::u16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::u32(uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    buf_.push_back(static_cast<uint8_t>(v >> shift));
+}
+
+void ByteWriter::u64(uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    buf_.push_back(static_cast<uint8_t>(v >> shift));
+}
+
+void ByteWriter::bytes(std::string_view v) {
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteWriter::fixed(std::string_view v, size_t width) {
+  ORBIT_CHECK_MSG(v.size() <= width,
+                  "fixed field overflow: " << v.size() << " > " << width);
+  bytes(v);
+  buf_.insert(buf_.end(), width - v.size(), 0);
+}
+
+bool ByteReader::advance(size_t n) {
+  if (size_ - pos_ < n) {
+    ok_ = false;
+    pos_ = size_;
+    return false;
+  }
+  return true;
+}
+
+uint8_t ByteReader::u8() {
+  if (!advance(1)) return 0;
+  return data_[pos_++];
+}
+
+uint16_t ByteReader::u16() {
+  if (!advance(2)) return 0;
+  uint16_t v = static_cast<uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+uint32_t ByteReader::u32() {
+  if (!advance(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+uint64_t ByteReader::u64() {
+  if (!advance(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+std::string ByteReader::bytes(size_t n) {
+  if (!advance(n)) return {};
+  std::string v(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return v;
+}
+
+}  // namespace orbit

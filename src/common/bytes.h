@@ -1,0 +1,63 @@
+// Byte-order-safe serialization helpers used by the wire codec.
+//
+// All multi-byte integers on the wire are big-endian (network order), like
+// the P4 header fields they model.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orbit {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v);
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void bytes(std::string_view v);
+  // Fixed-width field: writes exactly `width` bytes, zero padded on the
+  // right; `v` must not exceed `width`.
+  void fixed(std::string_view v, size_t width);
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// Non-owning reader over a byte span. All getters advance the cursor and
+// report failure through ok(); reads past the end return zeros/empties and
+// latch the error, so callers can validate once at the end.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& v)
+      : ByteReader(v.data(), v.size()) {}
+
+  uint8_t u8();
+  uint16_t u16();
+  uint32_t u32();
+  uint64_t u64();
+  std::string bytes(size_t n);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool ok() const { return ok_; }
+
+ private:
+  bool advance(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace orbit

@@ -1,0 +1,45 @@
+// Lightweight invariant checking used across the simulator.
+//
+// Hardware-constraint violations (e.g. a P4 program declaring a match key
+// wider than the ASIC supports) are programming errors in the model user's
+// code, so they throw rather than abort: tests assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace orbit {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace orbit
+
+// ORBIT_CHECK(cond) / ORBIT_CHECK_MSG(cond, "context " << value)
+#define ORBIT_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::orbit::detail::CheckFailed(#cond, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define ORBIT_CHECK_MSG(cond, stream_expr)                             \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << stream_expr;                                              \
+      ::orbit::detail::CheckFailed(#cond, __FILE__, __LINE__, os_.str()); \
+    }                                                                  \
+  } while (0)

@@ -1,0 +1,128 @@
+#include "common/hash.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace orbit {
+
+namespace {
+
+inline uint64_t Load64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t LoadTail(const char* p, size_t n) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, n);
+  return v;
+}
+
+constexpr uint64_t kMul1 = 0x9e3779b97f4a7c15ull;
+constexpr uint64_t kMul2 = 0xc2b2ae3d27d4eb4full;
+constexpr uint64_t kMul3 = 0x165667b19e3779f9ull;
+
+}  // namespace
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t UnMix64(uint64_t x) {
+  // Inverse of xorshift: y = x ^ (x >> s) inverts itself when applied
+  // ceil(64/s) times; multiplications invert via modular inverses.
+  auto unxorshift = [](uint64_t v, unsigned s) {
+    uint64_t r = v;
+    for (unsigned applied = s; applied < 64; applied += s) r = v ^ (r >> s);
+    return r;
+  };
+  x = unxorshift(x, 31);
+  x *= 0x319642b2d24d8ec3ull;  // inverse of 0x94d049bb133111eb
+  x = unxorshift(x, 27);
+  x *= 0x96de1b173f119089ull;  // inverse of 0xbf58476d1ce4e5b9
+  x = unxorshift(x, 30);
+  return x - 0x9e3779b97f4a7c15ull;
+}
+
+uint64_t Hash64(std::string_view data, uint64_t seed) {
+  const char* p = data.data();
+  size_t n = data.size();
+  uint64_t h = seed * kMul2 + kMul1 + n * kMul3;
+  while (n >= 8) {
+    h = std::rotl(h ^ (Load64(p) * kMul2), 29) * kMul1;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) h = std::rotl(h ^ (LoadTail(p, n) * kMul2), 29) * kMul1;
+  return Mix64(h);
+}
+
+Hash128 HashKey128(std::string_view data, uint64_t seed) {
+  const char* p = data.data();
+  size_t n = data.size();
+  uint64_t h1 = seed ^ (data.size() * kMul1);
+  uint64_t h2 = ~seed + kMul2;
+  while (n >= 16) {
+    h1 = std::rotl(h1 ^ (Load64(p) * kMul2), 31) * kMul1 + h2;
+    h2 = std::rotl(h2 ^ (Load64(p + 8) * kMul1), 29) * kMul2 + h1;
+    p += 16;
+    n -= 16;
+  }
+  if (n >= 8) {
+    h1 = std::rotl(h1 ^ (Load64(p) * kMul2), 31) * kMul1 + h2;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) h2 = std::rotl(h2 ^ (LoadTail(p, n) * kMul1), 29) * kMul2 + h1;
+  // Cross-lane finalization as in murmur3's tail.
+  h1 += h2;
+  h2 += h1;
+  h1 = Mix64(h1);
+  h2 = Mix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Hash128{h1, h2};
+}
+
+Permutation::Permutation(uint64_t n, uint64_t seed) : n_(n) {
+  ORBIT_CHECK_MSG(n > 0, "permutation domain must be non-empty");
+  // Smallest even bit width whose 2^bits covers n; Feistel needs equal
+  // halves so we round the total width up to an even number.
+  uint32_t bits = 1;
+  while ((uint64_t{1} << bits) < n && bits < 62) ++bits;
+  if (bits % 2 != 0) ++bits;
+  half_bits_ = bits / 2;
+  half_mask_ = (uint64_t{1} << half_bits_) - 1;
+  for (int i = 0; i < 4; ++i) keys_[i] = Mix64(seed + 0x1000 + i);
+}
+
+uint64_t Permutation::RoundTrip(uint64_t x) const {
+  uint64_t left = x >> half_bits_;
+  uint64_t right = x & half_mask_;
+  for (const uint64_t key : keys_) {
+    uint64_t f = Mix64(right ^ key) & half_mask_;
+    uint64_t new_right = left ^ f;
+    left = right;
+    right = new_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t Permutation::operator()(uint64_t x) const {
+  ORBIT_CHECK_MSG(x < n_, "permutation input " << x << " out of [0," << n_
+                                               << ")");
+  // Cycle-walking: the Feistel net permutes [0, 2^(2*half_bits)); re-apply
+  // until the image falls inside [0, n). Terminates because the map is a
+  // bijection on the larger domain.
+  uint64_t y = RoundTrip(x);
+  while (y >= n_) y = RoundTrip(y);
+  return y;
+}
+
+}  // namespace orbit

@@ -1,0 +1,72 @@
+// Hashing primitives.
+//
+// Key-value systems in this repo need three distinct hash roles:
+//   * Hash64  — fast 64-bit hash for hash tables, partitioning, sketches.
+//   * Hash128 — the 16-byte key hash OrbitCache carries in its HKEY header
+//               field as the cache-lookup match key (paper §3.2/§3.6).
+//   * Mix64 / a bijective permutation — mapping popularity ranks to key ids
+//               deterministically without a 10M-entry table.
+//
+// All implementations are self-contained (no external deps) and stable
+// across runs and platforms, which experiments rely on for reproducibility.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace orbit {
+
+// 128-bit hash value; ordered and hashable so it can index std containers
+// and serve as a match key.
+struct Hash128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+  friend auto operator<=>(const Hash128&, const Hash128&) = default;
+};
+
+// SplitMix64 finalizer: a fast bijective mixer on 64-bit values.
+uint64_t Mix64(uint64_t x);
+// Inverse of Mix64 (used by tests to prove bijectivity).
+uint64_t UnMix64(uint64_t x);
+
+// 64-bit string hash (xxh3-style folding, not the real xxh3). Seeded so
+// independent sketch rows can use the same function family.
+uint64_t Hash64(std::string_view data, uint64_t seed = 0);
+
+// 128-bit string hash in the spirit of MurmurHash3 x64/128: two lanes of
+// multiply-rotate mixing with cross-lane diffusion.
+Hash128 HashKey128(std::string_view data, uint64_t seed = 0);
+
+// A cheap bijective permutation over [0, n) built from Feistel rounds on
+// the value's bit halves; used to scatter popularity ranks over the key
+// space so hot keys land on pseudo-random servers.
+class Permutation {
+ public:
+  // `n` may be any positive value (not just powers of two); cycles walking
+  // is used to stay within range.
+  Permutation(uint64_t n, uint64_t seed);
+
+  uint64_t size() const { return n_; }
+  uint64_t operator()(uint64_t x) const;  // forward map, x in [0, n)
+
+ private:
+  uint64_t RoundTrip(uint64_t x) const;  // permutes [0, 2^bits)
+
+  uint64_t n_;
+  uint32_t half_bits_;
+  uint64_t half_mask_;
+  uint64_t keys_[4];
+};
+
+}  // namespace orbit
+
+template <>
+struct std::hash<orbit::Hash128> {
+  size_t operator()(const orbit::Hash128& h) const noexcept {
+    return static_cast<size_t>(h.hi ^ (h.lo * 0x9e3779b97f4a7c15ull));
+  }
+};

@@ -1,0 +1,14 @@
+#include "common/logging.h"
+
+namespace orbit {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+
+void Logger::Emit(LogLevel level, const std::string& msg) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) return;
+  std::cerr << "[" << kNames[idx] << "] " << msg << "\n";
+}
+
+}  // namespace orbit

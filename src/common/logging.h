@@ -1,0 +1,41 @@
+// Minimal leveled logger.
+//
+// The simulator is performance sensitive, so log calls below the active
+// level cost one branch. Benches run with the logger off; tests may raise
+// the level to debug specific scenarios.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace orbit {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+  static bool enabled(LogLevel level) { return level >= level_; }
+  static void Emit(LogLevel level, const std::string& msg);
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace orbit
+
+#define ORBIT_LOG(level_enum, stream_expr)                                   \
+  do {                                                                       \
+    if (::orbit::Logger::enabled(::orbit::LogLevel::level_enum)) {           \
+      std::ostringstream os_;                                                \
+      os_ << stream_expr;                                                    \
+      ::orbit::Logger::Emit(::orbit::LogLevel::level_enum, os_.str());       \
+    }                                                                        \
+  } while (0)
+
+#define LOG_DEBUG(stream_expr) ORBIT_LOG(kDebug, stream_expr)
+#define LOG_INFO(stream_expr) ORBIT_LOG(kInfo, stream_expr)
+#define LOG_WARN(stream_expr) ORBIT_LOG(kWarn, stream_expr)
+#define LOG_ERROR(stream_expr) ORBIT_LOG(kError, stream_expr)

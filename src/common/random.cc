@@ -1,0 +1,47 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace orbit {
+
+Rng::Rng(uint64_t seed) : state_(Mix64(seed)), inc_(Mix64(seed ^ 0xda3e39cb94b95bdbull) | 1) {
+  NextU64();
+}
+
+uint64_t Rng::NextU64() {
+  // PCG-XSH-RR style output on a 64-bit LCG state. Not cryptographic;
+  // plenty for workload generation.
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ull + inc_;
+  uint64_t xorshifted = (old >> 18) ^ old;
+  return Mix64(xorshifted);
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  ORBIT_CHECK(bound > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Exponential(double mean) {
+  ORBIT_CHECK(mean > 0);
+  double u = UniformDouble();
+  // Guard against log(0).
+  if (u <= 0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+}  // namespace orbit

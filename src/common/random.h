@@ -1,0 +1,32 @@
+// Deterministic pseudo-random number generation for workloads and timing.
+//
+// A small PCG-style generator: fast, high quality for simulation purposes,
+// and fully reproducible from a seed — every experiment in EXPERIMENTS.md
+// records its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace orbit {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bull);
+
+  uint64_t NextU64();
+  // Uniform in [0, bound), bias-free via rejection.
+  uint64_t UniformU64(uint64_t bound);
+  // Uniform in [0, 1).
+  double UniformDouble();
+  // Exponential with the given mean (> 0); used for open-loop Poisson
+  // arrivals (paper §4: inter-request gaps follow an exponential
+  // distribution).
+  double Exponential(double mean);
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace orbit

@@ -1,0 +1,27 @@
+// Shared scalar aliases for the whole project.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace orbit {
+
+// Simulated time in nanoseconds since experiment start.
+using SimTime = int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1'000;
+constexpr SimTime kMillisecond = 1'000'000;
+constexpr SimTime kSecond = 1'000'000'000;
+
+// Addresses in the simulated network. We do not model real IPv4; an
+// "address" is a dense node identifier that forwarding tables match on.
+using Addr = uint32_t;
+using L4Port = uint16_t;
+
+constexpr Addr kInvalidAddr = 0xffffffffu;
+
+// Variable-length item keys are byte strings, exactly as in the paper.
+using Key = std::string;
+
+}  // namespace orbit

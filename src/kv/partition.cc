@@ -1,0 +1,18 @@
+#include "kv/partition.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace orbit::kv {
+
+Partitioner::Partitioner(uint32_t num_servers, uint64_t seed)
+    : num_servers_(num_servers), seed_(seed) {
+  ORBIT_CHECK(num_servers > 0);
+}
+
+uint32_t Partitioner::ServerFor(std::string_view key) const {
+  return static_cast<uint32_t>(Hash64(key, seed_ ^ 0x7061727469746eull) %
+                               num_servers_);
+}
+
+}  // namespace orbit::kv

@@ -1,0 +1,25 @@
+// Key → storage-server partitioning.
+//
+// Both clients (to pick the destination server) and the testbed (to place
+// items) must agree on this mapping; the paper determines the destination
+// server by hashing the key (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace orbit::kv {
+
+class Partitioner {
+ public:
+  explicit Partitioner(uint32_t num_servers, uint64_t seed = 0);
+
+  uint32_t num_servers() const { return num_servers_; }
+  uint32_t ServerFor(std::string_view key) const;
+
+ private:
+  uint32_t num_servers_;
+  uint64_t seed_;
+};
+
+}  // namespace orbit::kv

@@ -1,0 +1,252 @@
+#include "netcache/program.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace orbit::nc {
+
+using rmt::IngressResult;
+
+NetProgram::NetProgram(rmt::SwitchDevice* device, const NetConfig& config)
+    : device_(device),
+      config_(config),
+      lookup_(&device->resources(), "nc_lookup", /*stage=*/0, config.capacity,
+              config.max_key_bytes, /*entry_bytes=*/4),
+      valid_(&device->resources(), "nc_valid", /*stage=*/1, config.capacity),
+      vlen_(&device->resources(), "nc_vlen", /*stage=*/1, config.capacity),
+      popularity_(&device->resources(), "nc_popularity", /*stage=*/1,
+                  config.capacity),
+      sketch_(config.sketch_rows, config.sketch_width) {
+  ORBIT_CHECK(device != nullptr);
+  ORBIT_CHECK_MSG(config.stage_value_bytes <=
+                      device->resources().config().alu_bytes_per_stage,
+                  "per-stage value bytes exceed the ALU limit");
+  ORBIT_CHECK_MSG(2 + config.value_stages <=
+                      device->resources().config().num_stages - 2,
+                  "not enough stages for the requested value width");
+  // One 8-byte word array per value stage: the n×k value ceiling.
+  value_words_.reserve(static_cast<size_t>(config.value_stages));
+  for (int s = 0; s < config.value_stages; ++s) {
+    value_words_.push_back(std::make_unique<rmt::RegisterArray<uint64_t>>(
+        &device->resources(), "nc_value_s" + std::to_string(s),
+        /*stage=*/2 + s, config.capacity));
+  }
+  if (config.recirc_read_mode) {
+    extended_values_.resize(config.capacity);
+    // Account the extra slices' SRAM (they live in the same stages and are
+    // addressed on later passes).
+    rmt::ResourceEntry ext;
+    ext.name = "nc_value_extended";
+    ext.stage = 2;
+    ext.sram_bytes = static_cast<uint64_t>(config.capacity) *
+                     (config.recirc_read_max_bytes - bytes_per_pass());
+    device->resources().Declare(ext);
+  }
+  // Count-min sketch accounting (4 rows of 32-bit counters in hardware).
+  rmt::ResourceEntry cm;
+  cm.name = "nc_countmin";
+  cm.stage = 2 + config.value_stages;
+  cm.sram_bytes = static_cast<uint64_t>(config.sketch_rows) *
+                  config.sketch_width * 4;
+  cm.alus = static_cast<int>(config.sketch_rows);
+  device->resources().Declare(cm);
+  // L3 forwarding accounting.
+  rmt::ResourceEntry l3;
+  l3.name = "ipv4_forward";
+  l3.stage = 3 + config.value_stages;
+  l3.match_key_bytes = 4;
+  l3.sram_bytes = 4096 * 8;
+  l3.tables = 1;
+  device->resources().Declare(l3);
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+bool NetProgram::InsertEntry(const Key& key, uint32_t idx) {
+  ORBIT_CHECK_MSG(idx < config_.capacity, "cache index out of range");
+  if (!lookup_.Insert(key, idx)) return false;  // throws if key > 16B
+  valid_.at(idx) = 0;
+  vlen_.at(idx) = 0;
+  popularity_.at(idx) = 0;
+  return true;
+}
+
+bool NetProgram::EraseEntry(const Key& key) { return lookup_.Erase(key); }
+
+std::optional<uint32_t> NetProgram::FindIdx(const Key& key) const {
+  const uint32_t* idx = lookup_.Lookup(key);
+  if (idx == nullptr) return std::nullopt;
+  return *idx;
+}
+
+std::vector<uint64_t> NetProgram::ReadAndResetPopularity() {
+  std::vector<uint64_t> out(config_.capacity, 0);
+  for (size_t i = 0; i < config_.capacity; ++i) {
+    out[i] = popularity_.at(i);
+    popularity_.at(i) = 0;
+  }
+  return out;
+}
+
+std::vector<std::pair<Key, uint64_t>> NetProgram::DrainHotReports() {
+  std::vector<std::pair<Key, uint64_t>> out;
+  out.swap(hot_reports_);
+  reported_.clear();
+  return out;
+}
+
+std::vector<Key> NetProgram::DrainSelfEvictions() {
+  std::vector<Key> out;
+  out.swap(self_evictions_);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Value word registers
+// ---------------------------------------------------------------------------
+
+void NetProgram::StoreValue(uint32_t idx, const std::string& bytes) {
+  ORBIT_CHECK(bytes.size() <= max_value_bytes());
+  vlen_.at(idx) = static_cast<uint16_t>(bytes.size());
+  const size_t first_pass = std::min<size_t>(bytes.size(), bytes_per_pass());
+  for (size_t s = 0; s < value_words_.size(); ++s) {
+    uint64_t word = 0;
+    const size_t off = s * config_.stage_value_bytes;
+    if (off < first_pass) {
+      const size_t n =
+          std::min<size_t>(config_.stage_value_bytes, first_pass - off);
+      std::memcpy(&word, bytes.data() + off, n);
+    }
+    value_words_[s]->at(idx) = word;
+  }
+  if (config_.recirc_read_mode)
+    extended_values_[idx] = bytes.substr(first_pass);
+}
+
+std::string NetProgram::LoadValue(uint32_t idx) const {
+  const size_t len = vlen_.at(idx);
+  const size_t first_pass = std::min<size_t>(len, bytes_per_pass());
+  std::string bytes(first_pass, '\0');
+  for (size_t s = 0; s * config_.stage_value_bytes < first_pass; ++s) {
+    const uint64_t word = value_words_[s]->at(idx);
+    const size_t off = s * config_.stage_value_bytes;
+    const size_t n =
+        std::min<size_t>(config_.stage_value_bytes, first_pass - off);
+    std::memcpy(bytes.data() + off, &word, n);
+  }
+  if (config_.recirc_read_mode) bytes += extended_values_[idx];
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Data plane
+// ---------------------------------------------------------------------------
+
+IngressResult NetProgram::Ingress(sim::Packet& pkt, rmt::SwitchDevice& sw) {
+  (void)sw;
+  if (!IsOrbit(pkt)) return IngressResult::ToAddr(pkt.dst);
+
+  using proto::Op;
+  switch (pkt.msg.op) {
+    case Op::kReadReq:
+      return HandleReadRequest(pkt);
+    case Op::kWriteReq:
+      return HandleWriteRequest(pkt);
+    case Op::kWriteRep:
+    case Op::kFetchRep:
+      return HandleValueReply(pkt);
+    case Op::kCorrectionReq:  // not part of NetCache; forward like a read
+    case Op::kFetchReq:
+    case Op::kReadRep:
+    case Op::kTopKReport:
+      return IngressResult::ToAddr(pkt.dst);
+  }
+  return IngressResult::Drop();
+}
+
+IngressResult NetProgram::HandleReadRequest(sim::Packet& pkt) {
+  if (!pkt.from_recirc) ++stats_.read_requests;
+  const uint32_t* idxp = lookup_.Lookup(pkt.msg.key);
+  if (idxp == nullptr) {
+    ++stats_.read_misses;
+    // Heavy-hitter detection for uncached keys.
+    sketch_.Update(pkt.msg.key);
+    if (sketch_.Estimate(pkt.msg.key) >= config_.hot_threshold &&
+        reported_.insert(pkt.msg.key).second) {
+      hot_reports_.emplace_back(pkt.msg.key, sketch_.Estimate(pkt.msg.key));
+      ++stats_.hot_reports;
+    }
+    return IngressResult::ToAddr(pkt.dst);
+  }
+  const uint32_t idx = *idxp;
+  if (!pkt.from_recirc) {
+    ++stats_.read_hits;
+    popularity_.at(idx)++;
+  }
+  if (valid_.at(idx) == 0) {
+    ++stats_.invalid_to_server;
+    return IngressResult::ToAddr(pkt.dst);
+  }
+  if (config_.recirc_read_mode) {
+    // §2.2 strawman: one pass reads bytes_per_pass() of the value, so a
+    // request must recirculate ceil(len/pass)-1 times before the reply can
+    // leave — consuming the single recirculation port per request.
+    const uint32_t len = vlen_.at(idx);
+    const uint32_t passes =
+        (len + bytes_per_pass() - 1) / std::max(1u, bytes_per_pass());
+    if (passes > 1 && pkt.recirc_count + 1 < passes) {
+      ++stats_.request_recircs;
+      return IngressResult::Recirculate();
+    }
+  }
+  // Serve from switch memory: bounce the request back as a reply.
+  const Addr client = pkt.src;
+  const L4Port client_port = pkt.sport;
+  pkt.msg.op = proto::Op::kReadRep;
+  pkt.msg.cached = 1;
+  pkt.msg.value = kv::Value::FromBytes(LoadValue(idx));
+  pkt.src = pkt.dst;
+  pkt.dst = client;
+  pkt.sport = config_.orbit_port;
+  pkt.dport = client_port;
+  ++stats_.served_by_cache;
+  return IngressResult::ToAddr(client);
+}
+
+IngressResult NetProgram::HandleWriteRequest(sim::Packet& pkt) {
+  const uint32_t* idxp = lookup_.Lookup(pkt.msg.key);
+  if (idxp == nullptr) {
+    ++stats_.writes_uncached;
+    return IngressResult::ToAddr(pkt.dst);
+  }
+  ++stats_.writes_cached;
+  valid_.at(*idxp) = 0;
+  pkt.msg.flag |= proto::kFlagCachedWrite;
+  return IngressResult::ToAddr(pkt.dst);
+}
+
+IngressResult NetProgram::HandleValueReply(sim::Packet& pkt) {
+  const bool carries_value =
+      pkt.msg.op == proto::Op::kFetchRep ||
+      (pkt.msg.flag & proto::kFlagCachedWrite) != 0;
+  const uint32_t* idxp = lookup_.Lookup(pkt.msg.key);
+  if (idxp == nullptr || !carries_value) return IngressResult::ToAddr(pkt.dst);
+  const uint32_t idx = *idxp;
+  const std::string bytes = pkt.msg.value.Materialize(pkt.msg.key);
+  if (bytes.size() > max_value_bytes()) {
+    // The n×k ceiling: this item cannot live in switch memory after all.
+    lookup_.Erase(pkt.msg.key);
+    self_evictions_.push_back(pkt.msg.key);
+    ++stats_.uncacheable_values;
+    return IngressResult::ToAddr(pkt.dst);
+  }
+  StoreValue(idx, bytes);
+  valid_.at(idx) = 1;
+  ++stats_.validations;
+  return IngressResult::ToAddr(pkt.dst);
+}
+
+}  // namespace orbit::nc

@@ -1,0 +1,139 @@
+// NetCache-style baseline data plane (Jin et al., SOSP'17), the reference
+// architecture of the systems OrbitCache compares against (§2.1, §5.1).
+//
+// Items live *in switch memory*: the lookup table matches on the item key
+// itself (hence the 16-byte hardware match-key ceiling) and the value is
+// striped as 8-byte words across a fixed set of match-action stages (hence
+// the stages × bytes-per-stage value ceiling — 8 × 8B = 64B here, matching
+// the baseline build the paper itself evaluates). Items that violate either
+// limit are simply not cacheable, which is the behaviour the motivation
+// experiments quantify.
+//
+// Hot uncached keys are detected with a data-plane count-min sketch plus a
+// dedicated report set (standing in for NetCache's bloom filter) that the
+// controller drains periodically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "rmt/match_table.h"
+#include "rmt/register_array.h"
+#include "rmt/switch.h"
+#include "workload/count_min.h"
+
+namespace orbit::nc {
+
+struct NetConfig {
+  size_t capacity = 10000;
+  uint32_t max_key_bytes = 16;   // hardware match-key width
+  int value_stages = 8;          // stages devoted to value words
+  uint32_t stage_value_bytes = 8;  // ALU-accessible bytes per stage
+  L4Port orbit_port = 5008;
+
+  uint32_t sketch_rows = 4;
+  uint32_t sketch_width = 8192;
+  uint64_t hot_threshold = 64;  // sketch estimate that triggers a report
+
+  // The §2.2 strawman OrbitCache argues against: read values larger than
+  // one pipeline pass by *recirculating the request*, one pass per
+  // n×k-byte slice, up to `recirc_read_max_bytes`. Every cache hit then
+  // occupies the single recirculation port ceil(len/64)-1 times — the
+  // per-request recirculation load that caps throughput (the rationale
+  // bench measures the ceiling).
+  bool recirc_read_mode = false;
+  uint32_t recirc_read_max_bytes = 1024;
+};
+
+class NetProgram : public rmt::SwitchProgram {
+ public:
+  NetProgram(rmt::SwitchDevice* device, const NetConfig& config);
+
+  rmt::IngressResult Ingress(sim::Packet& pkt, rmt::SwitchDevice& sw) override;
+  std::string program_name() const override { return "netcache"; }
+
+  // ---- control plane ------------------------------------------------------
+  // Bytes one pipeline pass can read from the value registers.
+  uint32_t bytes_per_pass() const {
+    return static_cast<uint32_t>(config_.value_stages) *
+           config_.stage_value_bytes;
+  }
+  // Largest storable value: one pass normally; the recirc-read strawman
+  // stretches it by spending extra passes.
+  uint32_t max_value_bytes() const {
+    return config_.recirc_read_mode ? config_.recirc_read_max_bytes
+                                    : bytes_per_pass();
+  }
+  // Returns false when the table is full; throws when the key is wider than
+  // the hardware match key.
+  bool InsertEntry(const Key& key, uint32_t idx);
+  bool EraseEntry(const Key& key);
+  std::optional<uint32_t> FindIdx(const Key& key) const;
+  size_t num_entries() const { return lookup_.size(); }
+  bool IsValid(uint32_t idx) const { return valid_.at(idx) != 0; }
+
+  std::vector<uint64_t> ReadAndResetPopularity();
+  // Hot uncached keys observed since the last drain (key, sketch estimate).
+  std::vector<std::pair<Key, uint64_t>> DrainHotReports();
+  // Keys the data plane evicted itself (fetched value exceeded the limit).
+  std::vector<Key> DrainSelfEvictions();
+  void ResetSketch() { sketch_.Reset(); }
+
+  struct Stats {
+    uint64_t read_requests = 0;
+    uint64_t read_hits = 0;
+    uint64_t read_misses = 0;
+    uint64_t served_by_cache = 0;
+    uint64_t invalid_to_server = 0;
+    uint64_t writes_cached = 0;
+    uint64_t writes_uncached = 0;
+    uint64_t validations = 0;
+    uint64_t uncacheable_values = 0;  // fetch produced an over-limit value
+    uint64_t hot_reports = 0;
+    uint64_t request_recircs = 0;  // recirc-read strawman passes
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  const NetConfig& config() const { return config_; }
+
+ private:
+  bool IsOrbit(const sim::Packet& pkt) const {
+    return pkt.dport == config_.orbit_port || pkt.sport == config_.orbit_port;
+  }
+
+  rmt::IngressResult HandleReadRequest(sim::Packet& pkt);
+  rmt::IngressResult HandleWriteRequest(sim::Packet& pkt);
+  rmt::IngressResult HandleValueReply(sim::Packet& pkt);
+
+  // Value word registers <-> bytes.
+  void StoreValue(uint32_t idx, const std::string& bytes);
+  std::string LoadValue(uint32_t idx) const;
+
+  rmt::SwitchDevice* device_;
+  NetConfig config_;
+
+  rmt::ExactMatchTable<Key, uint32_t> lookup_;
+  rmt::RegisterArray<uint8_t> valid_;
+  rmt::RegisterArray<uint16_t> vlen_;  // stored value length
+  rmt::RegisterArray<uint64_t> popularity_;
+  std::vector<std::unique_ptr<rmt::RegisterArray<uint64_t>>> value_words_;
+  // Recirc-read strawman: slices beyond the first pass (modeling further
+  // stage groups reachable only on later passes).
+  std::vector<std::string> extended_values_;
+  wl::CountMin sketch_;
+
+  std::vector<std::pair<Key, uint64_t>> hot_reports_;
+  std::unordered_set<Key> reported_;  // bloom-filter stand-in
+  std::vector<Key> self_evictions_;
+
+  Stats stats_;
+};
+
+}  // namespace orbit::nc

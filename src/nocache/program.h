@@ -1,0 +1,20 @@
+// The NoCache baseline: a plain L3 forwarder with no caching logic, the
+// paper's lower-bound comparison scheme.
+#pragma once
+
+#include "rmt/switch.h"
+
+namespace orbit::nocache {
+
+class ForwardProgram : public rmt::SwitchProgram {
+ public:
+  rmt::IngressResult Ingress(sim::Packet& pkt, rmt::SwitchDevice& sw) override;
+  std::string program_name() const override { return "nocache"; }
+
+  uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  uint64_t forwarded_ = 0;
+};
+
+}  // namespace orbit::nocache

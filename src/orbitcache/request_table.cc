@@ -1,0 +1,84 @@
+#include "orbitcache/request_table.h"
+
+#include "common/check.h"
+
+namespace orbit::oc {
+
+RequestTable::RequestTable(rmt::Resources* res, size_t capacity,
+                           size_t queue_size, int first_stage)
+    : capacity_(capacity),
+      queue_size_(queue_size),
+      qlen_(res, "req_qlen", first_stage, capacity),
+      front_(res, "req_front", first_stage + 1, capacity),
+      rear_(res, "req_rear", first_stage + 1, capacity),
+      client_addr_(res, "req_client_addr", first_stage + 2,
+                   capacity * queue_size),
+      seq_(res, "req_seq", first_stage + 2, capacity * queue_size),
+      l4_port_(res, "req_l4_port", first_stage + 2, capacity * queue_size),
+      timestamp_(res, "req_timestamp", first_stage + 2,
+                 capacity * queue_size) {
+  ORBIT_CHECK(capacity > 0 && queue_size > 0);
+}
+
+bool RequestTable::TryEnqueue(uint32_t idx, const RequestMeta& meta) {
+  ORBIT_CHECK(idx < capacity_);
+  // Stage A: queue status check.
+  uint32_t& len = qlen_.at(idx);
+  if (len >= queue_size_) return false;
+  // Stage B: advance the rear pointer (circularly).
+  uint32_t& rear = rear_.at(idx);
+  const uint32_t slot = rear;
+  rear = (rear + 1) % static_cast<uint32_t>(queue_size_);
+  ++len;
+  // Stage C: store metadata at ReqIdx = CacheIdx * S + slot.
+  const size_t r = ReqIdx(idx, slot);
+  client_addr_.at(r) = meta.client_addr;
+  seq_.at(r) = meta.seq;
+  l4_port_.at(r) = meta.l4_port;
+  timestamp_.at(r) = meta.enqueued_at;
+  return true;
+}
+
+std::optional<RequestMeta> RequestTable::TryDequeue(uint32_t idx) {
+  ORBIT_CHECK(idx < capacity_);
+  uint32_t& len = qlen_.at(idx);
+  if (len == 0) return std::nullopt;
+  uint32_t& front = front_.at(idx);
+  const uint32_t slot = front;
+  front = (front + 1) % static_cast<uint32_t>(queue_size_);
+  --len;
+  const size_t r = ReqIdx(idx, slot);
+  RequestMeta meta;
+  meta.client_addr = client_addr_.at(r);
+  meta.seq = seq_.at(r);
+  meta.l4_port = l4_port_.at(r);
+  meta.enqueued_at = timestamp_.at(r);
+  return meta;
+}
+
+std::optional<RequestMeta> RequestTable::Peek(uint32_t idx) const {
+  ORBIT_CHECK(idx < capacity_);
+  if (qlen_.at(idx) == 0) return std::nullopt;
+  const size_t r =
+      static_cast<size_t>(idx) * queue_size_ + front_.at(idx);
+  RequestMeta meta;
+  meta.client_addr = client_addr_.at(r);
+  meta.seq = seq_.at(r);
+  meta.l4_port = l4_port_.at(r);
+  meta.enqueued_at = timestamp_.at(r);
+  return meta;
+}
+
+uint32_t RequestTable::QueueLength(uint32_t idx) const {
+  ORBIT_CHECK(idx < capacity_);
+  return qlen_.at(idx);
+}
+
+void RequestTable::ClearQueue(uint32_t idx) {
+  ORBIT_CHECK(idx < capacity_);
+  qlen_.at(idx) = 0;
+  front_.at(idx) = 0;
+  rear_.at(idx) = 0;
+}
+
+}  // namespace orbit::oc

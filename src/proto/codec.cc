@@ -1,0 +1,54 @@
+#include "proto/codec.h"
+
+#include "common/bytes.h"
+
+namespace orbit::proto {
+
+std::vector<uint8_t> Encode(const Message& msg) {
+  ByteWriter w;
+  w.u8(static_cast<uint8_t>(msg.op));
+  w.u32(msg.seq);
+  w.u64(msg.hkey.hi);
+  w.u64(msg.hkey.lo);
+  w.u8(msg.flag);
+  w.u8(msg.cached);
+  w.u32(msg.latency);
+  w.u8(msg.srv_id);
+  w.u32(msg.epoch);
+  w.u8(msg.frag_index);
+  w.u8(msg.frag_total);
+  w.u16(static_cast<uint16_t>(msg.key.size()));
+  w.bytes(msg.key);
+  w.bytes(msg.value.Materialize(msg.key));
+  return w.take();
+}
+
+std::optional<Message> Decode(const std::vector<uint8_t>& wire) {
+  ByteReader r(wire);
+  Message m;
+  uint8_t op = r.u8();
+  if (op < 1 || op > 8) return std::nullopt;
+  m.op = static_cast<Op>(op);
+  m.seq = r.u32();
+  m.hkey.hi = r.u64();
+  m.hkey.lo = r.u64();
+  m.flag = r.u8();
+  m.cached = r.u8();
+  m.latency = r.u32();
+  m.srv_id = r.u8();
+  m.epoch = r.u32();
+  m.frag_index = r.u8();
+  m.frag_total = r.u8();
+  uint16_t key_len = r.u16();
+  if (!r.ok() || r.remaining() < key_len) return std::nullopt;
+  m.key = r.bytes(key_len);
+  m.value = kv::Value::FromBytes(r.bytes(r.remaining()));
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+uint32_t WireBytes(const Message& msg) {
+  return kEncapBytes + Message::kHeaderBytes + msg.payload_bytes();
+}
+
+}  // namespace orbit::proto

@@ -1,0 +1,29 @@
+// Binary codec for OrbitCache messages.
+//
+// Inside the simulator, packets carry parsed `Message` structs directly
+// (the switch model reads header fields the way the P4 parser would). The
+// codec exists for the system boundary: it defines the exact wire layout,
+// is exhaustively round-trip tested, and is used by the examples to show
+// real byte-level encoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "proto/message.h"
+
+namespace orbit::proto {
+
+// Serializes header + payload (key and value bytes are materialized).
+std::vector<uint8_t> Encode(const Message& msg);
+
+// Parses a buffer produced by Encode. Returns nullopt on truncation,
+// unknown opcode, or inconsistent lengths.
+std::optional<Message> Decode(const std::vector<uint8_t>& wire);
+
+// Total simulated wire footprint of a message including encapsulation;
+// used by links and the recirculation port for serialization timing.
+uint32_t WireBytes(const Message& msg);
+
+}  // namespace orbit::proto

@@ -1,0 +1,19 @@
+#include "proto/message.h"
+
+namespace orbit::proto {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kReadReq: return "R-REQ";
+    case Op::kWriteReq: return "W-REQ";
+    case Op::kReadRep: return "R-REP";
+    case Op::kWriteRep: return "W-REP";
+    case Op::kFetchReq: return "F-REQ";
+    case Op::kFetchRep: return "F-REP";
+    case Op::kCorrectionReq: return "CRN-REQ";
+    case Op::kTopKReport: return "TOPK";
+  }
+  return "?";
+}
+
+}  // namespace orbit::proto

@@ -1,0 +1,20 @@
+#include "rmt/match_table.h"
+
+namespace orbit::rmt {
+
+MatchTableBase::MatchTableBase(Resources* res, std::string name, int stage,
+                               size_t capacity, uint32_t key_width_bytes,
+                               uint32_t entry_value_bytes)
+    : name_(std::move(name)), capacity_(capacity), key_width_(key_width_bytes) {
+  ORBIT_CHECK(res != nullptr);
+  ResourceEntry entry;
+  entry.name = name_;
+  entry.stage = stage;
+  entry.match_key_bytes = key_width_bytes;  // Declare() enforces the limit
+  entry.sram_bytes =
+      static_cast<uint64_t>(capacity) * (key_width_bytes + entry_value_bytes);
+  entry.tables = 1;
+  res->Declare(entry);
+}
+
+}  // namespace orbit::rmt

@@ -1,0 +1,18 @@
+#include "rmt/pre.h"
+
+#include "common/check.h"
+
+namespace orbit::rmt {
+
+void Pre::SetGroup(int group_id, std::vector<McastTarget> targets) {
+  ORBIT_CHECK_MSG(group_id != 0, "multicast group 0 is reserved");
+  ORBIT_CHECK_MSG(!targets.empty(), "multicast group must have targets");
+  groups_[group_id] = std::move(targets);
+}
+
+const std::vector<McastTarget>* Pre::Group(int group_id) const {
+  auto it = groups_.find(group_id);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+}  // namespace orbit::rmt

@@ -1,0 +1,37 @@
+// Packet Replication Engine: multicast groups.
+//
+// The PRE sits after the ingress pipeline; replicating a packet copies its
+// descriptor, not its bytes (paper §3.5), so cloning is cheap and the
+// cloned copy does not traverse ingress again. A multicast group is a list
+// of egress targets, each either a front port or the internal recirculation
+// port.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace orbit::rmt {
+
+struct McastTarget {
+  bool recirculate = false;  // true → internal recirculation port
+  int port = -1;             // front port when recirculate == false
+};
+
+class Pre {
+ public:
+  // Control-plane group programming. Group ids are arbitrary non-zero ints.
+  void SetGroup(int group_id, std::vector<McastTarget> targets);
+  const std::vector<McastTarget>* Group(int group_id) const;
+  size_t num_groups() const { return groups_.size(); }
+
+  uint64_t clones_made() const { return clones_made_; }
+  void CountClones(uint64_t n) { clones_made_ += n; }
+
+ private:
+  std::unordered_map<int, std::vector<McastTarget>> groups_;
+  uint64_t clones_made_ = 0;
+};
+
+}  // namespace orbit::rmt

@@ -1,0 +1,22 @@
+#include "rmt/register_array.h"
+
+namespace orbit::rmt {
+
+RegisterArrayBase::RegisterArrayBase(Resources* res, std::string name,
+                                     int stage, size_t size,
+                                     uint32_t slot_bytes)
+    : name_(std::move(name)), stage_(stage), size_(size) {
+  ORBIT_CHECK(res != nullptr);
+  ORBIT_CHECK_MSG(slot_bytes <= res->config().alu_bytes_per_stage,
+                  name_ << ": slot width " << slot_bytes
+                        << "B exceeds per-stage ALU limit of "
+                        << res->config().alu_bytes_per_stage << "B");
+  ResourceEntry entry;
+  entry.name = name_;
+  entry.stage = stage_;
+  entry.sram_bytes = static_cast<uint64_t>(size) * slot_bytes;
+  entry.alus = 1;
+  res->Declare(entry);
+}
+
+}  // namespace orbit::rmt

@@ -1,0 +1,77 @@
+// Stateful register arrays, the RMT building block behind the paper's
+// state table, request table, and counters.
+//
+// A register array lives in exactly one stage and each slot is at most the
+// ASIC's per-stage ALU-accessible width (`alu_bytes_per_stage`, 8B on our
+// Tofino-1-class config). Declaring a wider slot throws — this is the
+// constraint that caps NetCache-style value storage at
+// stages × width bytes, which OrbitCache escapes by never storing values
+// in registers at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "rmt/resources.h"
+
+namespace orbit::rmt {
+
+class RegisterArrayBase {
+ public:
+  RegisterArrayBase(Resources* res, std::string name, int stage, size_t size,
+                    uint32_t slot_bytes);
+  virtual ~RegisterArrayBase() = default;
+
+  const std::string& array_name() const { return name_; }
+  size_t size() const { return size_; }
+  int stage() const { return stage_; }
+
+ private:
+  std::string name_;
+  int stage_;
+  size_t size_;
+};
+
+template <typename T>
+class RegisterArray : public RegisterArrayBase {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "registers hold fixed-width machine words");
+
+ public:
+  RegisterArray(Resources* res, std::string name, int stage, size_t size,
+                T initial = T{})
+      : RegisterArrayBase(res, std::move(name), stage, size,
+                          static_cast<uint32_t>(sizeof(T))),
+        slots_(size, initial) {}
+
+  T& at(size_t i) {
+    ORBIT_CHECK_MSG(i < slots_.size(), array_name() << ": index " << i
+                                                    << " >= " << slots_.size());
+    return slots_[i];
+  }
+  const T& at(size_t i) const {
+    ORBIT_CHECK_MSG(i < slots_.size(), array_name() << ": index " << i
+                                                    << " >= " << slots_.size());
+    return slots_[i];
+  }
+
+  void Fill(T v) { slots_.assign(slots_.size(), v); }
+
+ private:
+  std::vector<T> slots_;
+};
+
+// A single scalar register (e.g. the cache-hit and overflow counters).
+template <typename T>
+class Register : public RegisterArray<T> {
+ public:
+  Register(Resources* res, std::string name, int stage, T initial = T{})
+      : RegisterArray<T>(res, std::move(name), stage, 1, initial) {}
+
+  T& get() { return this->at(0); }
+  const T& get() const { return this->at(0); }
+};
+
+}  // namespace orbit::rmt

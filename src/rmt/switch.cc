@@ -1,0 +1,149 @@
+#include "rmt/switch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace orbit::rmt {
+
+SwitchDevice::SwitchDevice(sim::Simulator* sim, sim::Network* net,
+                           std::string name, const AsicConfig& config)
+    : sim_(sim), net_(net), name_(std::move(name)), resources_(config) {
+  ORBIT_CHECK(sim != nullptr && net != nullptr);
+}
+
+void SwitchDevice::SetProgram(SwitchProgram* program) {
+  ORBIT_CHECK_MSG(program_ == nullptr, "program already attached");
+  ORBIT_CHECK(program != nullptr);
+  program_ = program;
+}
+
+void SwitchDevice::AddRoute(Addr addr, int port) { routes_[addr] = port; }
+
+void SwitchDevice::FlushRecirculation() {
+  ++recirc_generation_;
+  stats_.recirc_in_flight = 0;
+  recirc_busy_until_ = 0;
+}
+
+int SwitchDevice::RouteOf(Addr addr) const {
+  auto it = routes_.find(addr);
+  return it == routes_.end() ? -1 : it->second;
+}
+
+void SwitchDevice::OnPacket(sim::PacketPtr pkt, int port) {
+  ORBIT_CHECK_MSG(program_ != nullptr, name_ << ": no program attached");
+  ++stats_.rx_packets;
+
+  pkt->ingress_port = port;
+  if (port == kRecircPort) {
+    if (pkt->recirc_generation != recirc_generation_) {
+      // The packet was in the loop when the ASIC rebooted: it no longer
+      // exists (the gauge was zeroed by FlushRecirculation).
+      ++stats_.recirc_flushed;
+      return;
+    }
+    pkt->from_recirc = true;
+    --stats_.recirc_in_flight;
+  }
+
+  // Pipeline pacing: the pps ceiling shows up as queueing ahead of the
+  // pipe; the match-action logic itself runs in arrival order.
+  const AsicConfig& cfg = resources_.config();
+  const SimTime slot = std::max<SimTime>(1, static_cast<SimTime>(cfg.packet_slot_ns));
+  const SimTime queue_wait = std::max<SimTime>(0, pipe_next_free_ - sim_->now());
+  pipe_next_free_ = sim_->now() + queue_wait + slot;
+  const SimTime pipe_delay =
+      queue_wait + static_cast<SimTime>(cfg.pipeline_latency_ns);
+
+  IngressResult result = program_->Ingress(*pkt, *this);
+  Apply(result, std::move(pkt), pipe_delay);
+}
+
+void SwitchDevice::Apply(const IngressResult& result, sim::PacketPtr pkt,
+                         SimTime pipe_delay) {
+  using Action = IngressResult::Action;
+  switch (result.action) {
+    case Action::kDrop:
+      ++stats_.dropped_by_program;
+      return;
+    case Action::kForwardPort:
+      SendOut(result.port, std::move(pkt), pipe_delay);
+      return;
+    case Action::kForwardAddr: {
+      const int port = RouteOf(result.addr);
+      if (port < 0) {
+        ++stats_.dropped_unrouted;
+        LOG_WARN(name_ << ": no route for addr " << result.addr);
+        return;
+      }
+      SendOut(port, std::move(pkt), pipe_delay);
+      return;
+    }
+    case Action::kRecirculate:
+      Recirculate(std::move(pkt), pipe_delay);
+      return;
+    case Action::kMulticast: {
+      const auto* targets = pre_.Group(result.mcast_group);
+      if (targets == nullptr || targets->empty()) {
+        ++stats_.dropped_unrouted;
+        LOG_WARN(name_ << ": unknown multicast group " << result.mcast_group);
+        return;
+      }
+      // The PRE emits one descriptor per target; the last target takes the
+      // original descriptor, earlier ones take clones.
+      for (size_t i = 0; i + 1 < targets->size(); ++i) {
+        pre_.CountClones(1);
+        sim::PacketPtr copy = sim::ClonePacket(*pkt);
+        const McastTarget& t = (*targets)[i];
+        if (t.recirculate) {
+          Recirculate(std::move(copy), pipe_delay);
+        } else {
+          SendOut(t.port, std::move(copy), pipe_delay);
+        }
+      }
+      const McastTarget& last = targets->back();
+      if (last.recirculate) {
+        Recirculate(std::move(pkt), pipe_delay);
+      } else {
+        SendOut(last.port, std::move(pkt), pipe_delay);
+      }
+      return;
+    }
+  }
+}
+
+void SwitchDevice::SendOut(int port, sim::PacketPtr pkt, SimTime pipe_delay) {
+  ++stats_.tx_packets;
+  net_->Send(this, port, std::move(pkt), pipe_delay);
+}
+
+void SwitchDevice::Recirculate(sim::PacketPtr pkt, SimTime pipe_delay) {
+  const AsicConfig& cfg = resources_.config();
+  const uint32_t bytes = pkt->wire_bytes();
+  const SimTime ready = sim_->now() + pipe_delay;
+  // Backlog implied by how far the port's busy horizon runs ahead.
+  const SimTime backlog_ns = std::max<SimTime>(0, recirc_busy_until_ - ready);
+  const uint64_t backlog_bytes = static_cast<uint64_t>(
+      static_cast<double>(backlog_ns) * cfg.recirc_rate_gbps / 8.0);
+  if (backlog_bytes + bytes > cfg.recirc_queue_bytes) {
+    ++stats_.recirc_drops;
+    return;
+  }
+  const SimTime start = std::max(ready, recirc_busy_until_);
+  const SimTime tx = std::max<SimTime>(
+      1, static_cast<SimTime>(static_cast<double>(bytes) * 8.0 /
+                              cfg.recirc_rate_gbps));
+  const SimTime done = start + tx;
+  recirc_busy_until_ = done;
+  ++stats_.recirc_packets;
+  ++stats_.recirc_in_flight;
+
+  pkt->recirc_count++;
+  pkt->recirc_generation = recirc_generation_;
+  const SimTime loop = static_cast<SimTime>(cfg.recirc_loop_ns);
+  sim_->Deliver(done + loop, this, kRecircPort, std::move(pkt));
+}
+
+}  // namespace orbit::rmt

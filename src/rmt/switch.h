@@ -1,0 +1,136 @@
+// The programmable switch device.
+//
+// Models one RMT pipeline: packets arriving on any port are gated through
+// a per-packet pipeline slot (the ASIC's packets-per-second ceiling), the
+// attached SwitchProgram runs the match-action logic and picks an action,
+// and egress happens after the pipeline traversal latency. Two special
+// facilities mirror the hardware features OrbitCache is built on:
+//
+//  * the PRE executes multicast actions by descriptor-cloning packets, and
+//  * a single internal recirculation port with finite bandwidth and a
+//    bounded FIFO loops packets back into ingress (paper §2.2: one recirc
+//    port per pipeline vs. tens of front ports).
+//
+// Register state mutated by the program is applied in packet arrival
+// order, matching per-stage atomicity on real RMT hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "rmt/pre.h"
+#include "rmt/resources.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace orbit::rmt {
+
+struct IngressResult {
+  enum class Action {
+    kForwardPort,  // unicast to an explicit front port
+    kForwardAddr,  // unicast via the L3 route table
+    kDrop,
+    kMulticast,    // hand to the PRE with a group id
+    kRecirculate,  // unicast to the internal recirculation port
+  };
+
+  Action action = Action::kDrop;
+  int port = -1;
+  Addr addr = kInvalidAddr;
+  int mcast_group = 0;
+
+  static IngressResult ToPort(int p) {
+    return {Action::kForwardPort, p, kInvalidAddr, 0};
+  }
+  static IngressResult ToAddr(Addr a) {
+    return {Action::kForwardAddr, -1, a, 0};
+  }
+  static IngressResult Drop() { return {}; }
+  static IngressResult Multicast(int group) {
+    return {Action::kMulticast, -1, kInvalidAddr, group};
+  }
+  static IngressResult Recirculate() {
+    return {Action::kRecirculate, -1, kInvalidAddr, 0};
+  }
+};
+
+class SwitchDevice;
+
+// A data-plane program (the P4 analogue). Implementations declare their
+// tables/registers against the device's Resources ledger at attach time.
+class SwitchProgram {
+ public:
+  virtual ~SwitchProgram() = default;
+  virtual IngressResult Ingress(sim::Packet& pkt, SwitchDevice& sw) = 0;
+  virtual std::string program_name() const = 0;
+};
+
+class SwitchDevice : public sim::Node {
+ public:
+  // Ingress port number seen by packets re-entering via recirculation.
+  static constexpr int kRecircPort = -2;
+
+  SwitchDevice(sim::Simulator* sim, sim::Network* net, std::string name,
+               const AsicConfig& config);
+
+  // The program must outlive the device. May only be set once.
+  void SetProgram(SwitchProgram* program);
+
+  Resources& resources() { return resources_; }
+  Pre& pre() { return pre_; }
+  sim::Simulator& sim() { return *sim_; }
+
+  // Control-plane route programming (dst address → front port).
+  void AddRoute(Addr addr, int port);
+
+  // ASIC reboot semantics: every packet currently looping through the
+  // recirculation port is lost (they live in switch buffers). Programs
+  // call this from their reset paths.
+  void FlushRecirculation();
+  // Returns the port for `addr`, or -1 when unrouted.
+  int RouteOf(Addr addr) const;
+
+  void OnPacket(sim::PacketPtr pkt, int port) override;
+  std::string name() const override { return name_; }
+
+  struct Stats {
+    uint64_t rx_packets = 0;
+    uint64_t tx_packets = 0;
+    uint64_t dropped_by_program = 0;
+    uint64_t dropped_unrouted = 0;
+    uint64_t recirc_packets = 0;      // total recirculation passes
+    uint64_t recirc_drops = 0;        // recirc FIFO overflow
+    uint64_t recirc_flushed = 0;      // packets lost to a reboot barrier
+    int64_t recirc_in_flight = 0;     // gauge: packets currently orbiting
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void Apply(const IngressResult& result, sim::PacketPtr pkt,
+             SimTime pipe_delay);
+  void SendOut(int port, sim::PacketPtr pkt, SimTime pipe_delay);
+  void Recirculate(sim::PacketPtr pkt, SimTime pipe_delay);
+
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  std::string name_;
+  Resources resources_;
+  Pre pre_;
+  SwitchProgram* program_ = nullptr;
+
+  std::unordered_map<Addr, int> routes_;
+
+  // Pipeline pacing.
+  SimTime pipe_next_free_ = 0;
+
+  // Recirculation channel state (single internal port).
+  SimTime recirc_busy_until_ = 0;
+  uint32_t recirc_generation_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace orbit::rmt

@@ -1,0 +1,64 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace orbit::sim {
+
+void EventQueue::PushDelivery(SimTime t, Node* node, int port, PacketPtr pkt) {
+  Event e;
+  e.time = t;
+  e.node = node;
+  e.port = port;
+  e.pkt = std::move(pkt);
+  Push(std::move(e));
+}
+
+void EventQueue::PushCallback(SimTime t, std::function<void()> fn) {
+  Event e;
+  e.time = t;
+  e.fn = std::move(fn);
+  Push(std::move(e));
+}
+
+void EventQueue::Push(Event e) {
+  e.seq = next_seq_++;
+  heap_.push_back(std::move(e));
+  SiftUp(heap_.size() - 1);
+}
+
+Event EventQueue::Pop() {
+  Event top = std::move(heap_.front());
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    SiftDown(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+void EventQueue::SiftUp(size_t i) {
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!Before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  for (;;) {
+    size_t left = 2 * i + 1;
+    if (left >= n) break;
+    size_t smallest = left;
+    size_t right = left + 1;
+    if (right < n && Before(heap_[right], heap_[left])) smallest = right;
+    if (!Before(heap_[smallest], heap_[i])) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace orbit::sim

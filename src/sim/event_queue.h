@@ -1,0 +1,59 @@
+// The simulator's event heap.
+//
+// Two event shapes cover the whole system:
+//   * packet deliveries (the hot path: millions per run) carry their target
+//     node/port inline, avoiding std::function allocations, and
+//   * generic callbacks for everything else (timers, controller periods).
+//
+// Events at equal timestamps fire in insertion order (a monotonically
+// increasing sequence number breaks ties), which makes runs fully
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/packet.h"
+
+namespace orbit::sim {
+
+class Node;
+
+struct Event {
+  SimTime time = 0;
+  uint64_t seq = 0;
+  // Delivery payload (hot path) — used when node != nullptr.
+  Node* node = nullptr;
+  int port = -1;
+  PacketPtr pkt;
+  // Generic callback — used when node == nullptr.
+  std::function<void()> fn;
+};
+
+class EventQueue {
+ public:
+  void PushDelivery(SimTime t, Node* node, int port, PacketPtr pkt);
+  void PushCallback(SimTime t, std::function<void()> fn);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  SimTime next_time() const { return heap_.front().time; }
+
+  // Removes and returns the earliest event.
+  Event Pop();
+
+ private:
+  void Push(Event e);
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  static bool Before(const Event& a, const Event& b) {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+
+  std::vector<Event> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace orbit::sim

@@ -1,0 +1,64 @@
+#include "sim/link.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace orbit::sim {
+
+Link::Link(Simulator* sim, Node* a, int port_a, Node* b, int port_b,
+           const LinkConfig& config)
+    : sim_(sim), config_(config), loss_rng_(config.loss_seed) {
+  ORBIT_CHECK(sim != nullptr && a != nullptr && b != nullptr);
+  ORBIT_CHECK(config.rate_gbps > 0);
+  chans_[0].to = b;
+  chans_[0].to_port = port_b;
+  chans_[1].to = a;
+  chans_[1].to_port = port_a;
+}
+
+SimTime Link::TxTime(uint32_t bytes) const {
+  // bytes * 8 bits / (gbps) = ns; round up so zero-length never happens.
+  return std::max<SimTime>(
+      1, static_cast<SimTime>(static_cast<double>(bytes) * 8.0 /
+                              config_.rate_gbps));
+}
+
+void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
+  ORBIT_CHECK(from == 0 || from == 1);
+  Channel& ch = chans_[from];
+  if (config_.loss_rate > 0 && loss_rng_.Bernoulli(config_.loss_rate)) {
+    ++ch.stats.lost;
+    return;
+  }
+  const uint32_t bytes = pkt->wire_bytes();
+  const SimTime ready = sim_->now() + extra_delay;
+
+  // Backlog is implied by how far busy_until runs ahead of the send time —
+  // exactly the unserialized bytes sitting in the egress queue.
+  const SimTime backlog_ns = std::max<SimTime>(0, ch.busy_until - ready);
+  const uint64_t backlog_bytes = static_cast<uint64_t>(
+      static_cast<double>(backlog_ns) * config_.rate_gbps / 8.0);
+  if (backlog_bytes + bytes > config_.queue_limit_bytes) {
+    ++ch.stats.drops;
+    return;  // drop-tail: packet ownership ends here
+  }
+
+  const SimTime start = std::max(ready, ch.busy_until);
+  const SimTime done = start + TxTime(bytes);
+  ch.busy_until = done;
+  ch.stats.packets++;
+  ch.stats.bytes += bytes;
+
+  if (tap_ != nullptr && *tap_)
+    (*tap_)(*pkt, chans_[1 - from].to, ch.to, sim_->now());
+
+  // The packet lands at the far end after propagation.
+  pkt->ingress_port = ch.to_port;
+  pkt->from_recirc = false;
+  sim_->Deliver(done + config_.propagation, ch.to, ch.to_port, std::move(pkt));
+}
+
+}  // namespace orbit::sim

@@ -1,0 +1,78 @@
+// Full-duplex point-to-point links.
+//
+// Each direction is a fluid-FIFO channel: a packet occupies the wire for
+// wire_bytes * 8 / rate, queues behind earlier packets (drop-tail against a
+// byte bound), then arrives after the propagation delay. This captures the
+// three effects the experiments depend on — serialization time growing with
+// item size, queueing at saturated ports, and bounded buffers — without
+// simulating per-byte transmission.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "sim/packet.h"
+#include "sim/trace.h"
+
+namespace orbit::sim {
+
+class Node;
+class Simulator;
+
+struct LinkConfig {
+  double rate_gbps = 100.0;
+  SimTime propagation = 500;           // ns, one way
+  uint32_t queue_limit_bytes = 512 * 1024;  // per direction
+  // Failure injection: independent per-packet loss probability. The paper
+  // handles loss with application-level timeouts (§3.9); tests use this to
+  // exercise the controller's fetch retransmission and client timeouts.
+  double loss_rate = 0.0;
+  uint64_t loss_seed = 1;
+};
+
+struct ChannelStats {
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+  uint64_t drops = 0;       // queue overflow
+  uint64_t lost = 0;        // injected loss
+};
+
+class Link {
+ public:
+  // Endpoint i = {node, port on that node}.
+  Link(Simulator* sim, Node* a, int port_a, Node* b, int port_b,
+       const LinkConfig& config);
+
+  // Sends from endpoint `from` (0 = a, 1 = b) toward the opposite end.
+  // `extra_delay` lets a sender account for local processing (e.g. the
+  // switch pipeline traversal) before the packet reaches the port.
+  void Send(int from, PacketPtr pkt, SimTime extra_delay = 0);
+
+  const ChannelStats& stats(int from) const { return chans_[from].stats; }
+  const LinkConfig& config() const { return config_; }
+
+  // Port-mirroring tap (owned by the Network); observes packets that were
+  // actually committed to the wire.
+  void set_tap(const TapFn* tap) { tap_ = tap; }
+
+ private:
+  struct Channel {
+    Node* to = nullptr;
+    int to_port = -1;
+    SimTime busy_until = 0;
+    ChannelStats stats;
+  };
+
+  SimTime TxTime(uint32_t bytes) const;
+
+  Simulator* sim_;
+  LinkConfig config_;
+  std::array<Channel, 2> chans_;
+  Rng loss_rng_;
+  const TapFn* tap_ = nullptr;
+};
+
+}  // namespace orbit::sim

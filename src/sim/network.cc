@@ -1,0 +1,47 @@
+#include "sim/network.h"
+
+#include "common/check.h"
+#include "sim/node.h"
+
+namespace orbit::sim {
+
+Network::Attachment Network::Connect(Node* a, Node* b,
+                                     const LinkConfig& config) {
+  auto& ports_a = ports_[a];
+  auto& ports_b = ports_[b];
+  Attachment at;
+  at.port_a = static_cast<int>(ports_a.size());
+  at.port_b = static_cast<int>(ports_b.size());
+  links_.push_back(
+      std::make_unique<Link>(sim_, a, at.port_a, b, at.port_b, config));
+  at.link = links_.back().get();
+  at.link->set_tap(&tap_);
+  ports_a.push_back(PortSlot{at.link, 0});
+  ports_b.push_back(PortSlot{at.link, 1});
+  return at;
+}
+
+void Network::Send(Node* node, int port, PacketPtr pkt, SimTime extra_delay) {
+  auto it = ports_.find(node);
+  ORBIT_CHECK_MSG(it != ports_.end(), "node has no ports: " << node->name());
+  ORBIT_CHECK_MSG(port >= 0 && port < static_cast<int>(it->second.size()),
+                  node->name() << " has no port " << port);
+  const PortSlot& slot = it->second[static_cast<size_t>(port)];
+  slot.link->Send(slot.end, std::move(pkt), extra_delay);
+}
+
+int Network::num_ports(Node* node) const {
+  auto it = ports_.find(node);
+  return it == ports_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+void Network::SetTap(TapFn tap) { tap_ = std::move(tap); }
+
+Link* Network::link_at(Node* node, int port) const {
+  auto it = ports_.find(node);
+  if (it == ports_.end()) return nullptr;
+  if (port < 0 || port >= static_cast<int>(it->second.size())) return nullptr;
+  return it->second[static_cast<size_t>(port)].link;
+}
+
+}  // namespace orbit::sim

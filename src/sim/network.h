@@ -1,0 +1,50 @@
+// Topology wiring: owns links, assigns ports, and gives nodes a uniform
+// "send on my port N" interface.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/link.h"
+
+namespace orbit::sim {
+
+class Network {
+ public:
+  explicit Network(Simulator* sim) : sim_(sim) {}
+
+  struct Attachment {
+    int port_a = -1;  // port index assigned on node a
+    int port_b = -1;  // port index assigned on node b
+    Link* link = nullptr;
+  };
+
+  // Creates a link between a and b, assigning the next free port index on
+  // each side.
+  Attachment Connect(Node* a, Node* b, const LinkConfig& config);
+
+  // Sends `pkt` out of `node`'s port `port`. `extra_delay` models local
+  // processing before the packet reaches the wire.
+  void Send(Node* node, int port, PacketPtr pkt, SimTime extra_delay = 0);
+
+  int num_ports(Node* node) const;
+  Link* link_at(Node* node, int port) const;
+
+  // Installs a fabric-wide packet tap (port mirroring); applies to links
+  // created before and after the call. Pass {} to remove.
+  void SetTap(TapFn tap);
+
+ private:
+  struct PortSlot {
+    Link* link = nullptr;
+    int end = -1;  // which link endpoint this node is
+  };
+
+  Simulator* sim_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<Node*, std::vector<PortSlot>> ports_;
+  TapFn tap_;
+};
+
+}  // namespace orbit::sim

@@ -1,0 +1,20 @@
+// Interface for simulated network elements (hosts, switches).
+#pragma once
+
+#include <string>
+
+#include "sim/packet.h"
+
+namespace orbit::sim {
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  // Delivery of a packet on one of this node's ports. Ownership transfers.
+  virtual void OnPacket(PacketPtr pkt, int port) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace orbit::sim

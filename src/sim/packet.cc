@@ -1,0 +1,18 @@
+#include "sim/packet.h"
+
+namespace orbit::sim {
+
+PacketPtr ClonePacket(const Packet& pkt) { return std::make_unique<Packet>(pkt); }
+
+PacketPtr MakePacket(Addr src, Addr dst, L4Port sport, L4Port dport,
+                     proto::Message msg) {
+  auto p = std::make_unique<Packet>();
+  p->src = src;
+  p->dst = dst;
+  p->sport = sport;
+  p->dport = dport;
+  p->msg = std::move(msg);
+  return p;
+}
+
+}  // namespace orbit::sim

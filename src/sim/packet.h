@@ -1,0 +1,54 @@
+// Simulated packets.
+//
+// A packet carries the parsed OrbitCache message plus the simulated
+// L3/L4 addressing the switch forwards on. Packets are unique-owned and
+// moved through the simulator; cloning (the PRE path) copies the struct
+// while the lazy value payload stays shared — exactly the descriptor-copy
+// semantics the paper attributes to the Tofino packet replication engine.
+#pragma once
+
+#include <memory>
+
+#include "common/types.h"
+#include "proto/message.h"
+
+namespace orbit::sim {
+
+struct Packet {
+  Addr src = kInvalidAddr;
+  Addr dst = kInvalidAddr;
+  L4Port sport = 0;
+  L4Port dport = 0;
+  bool tcp = false;  // top-k reports ride TCP in the paper; modeled as a tag
+
+  proto::Message msg;
+
+  // Stamped by the original sender; clients compute end-to-end latency
+  // from it when the reply returns.
+  SimTime sent_at = 0;
+
+  // Switch-visible per-traversal metadata (reset on each ingress).
+  int ingress_port = -1;
+  bool from_recirc = false;
+  uint32_t recirc_count = 0;
+  // Stamped by the recirculation port; packets from before a reboot
+  // barrier are discarded on delivery (a real ASIC reset loses them).
+  uint32_t recirc_generation = 0;
+
+  uint32_t wire_bytes() const {
+    return proto::kEncapBytes + proto::Message::kHeaderBytes +
+           msg.payload_bytes();
+  }
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+// PRE-style clone: value copy of all fields; the value payload's backing
+// bytes (if materialized) are shared, not duplicated.
+PacketPtr ClonePacket(const Packet& pkt);
+
+// Convenience builder for host code.
+PacketPtr MakePacket(Addr src, Addr dst, L4Port sport, L4Port dport,
+                     proto::Message msg);
+
+}  // namespace orbit::sim

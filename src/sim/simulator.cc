@@ -1,0 +1,46 @@
+#include "sim/simulator.h"
+
+#include "common/check.h"
+#include "sim/node.h"
+
+namespace orbit::sim {
+
+void Simulator::At(SimTime t, std::function<void()> fn) {
+  ORBIT_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < " << now_);
+  queue_.PushCallback(t, std::move(fn));
+}
+
+void Simulator::After(SimTime delay, std::function<void()> fn) {
+  ORBIT_CHECK(delay >= 0);
+  queue_.PushCallback(now_ + delay, std::move(fn));
+}
+
+void Simulator::Deliver(SimTime t, Node* node, int port, PacketPtr pkt) {
+  ORBIT_CHECK(t >= now_);
+  queue_.PushDelivery(t, node, port, std::move(pkt));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  Event e = queue_.Pop();
+  now_ = e.time;
+  ++events_processed_;
+  if (e.node != nullptr) {
+    e.node->OnPacket(std::move(e.pkt), e.port);
+  } else {
+    e.fn();
+  }
+  return true;
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.next_time() <= t) Step();
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::RunToCompletion() {
+  while (Step()) {
+  }
+}
+
+}  // namespace orbit::sim

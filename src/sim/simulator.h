@@ -1,0 +1,39 @@
+// The discrete-event scheduler driving every experiment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace orbit::sim {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute time t (>= now).
+  void At(SimTime t, std::function<void()> fn);
+  // Schedules `fn` after a non-negative delay.
+  void After(SimTime delay, std::function<void()> fn);
+  // Fast-path packet delivery event.
+  void Deliver(SimTime t, Node* node, int port, PacketPtr pkt);
+
+  // Executes the next event; returns false when the queue is empty.
+  bool Step();
+  // Runs events until simulated time reaches `t` (events at exactly t run).
+  void RunUntil(SimTime t);
+  // Runs until the event queue drains.
+  void RunToCompletion();
+
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  SimTime now_ = 0;
+  uint64_t events_processed_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace orbit::sim

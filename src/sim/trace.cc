@@ -1,0 +1,49 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+#include "sim/node.h"
+
+namespace orbit::sim {
+
+std::string FormatPacket(const Packet& pkt, SimTime at) {
+  std::ostringstream os;
+  os << at << "ns " << pkt.src << ">" << pkt.dst << " "
+     << proto::OpName(pkt.msg.op) << " seq=" << pkt.msg.seq;
+  if (!pkt.msg.key.empty()) os << " key=" << pkt.msg.key;
+  if (pkt.msg.value.size() > 0) os << " val=" << pkt.msg.value.size() << "B";
+  if (pkt.msg.cached) os << " [cached]";
+  if (pkt.from_recirc) os << " [recirc x" << pkt.recirc_count << "]";
+  os << " (" << pkt.wire_bytes() << "B wire)";
+  return os.str();
+}
+
+TapFn PacketTrace::AsTap() {
+  return [this](const Packet& pkt, Node* from, Node* to, SimTime at) {
+    ++total_seen_;
+    Entry e;
+    e.at = at;
+    e.from = from != nullptr ? from->name() : "?";
+    e.to = to != nullptr ? to->name() : "?";
+    e.op = pkt.msg.op;
+    e.seq = pkt.msg.seq;
+    e.src = pkt.src;
+    e.dst = pkt.dst;
+    e.wire_bytes = pkt.wire_bytes();
+    e.key = pkt.msg.key;
+    entries_.push_back(std::move(e));
+    if (entries_.size() > max_entries_) entries_.pop_front();
+  };
+}
+
+std::string PacketTrace::Dump() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    os << e.at << "ns " << e.from << "->" << e.to << " " << proto::OpName(e.op)
+       << " seq=" << e.seq << " " << e.src << ">" << e.dst << " key=" << e.key
+       << " (" << e.wire_bytes << "B)\n";
+  }
+  return os.str();
+}
+
+}  // namespace orbit::sim

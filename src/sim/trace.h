@@ -1,0 +1,63 @@
+// Packet tracing.
+//
+// A Network-wide tap observes every packet at the moment it is committed
+// to a link (post loss/drop decisions), like port mirroring on a real
+// fabric. `PacketTrace` is a ready-made tap that records a bounded log and
+// pretty-prints OrbitCache semantics — the tcpdump of this simulator.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+#include "sim/packet.h"
+
+namespace orbit::sim {
+
+class Node;
+
+// from/to identify the link endpoints the packet travels between.
+using TapFn =
+    std::function<void(const Packet& pkt, Node* from, Node* to, SimTime at)>;
+
+// One-line human-readable rendering of a packet in flight.
+std::string FormatPacket(const Packet& pkt, SimTime at);
+
+// Bounded in-memory packet log usable as a Network tap.
+class PacketTrace {
+ public:
+  explicit PacketTrace(size_t max_entries = 4096) : max_entries_(max_entries) {}
+
+  struct Entry {
+    SimTime at = 0;
+    std::string from;
+    std::string to;
+    proto::Op op = proto::Op::kReadReq;
+    uint32_t seq = 0;
+    Addr src = 0;
+    Addr dst = 0;
+    uint32_t wire_bytes = 0;
+    Key key;
+  };
+
+  // Binds this trace to a Network: net.SetTap(trace.AsTap());
+  TapFn AsTap();
+
+  const std::deque<Entry>& entries() const { return entries_; }
+  uint64_t total_seen() const { return total_seen_; }
+  void Clear() {
+    entries_.clear();
+    total_seen_ = 0;
+  }
+
+  // All recorded lines, newest last.
+  std::string Dump() const;
+
+ private:
+  size_t max_entries_;
+  std::deque<Entry> entries_;
+  uint64_t total_seen_ = 0;
+};
+
+}  // namespace orbit::sim

@@ -1,0 +1,91 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace orbit::stats {
+
+Histogram::Histogram() : buckets_(static_cast<size_t>(kGroups) * kSubCount, 0) {}
+
+int Histogram::BucketFor(int64_t v) {
+  if (v < 0) v = 0;
+  const uint64_t u = static_cast<uint64_t>(v);
+  if (u < kSubCount) return static_cast<int>(u);
+  const int group = std::bit_width(u) - kSubBits;  // >= 1
+  const int sub = static_cast<int>(u >> group) - kSubCount / 2;
+  // Groups >= 1 use only the upper half of their sub-range (values with the
+  // top bit of the sub-index set), so fold into 32-wide rows after row 0.
+  return kSubCount + (group - 1) * (kSubCount / 2) + sub;
+}
+
+int64_t Histogram::BucketMid(int bucket) {
+  if (bucket < kSubCount) return bucket;
+  const int rel = bucket - kSubCount;
+  const int group = rel / (kSubCount / 2) + 1;
+  const int sub = rel % (kSubCount / 2) + kSubCount / 2;
+  const int64_t lo = static_cast<int64_t>(sub) << group;
+  const int64_t width = int64_t{1} << group;
+  return lo + width / 2;
+}
+
+void Histogram::Record(int64_t value) {
+  const int b = BucketFor(value);
+  ORBIT_CHECK_MSG(b >= 0 && b < static_cast<int>(buckets_.size()),
+                  "histogram bucket out of range for value " << value);
+  ++buckets_[static_cast<size_t>(b)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  ORBIT_CHECK(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+int64_t Histogram::min() const { return min_; }
+int64_t Histogram::max() const { return max_; }
+
+int64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::clamp(BucketMid(static_cast<int>(i)), min_, max_);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "p50=" << Percentile(0.5) / 1000.0 << "us p99=" << Percentile(0.99) / 1000.0
+     << "us mean=" << mean() / 1000.0 << "us n=" << count_;
+  return os.str();
+}
+
+}  // namespace orbit::stats

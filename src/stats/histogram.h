@@ -1,0 +1,49 @@
+// Log-linear latency histogram (HdrHistogram-style).
+//
+// Values bucket into 64 linear sub-buckets per power-of-two group, giving
+// ≤1.6% relative quantile error over the full nanosecond→second range with
+// a few KB of memory, so recording is cheap enough for millions of samples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orbit::stats {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const;
+  double mean() const { return count_ == 0 ? 0 : static_cast<double>(sum_) / count_; }
+  // q in [0, 1]; returns the representative value of the quantile bucket.
+  int64_t Percentile(double q) const;
+  int64_t Median() const { return Percentile(0.50); }
+  int64_t P99() const { return Percentile(0.99); }
+
+  // "p50=12.3us p99=45.6us n=123456"
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBits = 6;          // 64 sub-buckets per group
+  static constexpr int kSubCount = 1 << kSubBits;
+  static constexpr int kGroups = 64 - kSubBits;
+
+  static int BucketFor(int64_t v);
+  static int64_t BucketMid(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace orbit::stats

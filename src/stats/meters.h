@@ -1,0 +1,58 @@
+// Throughput and load accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace orbit::stats {
+
+// Counts events over an explicit measurement window; the testbed opens the
+// window after warmup.
+class ThroughputMeter {
+ public:
+  void Open(SimTime at) {
+    window_start_ = at;
+    count_ = 0;
+    open_ = true;
+  }
+  void Close(SimTime at) {
+    window_end_ = at;
+    open_ = false;
+  }
+  void Add(uint64_t n = 1) {
+    if (open_) count_ += n;
+  }
+
+  uint64_t count() const { return count_; }
+  // Events per second over the (closed) window.
+  double RatePerSec() const;
+
+ private:
+  SimTime window_start_ = 0;
+  SimTime window_end_ = 0;
+  uint64_t count_ = 0;
+  bool open_ = false;
+};
+
+// Per-server request counts; balancing efficiency is the paper's Fig. 13(b)
+// metric: min server throughput / max server throughput.
+class LoadTracker {
+ public:
+  explicit LoadTracker(size_t num_servers) : counts_(num_servers, 0) {}
+
+  void Add(size_t server, uint64_t n = 1) { counts_.at(server) += n; }
+  void Reset() { counts_.assign(counts_.size(), 0); }
+
+  const std::vector<uint64_t>& counts() const { return counts_; }
+  uint64_t total() const;
+  uint64_t max_load() const;
+  uint64_t min_load() const;
+  double BalancingEfficiency() const;
+
+ private:
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace orbit::stats

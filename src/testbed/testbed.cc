@@ -1,0 +1,512 @@
+#include "testbed/testbed.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/client.h"
+#include "apps/server.h"
+#include "common/check.h"
+#include "kv/partition.h"
+#include "netcache/controller.h"
+#include "netcache/program.h"
+#include "nocache/program.h"
+#include "orbitcache/controller.h"
+#include "orbitcache/program.h"
+#include "rmt/switch.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "stats/meters.h"
+#include "workload/dynamic.h"
+#include "workload/keyspace.h"
+#include "workload/zipf.h"
+
+namespace orbit::testbed {
+
+namespace {
+
+constexpr L4Port kOrbitPort = 5008;
+constexpr L4Port kCtrlPort = 7000;
+constexpr Addr kClientBase = 1000;
+constexpr Addr kServerBase = 2000;
+constexpr Addr kControllerAddr = 3000;
+
+// Precomputed hot-rank entries: Zipfian traffic concentrates on the first
+// few thousand ranks, so memoizing them removes key formatting and hashing
+// from the request hot path.
+constexpr uint64_t kMemoRanks = 4096;
+
+class ZipfWorkload : public app::WorkloadSource {
+ public:
+  ZipfWorkload(const TestbedConfig& config,
+               std::function<uint32_t(const Key&)> size_fn,
+               std::shared_ptr<wl::DynamicPopularity> dynamic)
+      : keyspace_(config.num_keys, config.key_size, config.seed),
+        zipf_(config.num_keys, config.zipf_theta),
+        partitioner_(static_cast<uint32_t>(config.num_servers), config.seed),
+        size_fn_(std::move(size_fn)),
+        dynamic_(std::move(dynamic)),
+        write_ratio_(config.twitter != nullptr ? config.twitter->write_ratio
+                                               : config.write_ratio) {
+    const uint64_t memo = std::min<uint64_t>(kMemoRanks, config.num_keys);
+    memo_.reserve(memo);
+    for (uint64_t r = 0; r < memo; ++r) memo_.push_back(BuildEntry(r));
+  }
+
+  Request Next(Rng& rng) override {
+    uint64_t rank = zipf_.Sample(rng);
+    if (dynamic_ != nullptr) rank = dynamic_->Remap(rank);
+    Request req =
+        rank < memo_.size() ? memo_[rank] : BuildEntry(rank);
+    req.is_write = write_ratio_ > 0 && rng.Bernoulli(write_ratio_);
+    return req;
+  }
+
+  const wl::KeySpace& keyspace() const { return keyspace_; }
+  const kv::Partitioner& partitioner() const { return partitioner_; }
+
+ private:
+  Request BuildEntry(uint64_t rank) const {
+    Request req;
+    req.key = keyspace_.KeyAtRank(rank);
+    req.hkey = HashKey128(req.key);
+    req.server = kServerBase + partitioner_.ServerFor(req.key);
+    req.value_size = size_fn_(req.key);
+    return req;
+  }
+
+  wl::KeySpace keyspace_;
+  wl::ZipfGenerator zipf_;
+  kv::Partitioner partitioner_;
+  std::function<uint32_t(const Key&)> size_fn_;
+  std::shared_ptr<wl::DynamicPopularity> dynamic_;
+  double write_ratio_;
+  std::vector<Request> memo_;
+};
+
+}  // namespace
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNoCache: return "NoCache";
+    case Scheme::kNetCache: return "NetCache";
+    case Scheme::kOrbitCache: return "OrbitCache";
+  }
+  return "?";
+}
+
+std::function<uint32_t(const Key&)> MakeValueSizeFn(
+    const TestbedConfig& config) {
+  if (config.twitter == nullptr) {
+    return [dist = config.value_dist](const Key& key) {
+      return dist.SizeFor(key);
+    };
+  }
+  // Fig.-14 mode: the profile's cacheability coin decides which keys
+  // NetCache can hold (they get 64B values); the remaining keys are sized
+  // so the overall small-value fraction still matches the profile.
+  const wl::TwitterProfile profile = *config.twitter;
+  double small_given_uncacheable = 0.0;
+  if (profile.cacheable_ratio < 1.0) {
+    small_given_uncacheable = (profile.p_small - profile.cacheable_ratio) /
+                              (1.0 - profile.cacheable_ratio);
+    small_given_uncacheable = std::clamp(small_given_uncacheable, 0.0, 1.0);
+  }
+  const uint64_t seed = config.seed;
+  return [profile, small_given_uncacheable, seed](const Key& key) -> uint32_t {
+    if (wl::NetCacheCacheable(profile, key, seed)) return 64;
+    const uint64_t h = Hash64(key, seed ^ 0x74777369ull);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < small_given_uncacheable ? 64u : 1024u;
+  };
+}
+
+bool NetCacheCanCache(const TestbedConfig& config, const Key& key) {
+  if (key.size() > 16) return false;
+  if (config.twitter != nullptr)
+    return wl::NetCacheCacheable(*config.twitter, key, config.seed);
+  const uint32_t limit = config.netcache_recirc_read ? 1024 : 64;
+  return MakeValueSizeFn(config)(key) <= limit;
+}
+
+TestbedResult RunTestbed(const TestbedConfig& config) {
+  ORBIT_CHECK(config.num_clients > 0 && config.num_servers > 0);
+  ORBIT_CHECK(config.duration > 0);
+
+  sim::Simulator sim;
+  sim::Network net(&sim);
+
+  rmt::SwitchDevice sw(&sim, &net, "tor", config.asic);
+
+  auto size_fn = MakeValueSizeFn(config);
+  std::shared_ptr<wl::DynamicPopularity> dynamic;
+  if (config.hot_in) {
+    dynamic = std::make_shared<wl::DynamicPopularity>(config.num_keys,
+                                                      config.hot_in_count);
+  }
+  auto workload = std::make_shared<ZipfWorkload>(config, size_fn, dynamic);
+
+  // ---- programs -----------------------------------------------------------
+  std::unique_ptr<oc::OrbitProgram> orbit;
+  std::unique_ptr<nc::NetProgram> netp;
+  std::unique_ptr<nocache::ForwardProgram> fwd;
+  switch (config.scheme) {
+    case Scheme::kOrbitCache: {
+      oc::OrbitConfig oc_cfg;
+      oc_cfg.capacity = config.orbit_capacity;
+      oc_cfg.queue_size = config.orbit_queue_size;
+      oc_cfg.orbit_port = kOrbitPort;
+      oc_cfg.epoch_guard = config.epoch_guard;
+      oc_cfg.enable_cloning = config.enable_cloning;
+      oc_cfg.write_back = config.write_back;
+      oc_cfg.multi_packet = config.multi_packet;
+      orbit = std::make_unique<oc::OrbitProgram>(&sw, oc_cfg);
+      sw.SetProgram(orbit.get());
+      break;
+    }
+    case Scheme::kNetCache: {
+      nc::NetConfig nc_cfg;
+      nc_cfg.capacity = config.netcache_size;
+      nc_cfg.orbit_port = kOrbitPort;
+      nc_cfg.recirc_read_mode = config.netcache_recirc_read;
+      if (!config.run_cache_updates)
+        nc_cfg.hot_threshold = UINT64_MAX;  // static cache: never report
+      netp = std::make_unique<nc::NetProgram>(&sw, nc_cfg);
+      sw.SetProgram(netp.get());
+      break;
+    }
+    case Scheme::kNoCache:
+      fwd = std::make_unique<nocache::ForwardProgram>();
+      sw.SetProgram(fwd.get());
+      break;
+  }
+
+  // ---- servers ------------------------------------------------------------
+  const bool servers_report =
+      config.scheme == Scheme::kOrbitCache && config.run_cache_updates;
+  std::vector<std::unique_ptr<app::ServerNode>> servers;
+  std::vector<Addr> server_addrs;
+  servers.reserve(static_cast<size_t>(config.num_servers));
+  for (int i = 0; i < config.num_servers; ++i) {
+    app::ServerConfig scfg;
+    scfg.addr = kServerBase + static_cast<Addr>(i);
+    scfg.srv_id = static_cast<uint8_t>(i);
+    scfg.orbit_port = kOrbitPort;
+    scfg.service_rate_rps = config.server_rate_rps;
+    scfg.multi_packet = config.multi_packet;
+    scfg.controller_addr = servers_report ? kControllerAddr : kInvalidAddr;
+    scfg.ctrl_port = kCtrlPort;
+    scfg.report_period = config.report_period;
+    server_addrs.push_back(scfg.addr);
+    // Port wiring happens below; the node needs its own port index first.
+    servers.push_back(nullptr);
+    sim::LinkConfig lc;
+    lc.rate_gbps = config.server_link_gbps;
+    lc.propagation = config.link_delay;
+    auto node = std::make_unique<app::ServerNode>(&sim, &net, /*port=*/0,
+                                                  scfg, size_fn);
+    auto at = net.Connect(node.get(), &sw, lc);
+    ORBIT_CHECK(at.port_a == 0);
+    sw.AddRoute(scfg.addr, at.port_b);
+    servers[static_cast<size_t>(i)] = std::move(node);
+    // Servers are clone targets too: write-back snapshot flushes fork a
+    // cache packet toward the owning server.
+    if (orbit != nullptr) orbit->RegisterCloneTarget(scfg.addr, at.port_b);
+  }
+
+  // ---- clients ------------------------------------------------------------
+  std::vector<std::unique_ptr<app::ClientNode>> clients;
+  clients.reserve(static_cast<size_t>(config.num_clients));
+  for (int i = 0; i < config.num_clients; ++i) {
+    app::ClientConfig ccfg;
+    ccfg.addr = kClientBase + static_cast<Addr>(i);
+    ccfg.orbit_port = kOrbitPort;
+    ccfg.src_port = static_cast<L4Port>(9000 + i);
+    ccfg.rate_rps = config.client_rate_rps / config.num_clients;
+    ccfg.seed = config.seed * 7919 + static_cast<uint64_t>(i);
+    auto node = std::make_unique<app::ClientNode>(&sim, &net, /*port=*/0,
+                                                  ccfg, workload);
+    sim::LinkConfig lc;
+    lc.rate_gbps = config.client_link_gbps;
+    lc.propagation = config.link_delay;
+    auto at = net.Connect(node.get(), &sw, lc);
+    ORBIT_CHECK(at.port_a == 0);
+    sw.AddRoute(ccfg.addr, at.port_b);
+    if (orbit != nullptr) orbit->RegisterCloneTarget(ccfg.addr, at.port_b);
+    clients.push_back(std::move(node));
+  }
+
+  // ---- controller ---------------------------------------------------------
+  kv::Partitioner partitioner(static_cast<uint32_t>(config.num_servers),
+                              config.seed);
+  std::unique_ptr<oc::Controller> orbit_ctrl;
+  std::unique_ptr<nc::NetController> net_ctrl;
+  if (config.scheme != Scheme::kNoCache) {
+    sim::Node* ctrl_node = nullptr;
+    sim::LinkConfig lc;
+    lc.rate_gbps = 10.0;
+    lc.propagation = config.link_delay;
+    if (config.scheme == Scheme::kOrbitCache) {
+      oc::ControllerConfig ccfg;
+      ccfg.cache_size = config.orbit_cache_size;
+      ccfg.max_cache_size = config.orbit_capacity;
+      ccfg.min_cache_size = std::min<size_t>(32, config.orbit_cache_size);
+      ccfg.dynamic_sizing = config.dynamic_sizing;
+      ccfg.update_period = config.update_period;
+      ccfg.orbit_port = kOrbitPort;
+      ccfg.ctrl_port = kCtrlPort;
+      orbit_ctrl = std::make_unique<oc::Controller>(
+          &sim, &net, orbit.get(), &partitioner, server_addrs,
+          kControllerAddr, /*self_port=*/0, ccfg);
+      ctrl_node = orbit_ctrl.get();
+    } else {
+      nc::NetControllerConfig ccfg;
+      ccfg.cache_size = config.netcache_size;
+      ccfg.update_period = config.update_period;
+      ccfg.orbit_port = kOrbitPort;
+      net_ctrl = std::make_unique<nc::NetController>(
+          &sim, &net, netp.get(), &partitioner, server_addrs,
+          kControllerAddr, /*self_port=*/0, ccfg);
+      ctrl_node = net_ctrl.get();
+    }
+    auto at = net.Connect(ctrl_node, &sw, lc);
+    ORBIT_CHECK(at.port_a == 0);
+    sw.AddRoute(kControllerAddr, at.port_b);
+    if (orbit != nullptr) {
+      orbit->RegisterCloneTarget(kControllerAddr, at.port_b);
+      orbit->SetRefetchFn([ctrl = orbit_ctrl.get()](const Key& key,
+                                                    const Hash128& hkey,
+                                                    Addr server) {
+        ctrl->RequestRefetch(key, hkey, server);
+      });
+    }
+  }
+
+  // ---- preload ------------------------------------------------------------
+  if (config.preload && config.scheme == Scheme::kOrbitCache) {
+    std::vector<Key> keys;
+    keys.reserve(config.orbit_cache_size);
+    for (uint64_t r = 0; r < config.orbit_cache_size && r < config.num_keys;
+         ++r)
+      keys.push_back(workload->keyspace().KeyAtRank(r));
+    orbit_ctrl->Preload(keys);
+  }
+  if (config.preload && config.scheme == Scheme::kNetCache) {
+    // The paper preloads the cacheable subset of the 10K hottest items.
+    std::vector<Key> keys;
+    keys.reserve(config.netcache_size);
+    for (uint64_t r = 0; r < config.netcache_size && r < config.num_keys;
+         ++r) {
+      Key key = workload->keyspace().KeyAtRank(r);
+      if (NetCacheCanCache(config, key)) keys.push_back(std::move(key));
+    }
+    net_ctrl->Preload(keys);
+  }
+
+  // ---- timers & measurement ----------------------------------------------
+  for (auto& s : servers) s->Start();
+  for (auto& c : clients) c->Start();
+  if (orbit_ctrl != nullptr) orbit_ctrl->Start();
+  if (net_ctrl != nullptr) net_ctrl->Start();
+
+  stats::TimeSeries throughput_timeline(
+      config.timeline_bin > 0 ? config.timeline_bin : kSecond);
+  stats::TimeSeries overflow_hits_timeline(
+      config.timeline_bin > 0 ? config.timeline_bin : kSecond);
+  stats::TimeSeries overflow_ovf_timeline(
+      config.timeline_bin > 0 ? config.timeline_bin : kSecond);
+  if (config.timeline_bin > 0) {
+    for (auto& c : clients) c->AttachTimeline(&throughput_timeline);
+    if (orbit != nullptr) {
+      // Sample hit/overflow deltas each bin for the overflow-ratio series.
+      // "Overflow" here matches the paper's Fig. 18 notion: requests for
+      // cached keys that had to go to a server — queue overflows plus
+      // reads arriving while the entry's fetch is still pending (invalid).
+      auto sampler = std::make_shared<std::function<void()>>();
+      auto last_hits = std::make_shared<uint64_t>(0);
+      auto last_ovf = std::make_shared<uint64_t>(0);
+      *sampler = [&, sampler, last_hits, last_ovf] {
+        const auto& s = orbit->stats();
+        const uint64_t ovf = s.overflow_to_server + s.invalid_to_server;
+        overflow_hits_timeline.Add(sim.now() - 1,
+                                   static_cast<double>(s.read_hits - *last_hits));
+        overflow_ovf_timeline.Add(sim.now() - 1,
+                                  static_cast<double>(ovf - *last_ovf));
+        *last_hits = s.read_hits;
+        *last_ovf = ovf;
+        sim.After(config.timeline_bin, *sampler);
+      };
+      sim.After(config.timeline_bin, *sampler);
+    }
+  }
+
+  if (config.hot_in) {
+    auto swapper = std::make_shared<std::function<void()>>();
+    *swapper = [&, swapper] {
+      dynamic->Advance();
+      sim.After(config.hot_in_period, *swapper);
+    };
+    sim.After(config.hot_in_period, *swapper);
+  }
+
+  // Warmup, then snapshot counters and open measurement windows.
+  struct Snapshot {
+    oc::OrbitProgram::Stats oc;
+    nc::NetProgram::Stats nc;
+    std::vector<app::ServerNode::Stats> servers;
+    uint64_t client_tx = 0;
+    uint64_t recirc_drops = 0;
+  };
+  Snapshot snap;
+  sim.RunUntil(config.warmup);
+  if (orbit != nullptr) snap.oc = orbit->stats();
+  if (netp != nullptr) snap.nc = netp->stats();
+  for (auto& s : servers) snap.servers.push_back(s->stats());
+  for (auto& c : clients) {
+    snap.client_tx += c->stats().tx_requests;
+    c->OpenWindow(sim.now());
+  }
+  snap.recirc_drops = sw.stats().recirc_drops;
+
+  const SimTime end = config.warmup + config.duration;
+  sim.RunUntil(end);
+  for (auto& c : clients) c->CloseWindow(sim.now());
+
+  // ---- collect ------------------------------------------------------------
+  TestbedResult res;
+  const double secs =
+      static_cast<double>(config.duration) / static_cast<double>(kSecond);
+
+  uint64_t rx = 0;
+  uint64_t tx = 0;
+  for (auto& c : clients) {
+    rx += c->rx_meter().count();
+    tx += c->stats().tx_requests;
+    res.read_cached_latency.Merge(c->cached_read_latency());
+    res.read_server_latency.Merge(c->server_read_latency());
+    res.write_latency.Merge(c->write_latency());
+    res.switch_resident.Merge(c->switch_resident());
+    res.collisions += c->stats().collisions;
+    res.stale_reads += c->stats().stale_reads;
+    res.timeouts += c->stats().timeouts;
+  }
+  res.rx_rps = static_cast<double>(rx) / secs;
+  res.tx_rps = static_cast<double>(tx - snap.client_tx) / secs;
+
+  stats::LoadTracker loads(static_cast<size_t>(config.num_servers));
+  for (size_t i = 0; i < servers.size(); ++i) {
+    const auto& s1 = servers[i]->stats();
+    const auto& s0 = snap.servers[i];
+    loads.Add(i, s1.requests - s0.requests);
+    res.server_drops += s1.dropped - s0.dropped;
+  }
+  res.server_loads = loads.counts();
+  res.balancing_efficiency = loads.BalancingEfficiency();
+  res.server_served_rps = static_cast<double>(loads.total()) / secs;
+
+  if (orbit != nullptr) {
+    const auto& s1 = orbit->stats();
+    res.lookup_hits = s1.read_hits - snap.oc.read_hits;
+    res.absorbed = s1.absorbed - snap.oc.absorbed;
+    res.overflows = s1.overflow_to_server - snap.oc.overflow_to_server;
+    res.cache_served_rps =
+        static_cast<double>(s1.served_by_cache - snap.oc.served_by_cache +
+                            s1.wb_returned_replies -
+                            snap.oc.wb_returned_replies) /
+        secs;
+    res.overflow_ratio =
+        res.lookup_hits > 0
+            ? static_cast<double>(res.overflows) /
+                  static_cast<double>(res.lookup_hits)
+            : 0.0;
+    res.cache_entries = orbit->num_entries();
+    res.cache_packets_in_flight =
+        static_cast<uint64_t>(std::max<int64_t>(0, sw.stats().recirc_in_flight));
+    res.cp_drop_evicted = s1.cp_drop_evicted;
+    res.cp_drop_invalid = s1.cp_drop_invalid;
+    res.cp_drop_epoch = s1.cp_drop_epoch;
+    res.validations = s1.validations;
+  }
+  if (netp != nullptr) {
+    const auto& s1 = netp->stats();
+    res.lookup_hits = s1.read_hits - snap.nc.read_hits;
+    res.cache_served_rps =
+        static_cast<double>(s1.served_by_cache - snap.nc.served_by_cache) /
+        secs;
+    res.cache_entries = netp->num_entries();
+  }
+  if (orbit_ctrl != nullptr)
+    res.controller_cache_size = orbit_ctrl->current_cache_size();
+  res.recirc_drops = sw.stats().recirc_drops - snap.recirc_drops;
+  res.resource_report = sw.resources().Report();
+  res.events_processed = sim.events_processed();
+
+  if (config.timeline_bin > 0) {
+    res.throughput_timeline = throughput_timeline.bins();
+    for (double& v : res.throughput_timeline)
+      v = v * static_cast<double>(kSecond) /
+          static_cast<double>(config.timeline_bin);
+    const size_t n = std::max(overflow_hits_timeline.num_bins(),
+                              overflow_ovf_timeline.num_bins());
+    res.overflow_ratio_timeline.resize(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double hits = i < overflow_hits_timeline.num_bins()
+                              ? overflow_hits_timeline.bin(i)
+                              : 0;
+      const double ovf = i < overflow_ovf_timeline.num_bins()
+                             ? overflow_ovf_timeline.bin(i)
+                             : 0;
+      res.overflow_ratio_timeline[i] = hits > 0 ? ovf / hits : 0.0;
+    }
+  }
+
+  // Stop traffic so queued callbacks don't fire into destroyed nodes (the
+  // simulator is destroyed with everything else at scope exit anyway).
+  for (auto& c : clients) c->Stop();
+  return res;
+}
+
+SaturationResult FindSaturation(TestbedConfig config, double loss_tolerance,
+                                int max_corrections) {
+  SaturationResult out;
+
+  // Probe well below aggregate capacity so per-server shares are measured
+  // in the linear (no-drop) regime.
+  const double aggregate =
+      config.server_rate_rps > 0
+          ? config.server_rate_rps * config.num_servers
+          : 1e7;
+  TestbedConfig probe = config;
+  probe.client_rate_rps = 0.25 * aggregate;
+  probe.duration = std::max<SimTime>(50 * kMillisecond, config.duration / 2);
+  TestbedResult probe_res = RunTestbed(probe);
+  ++out.runs;
+
+  const uint64_t max_load = *std::max_element(probe_res.server_loads.begin(),
+                                              probe_res.server_loads.end());
+  const double probe_secs = static_cast<double>(probe.duration) /
+                            static_cast<double>(kSecond);
+  const double max_load_rps = static_cast<double>(max_load) / probe_secs;
+  // Loads scale linearly with Tx below saturation, so the hottest server
+  // hits its service rate at:
+  double tx = max_load_rps > 0 ? config.server_rate_rps * probe_res.tx_rps /
+                                     max_load_rps
+                               : probe.client_rate_rps;
+
+  for (int i = 0;; ++i) {
+    TestbedConfig attempt = config;
+    attempt.client_rate_rps = tx;
+    out.result = RunTestbed(attempt);
+    ++out.runs;
+    out.sat_tx_rps = tx;
+    const double loss =
+        out.result.tx_rps > 0
+            ? 1.0 - out.result.rx_rps / out.result.tx_rps
+            : 0.0;
+    if (loss <= loss_tolerance || i >= max_corrections) break;
+    // Back off proportionally to the measured goodput.
+    tx *= std::max(0.5, out.result.rx_rps / out.result.tx_rps) * 0.98;
+  }
+  return out;
+}
+
+}  // namespace orbit::testbed

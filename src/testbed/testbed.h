@@ -1,0 +1,164 @@
+// Experiment assembly mirroring the paper's testbed (§5.1): client nodes
+// and rate-limited emulated storage servers around one programmable ToR
+// switch running NoCache, NetCache, or OrbitCache, driven by a skewed
+// key-value workload. One call builds the topology, preloads the cache,
+// warms up, measures, and returns every quantity the evaluation figures
+// plot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "rmt/resources.h"
+#include "stats/histogram.h"
+#include "stats/time_series.h"
+#include "workload/twitter.h"
+#include "workload/value_dist.h"
+
+namespace orbit::testbed {
+
+enum class Scheme { kNoCache, kNetCache, kOrbitCache };
+const char* SchemeName(Scheme scheme);
+
+struct TestbedConfig {
+  Scheme scheme = Scheme::kOrbitCache;
+
+  // Topology (§5.1: 4 client nodes, 4 storage nodes emulating 8 servers
+  // each; we attach every emulated server through its own switch port).
+  int num_clients = 4;
+  int num_servers = 32;
+  double server_rate_rps = 100'000;  // per emulated server; 0 = unlimited
+  double client_rate_rps = 6'000'000;  // aggregate open-loop Tx
+
+  // Workload.
+  uint64_t num_keys = 10'000'000;
+  uint32_t key_size = 16;
+  double zipf_theta = 0.99;  // 0 = uniform
+  wl::ValueDist value_dist = wl::ValueDist::PaperDefault();
+  double write_ratio = 0.0;
+  // Optional Fig.-14 production profile; overrides value sizing with the
+  // profile's cacheability/size model and sets the write ratio.
+  const wl::TwitterProfile* twitter = nullptr;
+
+  // Cache configuration.
+  bool preload = true;
+  size_t orbit_cache_size = 128;   // preloaded hottest items (§5.1)
+  size_t orbit_capacity = 1024;    // data-plane array capacity
+  size_t orbit_queue_size = 8;     // request-table depth S
+  size_t netcache_size = 10'000;   // preloaded hottest items for NetCache
+  // §2.2 strawman: NetCache reads values up to 1024B by recirculating the
+  // request once per 64B slice (rationale bench).
+  bool netcache_recirc_read = false;
+
+  // OrbitCache options / extensions.
+  bool epoch_guard = true;
+  bool enable_cloning = true;
+  bool write_back = false;
+  bool multi_packet = false;
+  bool dynamic_sizing = false;
+
+  // Control plane cadence. When run_cache_updates is false the preloaded
+  // cache stays fixed (the paper's static experiments).
+  bool run_cache_updates = false;
+  SimTime update_period = 100 * kMillisecond;
+  SimTime report_period = 100 * kMillisecond;
+
+  // Dynamic workload (Fig. 18's hot-in pattern).
+  bool hot_in = false;
+  SimTime hot_in_period = 10 * kSecond;
+  uint64_t hot_in_count = 128;
+
+  // Timing.
+  SimTime warmup = 100 * kMillisecond;
+  SimTime duration = 400 * kMillisecond;
+  uint64_t seed = 42;
+
+  // Timeline sampling (0 disables; Fig. 18 uses 1s bins).
+  SimTime timeline_bin = 0;
+
+  // Fabric parameters.
+  rmt::AsicConfig asic;
+  double client_link_gbps = 100.0;
+  double server_link_gbps = 25.0;
+  SimTime link_delay = 500;  // ns one way
+};
+
+struct TestbedResult {
+  // Throughput (measured over the window, replies at clients).
+  double rx_rps = 0;
+  double tx_rps = 0;
+  double cache_served_rps = 0;   // served by the switch
+  double server_served_rps = 0;
+
+  // Load balance.
+  std::vector<uint64_t> server_loads;  // per emulated server, in window
+  double balancing_efficiency = 0;     // min/max server throughput
+
+  // Latency (merged across clients, window only).
+  stats::Histogram read_cached_latency;
+  stats::Histogram read_server_latency;
+  stats::Histogram write_latency;
+  stats::Histogram switch_resident;  // header Latency field (cached reads)
+
+  // Cache behaviour within the window.
+  uint64_t lookup_hits = 0;
+  uint64_t absorbed = 0;
+  uint64_t overflows = 0;
+  double overflow_ratio = 0;  // overflow / lookup hits
+  uint64_t recirc_drops = 0;
+  uint64_t cache_packets_in_flight = 0;  // gauge at end
+  // Cache-packet retirement reasons (whole run; OrbitCache only).
+  uint64_t cp_drop_evicted = 0;
+  uint64_t cp_drop_invalid = 0;
+  uint64_t cp_drop_epoch = 0;
+  uint64_t validations = 0;
+
+  // Client-side protocol events (whole run).
+  uint64_t collisions = 0;
+  uint64_t stale_reads = 0;
+  uint64_t timeouts = 0;
+  uint64_t server_drops = 0;
+
+  // Cache state at the end.
+  size_t cache_entries = 0;
+  size_t controller_cache_size = 0;  // dynamic-sizing outcome
+
+  // Timelines (empty when timeline_bin == 0).
+  std::vector<double> throughput_timeline;      // replies/s per bin
+  std::vector<double> overflow_ratio_timeline;  // per bin
+
+  std::string resource_report;
+  uint64_t events_processed = 0;
+};
+
+TestbedResult RunTestbed(const TestbedConfig& config);
+
+// The paper's throughput metric is *saturated* throughput: the highest
+// offered load the system sustains while still answering (nearly) every
+// request — under skew the hottest storage server is the binding
+// constraint. This helper probes at a low rate, predicts the saturating Tx
+// from the measured per-server load shares (loads scale linearly below
+// saturation), then verifies and corrects with full runs until the loss
+// rate is within tolerance.
+struct SaturationResult {
+  TestbedResult result;   // measurement at the saturating load
+  double sat_tx_rps = 0;  // offered load used
+  int runs = 0;           // total testbed executions
+};
+SaturationResult FindSaturation(TestbedConfig config,
+                                double loss_tolerance = 0.03,
+                                int max_corrections = 2);
+
+// The per-key value-size function a config implies (shared by servers,
+// clients, preload filtering, and tests).
+std::function<uint32_t(const Key&)> MakeValueSizeFn(const TestbedConfig& config);
+
+// Whether NetCache can cache this key under `config` (key width, value
+// size, and — in twitter mode — the profile's cacheability coin).
+bool NetCacheCanCache(const TestbedConfig& config, const Key& key);
+
+}  // namespace orbit::testbed

@@ -1,0 +1,38 @@
+#include "workload/count_min.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace orbit::wl {
+
+CountMin::CountMin(uint32_t rows, uint32_t width, uint64_t seed)
+    : rows_(rows), width_(width), seed_(seed) {
+  ORBIT_CHECK(rows > 0 && width > 0);
+  cells_.assign(static_cast<size_t>(rows) * width, 0);
+}
+
+void CountMin::Update(std::string_view key, uint64_t count) {
+  total_ += count;
+  for (uint32_t r = 0; r < rows_; ++r) {
+    const uint64_t h = Hash64(key, seed_ + r * 0x100000001b3ull + 1);
+    cells_[static_cast<size_t>(r) * width_ + h % width_] += count;
+  }
+}
+
+uint64_t CountMin::Estimate(std::string_view key) const {
+  uint64_t best = UINT64_MAX;
+  for (uint32_t r = 0; r < rows_; ++r) {
+    const uint64_t h = Hash64(key, seed_ + r * 0x100000001b3ull + 1);
+    best = std::min(best, cells_[static_cast<size_t>(r) * width_ + h % width_]);
+  }
+  return best;
+}
+
+void CountMin::Reset() {
+  std::fill(cells_.begin(), cells_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace orbit::wl

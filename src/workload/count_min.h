@@ -1,0 +1,35 @@
+// Count-min sketch.
+//
+// The paper's storage servers track key popularity with a count-min sketch
+// of five hash functions (§3.8); NetCache's data plane uses the same
+// structure for hot-uncached-key detection. Estimates never undercount;
+// the property tests verify the classic (epsilon, delta) error bound.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace orbit::wl {
+
+class CountMin {
+ public:
+  CountMin(uint32_t rows, uint32_t width, uint64_t seed = 0);
+
+  void Update(std::string_view key, uint64_t count = 1);
+  uint64_t Estimate(std::string_view key) const;
+  void Reset();
+
+  uint32_t rows() const { return rows_; }
+  uint32_t width() const { return width_; }
+  uint64_t total_updates() const { return total_; }
+
+ private:
+  uint32_t rows_;
+  uint32_t width_;
+  uint64_t seed_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> cells_;  // rows_ x width_, row-major
+};
+
+}  // namespace orbit::wl

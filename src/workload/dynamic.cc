@@ -1,0 +1,22 @@
+#include "workload/dynamic.h"
+
+#include "common/check.h"
+
+namespace orbit::wl {
+
+DynamicPopularity::DynamicPopularity(uint64_t num_keys, uint64_t hot_count)
+    : num_keys_(num_keys), hot_count_(hot_count) {
+  ORBIT_CHECK_MSG(hot_count * 2 <= num_keys,
+                  "hot set must not overlap the cold set");
+}
+
+uint64_t DynamicPopularity::Remap(uint64_t rank) const {
+  ORBIT_CHECK(rank < num_keys_);
+  if (epoch_ % 2 == 0) return rank;
+  if (rank < hot_count_) return num_keys_ - hot_count_ + rank;
+  if (rank >= num_keys_ - hot_count_)
+    return rank - (num_keys_ - hot_count_);
+  return rank;
+}
+
+}  // namespace orbit::wl

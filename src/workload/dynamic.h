@@ -1,0 +1,30 @@
+// Dynamic key popularity (the Fig. 18 "hot-in" pattern).
+//
+// Every period the popularity of the h hottest and h coldest items is
+// swapped — the most radical change possible, since the entire cache
+// becomes stale at once. Clients sample a rank, pass it through Remap(),
+// and the result toggles between identity and the swapped mapping.
+#pragma once
+
+#include <cstdint>
+
+namespace orbit::wl {
+
+class DynamicPopularity {
+ public:
+  DynamicPopularity(uint64_t num_keys, uint64_t hot_count);
+
+  // Applies the hot-in swap once (called by the testbed's timer).
+  void Advance() { ++epoch_; }
+  uint64_t epoch() const { return epoch_; }
+
+  // Popularity rank → effective rank under the current epoch.
+  uint64_t Remap(uint64_t rank) const;
+
+ private:
+  uint64_t num_keys_;
+  uint64_t hot_count_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace orbit::wl

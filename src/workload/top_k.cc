@@ -1,0 +1,55 @@
+#include "workload/top_k.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace orbit::wl {
+
+TopKTracker::TopKTracker(size_t k, uint32_t sketch_rows, uint32_t sketch_width,
+                         uint64_t seed)
+    : k_(k), sketch_(sketch_rows, sketch_width, seed) {
+  ORBIT_CHECK(k > 0);
+}
+
+void TopKTracker::Update(std::string_view key, uint64_t count) {
+  sketch_.Update(key, count);
+  const uint64_t est = sketch_.Estimate(key);
+  auto it = candidates_.find(std::string(key));
+  if (it != candidates_.end()) {
+    it->second = est;
+    return;
+  }
+  // Keep a small slack above k so near-ties are not thrashed, then trim.
+  candidates_.emplace(std::string(key), est);
+  if (candidates_.size() > 2 * k_) EvictLightest();
+}
+
+void TopKTracker::EvictLightest() {
+  std::vector<std::pair<uint64_t, std::string>> all;
+  all.reserve(candidates_.size());
+  for (const auto& [key, count] : candidates_) all.emplace_back(count, key);
+  std::nth_element(all.begin(), all.begin() + static_cast<long>(k_), all.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  candidates_.clear();
+  for (size_t i = 0; i < k_ && i < all.size(); ++i)
+    candidates_.emplace(all[i].second, all[i].first);
+}
+
+std::vector<TopKTracker::Entry> TopKTracker::Snapshot() const {
+  std::vector<Entry> out;
+  out.reserve(candidates_.size());
+  for (const auto& [key, count] : candidates_) out.push_back({key, count});
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.count > b.count || (a.count == b.count && a.key < b.key);
+  });
+  if (out.size() > k_) out.resize(k_);
+  return out;
+}
+
+void TopKTracker::Reset() {
+  sketch_.Reset();
+  candidates_.clear();
+}
+
+}  // namespace orbit::wl

@@ -1,0 +1,46 @@
+// Top-k hot key tracking for the server-side popularity reports (§3.8):
+// a count-min sketch estimates per-key counts memory-efficiently and a
+// bounded candidate set keeps the current k heaviest keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/count_min.h"
+
+namespace orbit::wl {
+
+class TopKTracker {
+ public:
+  struct Entry {
+    std::string key;
+    uint64_t count = 0;
+  };
+
+  TopKTracker(size_t k, uint32_t sketch_rows = 5, uint32_t sketch_width = 2048,
+              uint64_t seed = 0);
+
+  void Update(std::string_view key, uint64_t count = 1);
+
+  // Current top-k candidates, heaviest first.
+  std::vector<Entry> Snapshot() const;
+
+  // Clears sketch and candidates; the paper resets counters after each
+  // report so only recent popularity is reflected.
+  void Reset();
+
+  size_t k() const { return k_; }
+  const CountMin& sketch() const { return sketch_; }
+
+ private:
+  void EvictLightest();
+
+  size_t k_;
+  CountMin sketch_;
+  std::unordered_map<std::string, uint64_t> candidates_;
+};
+
+}  // namespace orbit::wl

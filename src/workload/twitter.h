@@ -1,0 +1,70 @@
+// Production-workload stand-ins.
+//
+// The paper evaluates against Twitter cache traces [Yang et al., OSDI'20]
+// in two ways:
+//   1. Fig. 14 runs five workloads (A–E = Cluster045/016/044/017/020)
+//      parameterized by their NetCache-cacheable item ratio and write
+//      ratio, with cacheability assigned to keys uniformly at random.
+//   2. §2.1 analyzes 54 workloads' key/value size distributions to show
+//      how few items fit NetCache's 16B-key/128B-value limits.
+//
+// The raw traces are proprietary; these profiles are synthetic stand-ins
+// that reproduce the summary statistics the paper actually uses (see
+// DESIGN.md's substitution table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orbit::wl {
+
+// One Fig.-14 workload. `cacheable_ratio` is the fraction of keys NetCache
+// could cache (assigned per key, uniformly, independent of value size, as
+// in §5.2); `p_small` is the fraction of 64B values (vs 1024B).
+struct TwitterProfile {
+  std::string id;       // "A".."E"
+  std::string cluster;  // paper's cluster name
+  double cacheable_ratio;
+  double write_ratio;
+  double p_small;
+};
+
+// The five Fig.-14 workloads. Workload A ≈ 95% cacheable with a relatively
+// high write ratio; workload E ≈ 1% cacheable (paper §5.2).
+const std::vector<TwitterProfile>& Fig14Profiles();
+
+// Deterministic per-key NetCache-cacheability coin for a profile.
+bool NetCacheCacheable(const TwitterProfile& profile, std::string_view key,
+                       uint64_t seed = 0);
+
+// ---- §2.1 motivation analysis ------------------------------------------
+
+// Size distribution of one of the 54 analyzed workloads: keys and values
+// are lognormally distributed around per-workload medians.
+struct SizeProfile {
+  std::string name;
+  double key_median;   // bytes
+  double key_sigma;    // lognormal shape
+  double value_median; // bytes
+  double value_sigma;
+};
+
+// 54 synthetic workload size profiles spanning the ranges reported in the
+// paper (§2.1: most keys are tens of bytes; many values are below 1024B;
+// Facebook-like averages of 27.1B keys / 235B median values).
+std::vector<SizeProfile> MotivationWorkloads(uint64_t seed = 42);
+
+// Fraction of a profile's items cacheable under the given limits, estimated
+// by sampling `samples` items.
+struct CacheabilityLimits {
+  uint32_t max_key = 16;
+  uint32_t max_value = 128;
+  uint32_t max_total = 0;  // when non-zero, key+value must also fit this
+};
+double CacheableFraction(const SizeProfile& profile,
+                         const CacheabilityLimits& limits, int samples,
+                         uint64_t seed);
+
+}  // namespace orbit::wl

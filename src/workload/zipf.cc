@@ -1,0 +1,70 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace orbit::wl {
+
+namespace {
+// Zeta values for 10M-key workloads take ~40ms to sum; benches construct
+// many generators, so memoize by (n, theta).
+double CachedZeta(uint64_t n, double theta, double (*compute)(uint64_t, double)) {
+  static std::mutex mu;
+  static std::map<std::pair<uint64_t, double>, double> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto key = std::make_pair(n, theta);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  double z = compute(n, theta);
+  cache.emplace(key, z);
+  return z;
+}
+}  // namespace
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += std::pow(1.0 / static_cast<double>(i), theta);
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  ORBIT_CHECK_MSG(n >= 1, "empty key space");
+  ORBIT_CHECK_MSG(theta >= 0 && theta < 1, "theta must be in [0,1)");
+  zetan_ = CachedZeta(n, theta, &ZipfGenerator::Zeta);
+  alpha_ = 1.0 / (1.0 - theta);
+  const double zeta2 = n >= 2 ? Zeta(2, theta) : zetan_;
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+  if (!std::isfinite(eta_)) eta_ = 1.0;  // n == 1 or theta == 0 corner
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta);
+}
+
+uint64_t ZipfGenerator::Sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  const double u = rng.UniformDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const double raw = static_cast<double>(n_) *
+                     std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t rank = static_cast<uint64_t>(raw);
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+double ZipfGenerator::ProbabilityOfRank(uint64_t rank) const {
+  ORBIT_CHECK(rank < n_);
+  return std::pow(1.0 / static_cast<double>(rank + 1), theta_) / zetan_;
+}
+
+double ZipfGenerator::MassOfTopRanks(uint64_t count) const {
+  if (count > n_) count = n_;
+  double sum = 0;
+  for (uint64_t i = 0; i < count; ++i) sum += ProbabilityOfRank(i);
+  return sum;
+}
+
+}  // namespace orbit::wl

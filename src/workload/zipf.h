@@ -1,0 +1,42 @@
+// Zipfian popularity sampling.
+//
+// The YCSB-style generator: O(1) sampling for any skew theta in [0, 1)
+// (theta = 0 degenerates to uniform), with the normalization constant
+// computed exactly by summation at construction. Rank 0 is the hottest key.
+// The paper's default workload is Zipf-0.99 over 10M keys (§5.1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace orbit::wl {
+
+class ZipfGenerator {
+ public:
+  // theta in [0, 1); theta = 0 is uniform. n >= 1.
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Returns a rank in [0, n), 0 = most popular.
+  uint64_t Sample(Rng& rng) const;
+
+  // Exact popularity of a rank: (1/(rank+1)^theta) / zeta(n, theta).
+  double ProbabilityOfRank(uint64_t rank) const;
+  // Total popularity mass of the `count` hottest ranks.
+  double MassOfTopRanks(uint64_t count) const;
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;  // 1 / (1 - theta)
+  double eta_;
+  double half_pow_theta_;
+};
+
+}  // namespace orbit::wl

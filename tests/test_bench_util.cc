@@ -1,0 +1,54 @@
+// The figure harnesses promise the paper's §5.1 methodology; pin the
+// shared configuration to the paper's constants so a drive-by edit can't
+// silently change what the benches measure.
+#include "bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+namespace orbit::benchutil {
+namespace {
+
+TEST(PaperConfig, MatchesSection51) {
+  Mode full;
+  full.full = true;
+  const testbed::TestbedConfig cfg = PaperConfig(full);
+  EXPECT_EQ(cfg.num_clients, 4);              // 4 client nodes
+  EXPECT_EQ(cfg.num_servers, 32);             // 4 nodes x 8 emulated servers
+  EXPECT_DOUBLE_EQ(cfg.server_rate_rps, 100'000);  // Rx limit per server
+  EXPECT_EQ(cfg.num_keys, 10'000'000u);       // 10M key-value pairs
+  EXPECT_DOUBLE_EQ(cfg.zipf_theta, 0.99);     // typical skewness
+  EXPECT_EQ(cfg.key_size, 16u);               // 16B keys "for simplicity"
+  EXPECT_EQ(cfg.orbit_cache_size, 128u);      // near-optimal cache size
+  EXPECT_EQ(cfg.netcache_size, 10'000u);      // 10K hottest preloaded
+  // 82% 64B / 18% 1024B bimodal values (Cluster018-derived).
+  EXPECT_EQ(cfg.value_dist.min_size(), 64u);
+  EXPECT_EQ(cfg.value_dist.max_size(), 1024u);
+  EXPECT_NEAR(cfg.value_dist.mean_size(), 0.82 * 64 + 0.18 * 1024, 1e-9);
+}
+
+TEST(PaperConfig, QuickModeOnlyShrinksScale) {
+  Mode quick;
+  const testbed::TestbedConfig q = PaperConfig(quick);
+  Mode full;
+  full.full = true;
+  const testbed::TestbedConfig f = PaperConfig(full);
+  // Quick mode may shrink the key space and windows but must not alter
+  // the comparison-relevant knobs.
+  EXPECT_LT(q.num_keys, f.num_keys);
+  EXPECT_LE(q.duration, f.duration);
+  EXPECT_EQ(q.num_servers, f.num_servers);
+  EXPECT_EQ(q.orbit_cache_size, f.orbit_cache_size);
+  EXPECT_EQ(q.netcache_size, f.netcache_size);
+  EXPECT_DOUBLE_EQ(q.zipf_theta, f.zipf_theta);
+  EXPECT_EQ(q.seed, f.seed);
+}
+
+TEST(ParseArgs, RecognizesFullFlag) {
+  const char* argv1[] = {"bench"};
+  EXPECT_FALSE(ParseArgs(1, const_cast<char**>(argv1)).full);
+  const char* argv2[] = {"bench", "--full"};
+  EXPECT_TRUE(ParseArgs(2, const_cast<char**>(argv2)).full);
+}
+
+}  // namespace
+}  // namespace orbit::benchutil

@@ -1,0 +1,177 @@
+// Open-loop client behaviour: pacing, pending-list matching, client-side
+// collision resolution (§3.6), staleness accounting, and timeouts.
+#include "apps/client.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace orbit::app {
+namespace {
+
+constexpr Addr kClientAddr = 1, kServerAddr = 2;
+
+// A scriptable peer standing in for switch+server: echoes read replies,
+// optionally with a wrong key (hash collision) or a stale version.
+class MockPeer : public sim::Node {
+ public:
+  MockPeer(sim::Simulator* sim, sim::Network* net) : sim_(sim), net_(net) {}
+
+  void OnPacket(sim::PacketPtr pkt, int) override {
+    ++requests;
+    last_op = pkt->msg.op;
+    if (pkt->msg.op == proto::Op::kCorrectionReq) ++corrections;
+    if (drop_all) return;
+    proto::Message rep = pkt->msg;
+    rep.op = pkt->msg.op == proto::Op::kWriteReq ? proto::Op::kWriteRep
+                                                 : proto::Op::kReadRep;
+    if (pkt->msg.op == proto::Op::kWriteReq) {
+      rep.value = kv::Value::Synthetic(0, ++version);
+    } else if (pkt->msg.op == proto::Op::kCorrectionReq) {
+      rep.value = kv::Value::Synthetic(64, version);
+    } else {
+      rep.value = kv::Value::Synthetic(64, stale_reads ? 1 : version);
+      if (collide_next) {
+        rep.key = "WRONG-KEY-000000";
+        collide_next = false;
+      }
+    }
+    const Addr dst = pkt->src;
+    rep.seq = pkt->msg.seq;
+    auto out = sim::MakePacket(kServerAddr, dst, pkt->dport, pkt->sport,
+                               std::move(rep));
+    net_->Send(this, 0, std::move(out));
+  }
+  std::string name() const override { return "mock-peer"; }
+
+  int requests = 0;
+  int corrections = 0;
+  uint64_t version = 5;
+  bool collide_next = false;
+  bool stale_reads = false;
+  bool drop_all = false;
+  proto::Op last_op = proto::Op::kReadReq;
+
+ private:
+  sim::Simulator* sim_;
+  sim::Network* net_;
+};
+
+// A workload that always asks for one key.
+class OneKeyWorkload : public WorkloadSource {
+ public:
+  explicit OneKeyWorkload(double write_ratio = 0) : write_ratio_(write_ratio) {}
+  Request Next(Rng& rng) override {
+    Request req;
+    req.key = "the-one-key-0000";
+    req.hkey = HashKey128(req.key);
+    req.server = kServerAddr;
+    req.is_write = rng.Bernoulli(write_ratio_);
+    req.value_size = 64;
+    return req;
+  }
+
+ private:
+  double write_ratio_;
+};
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void Build(double rate, double write_ratio = 0) {
+    ClientConfig cfg;
+    cfg.addr = kClientAddr;
+    cfg.rate_rps = rate;
+    cfg.seed = 3;
+    cfg.request_timeout = 5 * kMillisecond;
+    cfg.timeout_sweep_period = kMillisecond;
+    client_ = std::make_unique<ClientNode>(
+        &sim_, &net_, 0, cfg, std::make_shared<OneKeyWorkload>(write_ratio));
+    peer_ = std::make_unique<MockPeer>(&sim_, &net_);
+    net_.Connect(client_.get(), peer_.get(), sim::LinkConfig{});
+    client_->Start();
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_{&sim_};
+  std::unique_ptr<ClientNode> client_;
+  std::unique_ptr<MockPeer> peer_;
+};
+
+TEST_F(ClientTest, OpenLoopRateIsRespected) {
+  Build(100'000);  // 10us mean gap
+  sim_.RunUntil(100 * kMillisecond);
+  // ~10000 expected; Poisson noise is ~1%.
+  EXPECT_NEAR(static_cast<double>(client_->stats().tx_requests), 10000, 500);
+  EXPECT_EQ(client_->stats().rx_replies, client_->stats().tx_requests);
+  EXPECT_EQ(client_->stats().timeouts, 0u);
+}
+
+TEST_F(ClientTest, MeasurementWindowFiltersLatency) {
+  Build(50'000);
+  sim_.RunUntil(10 * kMillisecond);
+  EXPECT_EQ(client_->server_read_latency().count(), 0u) << "window not open";
+  client_->OpenWindow(sim_.now());
+  sim_.RunUntil(30 * kMillisecond);
+  client_->CloseWindow(sim_.now());
+  const uint64_t measured = client_->server_read_latency().count();
+  EXPECT_GT(measured, 500u);
+  EXPECT_GT(client_->rx_meter().RatePerSec(), 40'000.0);
+  // Latency ≈ two link hops (~1us each way + serialization).
+  EXPECT_GT(client_->server_read_latency().Median(), 500);
+  EXPECT_LT(client_->server_read_latency().Median(), 5000);
+}
+
+TEST_F(ClientTest, CollisionTriggersAutomaticCorrection) {
+  Build(10'000);
+  sim_.RunUntil(500 * kMicrosecond);  // a few requests through
+  peer_->collide_next = true;
+  sim_.RunUntil(2 * kMillisecond);
+  EXPECT_EQ(client_->stats().collisions, 1u);
+  EXPECT_EQ(peer_->corrections, 1) << "client sent CRN-REQ";
+  EXPECT_EQ(client_->stats().timeouts, 0u);
+}
+
+TEST_F(ClientTest, StaleVersionsAreCounted) {
+  Build(20'000);
+  sim_.RunUntil(2 * kMillisecond);  // observe version 5 first
+  peer_->stale_reads = true;        // now every reply regresses to 1
+  sim_.RunUntil(4 * kMillisecond);
+  EXPECT_GT(client_->stats().stale_reads, 0u);
+}
+
+TEST_F(ClientTest, DroppedRepliesBecomeTimeouts) {
+  Build(20'000);
+  sim_.RunUntil(2 * kMillisecond);
+  peer_->drop_all = true;
+  sim_.RunUntil(4 * kMillisecond);
+  peer_->drop_all = false;
+  sim_.RunUntil(12 * kMillisecond);
+  EXPECT_GT(client_->stats().timeouts, 10u);
+  // Late replies to pruned requests count as strays, not crashes.
+  EXPECT_EQ(client_->stats().stale_reads, 0u);
+}
+
+TEST_F(ClientTest, WritesCarryClientStampedVersions) {
+  Build(20'000, /*write_ratio=*/1.0);
+  sim_.RunUntil(2 * kMillisecond);
+  EXPECT_GT(client_->stats().writes_sent, 10u);
+  EXPECT_EQ(client_->stats().reads_sent, 0u);
+  EXPECT_EQ(peer_->last_op, proto::Op::kWriteReq);
+  client_->OpenWindow(sim_.now());
+  sim_.RunUntil(4 * kMillisecond);
+  client_->CloseWindow(sim_.now());
+  EXPECT_GT(client_->write_latency().count(), 0u);
+}
+
+TEST_F(ClientTest, StopHaltsTraffic) {
+  Build(100'000);
+  sim_.RunUntil(5 * kMillisecond);
+  client_->Stop();
+  const uint64_t tx = client_->stats().tx_requests;
+  sim_.RunUntil(20 * kMillisecond);
+  EXPECT_EQ(client_->stats().tx_requests, tx);
+}
+
+}  // namespace
+}  // namespace orbit::app

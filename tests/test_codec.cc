@@ -1,0 +1,106 @@
+#include "proto/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace orbit::proto {
+namespace {
+
+Message SampleMessage(Op op, size_t key_len, uint32_t value_len) {
+  Message m;
+  m.op = op;
+  m.seq = 0xdeadbeef;
+  m.hkey = Hash128{0x1122334455667788ull, 0x99aabbccddeeff00ull};
+  m.flag = kFlagCachedWrite;
+  m.cached = 1;
+  m.latency = 1234;
+  m.srv_id = 9;
+  m.epoch = 77;
+  m.frag_index = 1;
+  m.frag_total = 3;
+  m.key = std::string(key_len, 'k');
+  m.value = kv::Value::Synthetic(value_len, 5);
+  return m;
+}
+
+TEST(Codec, HeaderSizeMatchesSpec) {
+  // Paper header (22B) + prototype extras (10B) + fragment fields (2B) +
+  // key length (2B).
+  EXPECT_EQ(Message::kHeaderBytes, 36u);
+  Message m = SampleMessage(Op::kReadReq, 16, 64);
+  EXPECT_EQ(Encode(m).size(), Message::kHeaderBytes + 16 + 64);
+}
+
+TEST(Codec, WireBytesIncludeEncap) {
+  Message m = SampleMessage(Op::kReadReq, 16, 64);
+  EXPECT_EQ(WireBytes(m), kEncapBytes + Message::kHeaderBytes + 16 + 64);
+}
+
+TEST(Codec, MaxSinglePacketItemFits) {
+  // §3.2: with the instrumented header, a 16B key + 1416B value fills one
+  // MTU-sized packet but not more.
+  Message m = SampleMessage(Op::kReadRep, 16, 1416);
+  EXPECT_LE(Encode(m).size(), kMaxOrbitBytes);
+  Message over = SampleMessage(Op::kReadRep, 16, 1424);
+  EXPECT_GT(Encode(over).size(), kMaxOrbitBytes);
+}
+
+TEST(Codec, RejectsTruncatedBuffers) {
+  Message m = SampleMessage(Op::kReadRep, 8, 32);
+  auto wire = Encode(m);
+  for (size_t cut : {0u, 1u, 10u, 33u}) {
+    std::vector<uint8_t> truncated(wire.begin(), wire.begin() + cut);
+    EXPECT_FALSE(Decode(truncated).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(Codec, RejectsUnknownOpcode) {
+  Message m = SampleMessage(Op::kReadRep, 8, 8);
+  auto wire = Encode(m);
+  wire[0] = 0;
+  EXPECT_FALSE(Decode(wire).has_value());
+  wire[0] = 9;
+  EXPECT_FALSE(Decode(wire).has_value());
+}
+
+TEST(Codec, RejectsKeyLengthBeyondBuffer) {
+  Message m = SampleMessage(Op::kReadRep, 8, 0);
+  auto wire = Encode(m);
+  // Key length field sits right before the key: bytes 34..35.
+  wire[34] = 0xff;
+  wire[35] = 0xff;
+  EXPECT_FALSE(Decode(wire).has_value());
+}
+
+using RoundTripParam = std::tuple<int, size_t, uint32_t>;
+class CodecRoundTrip : public ::testing::TestWithParam<RoundTripParam> {};
+
+TEST_P(CodecRoundTrip, EncodeDecodeIsIdentity) {
+  const auto [op_int, key_len, value_len] = GetParam();
+  Message m = SampleMessage(static_cast<Op>(op_int), key_len, value_len);
+  auto decoded = Decode(Encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, m.op);
+  EXPECT_EQ(decoded->seq, m.seq);
+  EXPECT_EQ(decoded->hkey, m.hkey);
+  EXPECT_EQ(decoded->flag, m.flag);
+  EXPECT_EQ(decoded->cached, m.cached);
+  EXPECT_EQ(decoded->latency, m.latency);
+  EXPECT_EQ(decoded->srv_id, m.srv_id);
+  EXPECT_EQ(decoded->epoch, m.epoch);
+  EXPECT_EQ(decoded->frag_index, m.frag_index);
+  EXPECT_EQ(decoded->frag_total, m.frag_total);
+  EXPECT_EQ(decoded->key, m.key);
+  EXPECT_EQ(decoded->value.size(), m.value.size());
+  EXPECT_TRUE(decoded->value.ContentEquals(m.value, m.key));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndSizes, CodecRoundTrip,
+    ::testing::Combine(::testing::Range(1, 9),           // all opcodes
+                       ::testing::Values<size_t>(1, 16, 40, 120),
+                       ::testing::Values<uint32_t>(0, 8, 64, 235, 1024)));
+
+}  // namespace
+}  // namespace orbit::proto

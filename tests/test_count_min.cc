@@ -1,0 +1,80 @@
+#include "workload/count_min.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "workload/zipf.h"
+
+namespace orbit::wl {
+namespace {
+
+TEST(CountMin, NeverUndercounts) {
+  CountMin cm(5, 256);
+  std::unordered_map<std::string, uint64_t> truth;
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const std::string key = "k" + std::to_string(rng.UniformU64(1000));
+    cm.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth)
+    ASSERT_GE(cm.Estimate(key), count) << key;
+}
+
+TEST(CountMin, ErrorWithinClassicBound) {
+  // estimate <= true + e/width * N with probability 1 - (1/2)^rows; with
+  // 5 rows the chance of a single blown bound over 1000 keys is tiny.
+  const uint32_t width = 2048;
+  CountMin cm(5, width);
+  std::unordered_map<std::string, uint64_t> truth;
+  ZipfGenerator zipf(5000, 0.9);
+  Rng rng(2);
+  const uint64_t n = 100000;
+  for (uint64_t i = 0; i < n; ++i) {
+    const std::string key = "k" + std::to_string(zipf.Sample(rng));
+    cm.Update(key);
+    ++truth[key];
+  }
+  const double bound = 2.72 * static_cast<double>(n) / width;
+  int violations = 0;
+  for (const auto& [key, count] : truth)
+    if (cm.Estimate(key) > count + static_cast<uint64_t>(bound)) ++violations;
+  EXPECT_LE(violations, 2);
+}
+
+TEST(CountMin, WeightedUpdates) {
+  CountMin cm(5, 64);
+  cm.Update("k", 10);
+  cm.Update("k", 5);
+  EXPECT_GE(cm.Estimate("k"), 15u);
+  EXPECT_EQ(cm.total_updates(), 15u);
+}
+
+TEST(CountMin, ResetClears) {
+  CountMin cm(5, 64);
+  cm.Update("k", 100);
+  cm.Reset();
+  EXPECT_EQ(cm.Estimate("k"), 0u);
+  EXPECT_EQ(cm.total_updates(), 0u);
+}
+
+TEST(CountMin, UnseenKeysUsuallyNearZero) {
+  CountMin cm(5, 4096);
+  for (int i = 0; i < 1000; ++i) cm.Update("present" + std::to_string(i));
+  uint64_t total_phantom = 0;
+  for (int i = 0; i < 1000; ++i)
+    total_phantom += cm.Estimate("absent" + std::to_string(i));
+  EXPECT_LT(total_phantom, 300u);  // a few collisions at most
+}
+
+TEST(CountMin, RejectsDegenerateShapes) {
+  EXPECT_THROW(CountMin(0, 16), CheckFailure);
+  EXPECT_THROW(CountMin(5, 0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace orbit::wl

@@ -1,0 +1,64 @@
+// Reproducibility: the whole system is a deterministic function of its
+// seed. EXPERIMENTS.md quotes exact numbers, which is only honest if two
+// runs with the same configuration produce bit-identical results.
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.h"
+
+namespace orbit::testbed {
+namespace {
+
+TestbedConfig Config(uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.scheme = Scheme::kOrbitCache;
+  cfg.num_clients = 2;
+  cfg.num_servers = 8;
+  cfg.server_rate_rps = 20'000;
+  cfg.client_rate_rps = 300'000;
+  cfg.num_keys = 50'000;
+  cfg.write_ratio = 0.1;
+  cfg.orbit_cache_size = 32;
+  cfg.warmup = 10 * kMillisecond;
+  cfg.duration = 50 * kMillisecond;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalRuns) {
+  const TestbedResult a = RunTestbed(Config(11));
+  const TestbedResult b = RunTestbed(Config(11));
+  EXPECT_EQ(a.rx_rps, b.rx_rps);
+  EXPECT_EQ(a.tx_rps, b.tx_rps);
+  EXPECT_EQ(a.cache_served_rps, b.cache_served_rps);
+  EXPECT_EQ(a.server_loads, b.server_loads);
+  EXPECT_EQ(a.lookup_hits, b.lookup_hits);
+  EXPECT_EQ(a.absorbed, b.absorbed);
+  EXPECT_EQ(a.overflows, b.overflows);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.read_cached_latency.count(), b.read_cached_latency.count());
+  EXPECT_EQ(a.read_cached_latency.Percentile(0.99),
+            b.read_cached_latency.Percentile(0.99));
+  EXPECT_EQ(a.read_server_latency.Percentile(0.5),
+            b.read_server_latency.Percentile(0.5));
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  const TestbedResult a = RunTestbed(Config(11));
+  const TestbedResult b = RunTestbed(Config(12));
+  // Statistically indistinguishable in aggregate, but not bit-identical.
+  EXPECT_NE(a.events_processed, b.events_processed);
+}
+
+TEST(Determinism, SchemesShareTheWorkloadStream) {
+  // The same seed must offer the same keys/ops to every scheme, so
+  // cross-scheme comparisons are paired: Tx counts match closely.
+  TestbedConfig oc = Config(5);
+  TestbedConfig nc = Config(5);
+  nc.scheme = Scheme::kNoCache;
+  const TestbedResult a = RunTestbed(oc);
+  const TestbedResult b = RunTestbed(nc);
+  EXPECT_NEAR(a.tx_rps, b.tx_rps, a.tx_rps * 0.001);
+}
+
+}  // namespace
+}  // namespace orbit::testbed

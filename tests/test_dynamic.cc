@@ -1,0 +1,63 @@
+#include "workload/dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace orbit::wl {
+namespace {
+
+TEST(DynamicPopularity, IdentityBeforeFirstSwap) {
+  DynamicPopularity dyn(1000, 10);
+  for (uint64_t r = 0; r < 1000; r += 7) EXPECT_EQ(dyn.Remap(r), r);
+}
+
+TEST(DynamicPopularity, SwapExchangesHotAndCold) {
+  DynamicPopularity dyn(1000, 10);
+  dyn.Advance();
+  // Hottest ranks land in the cold tail...
+  EXPECT_EQ(dyn.Remap(0), 990u);
+  EXPECT_EQ(dyn.Remap(9), 999u);
+  // ...cold tail becomes hot...
+  EXPECT_EQ(dyn.Remap(990), 0u);
+  EXPECT_EQ(dyn.Remap(999), 9u);
+  // ...and the middle is untouched.
+  EXPECT_EQ(dyn.Remap(500), 500u);
+  EXPECT_EQ(dyn.Remap(10), 10u);
+  EXPECT_EQ(dyn.Remap(989), 989u);
+}
+
+TEST(DynamicPopularity, SecondSwapRestoresIdentity) {
+  DynamicPopularity dyn(1000, 128);
+  dyn.Advance();
+  dyn.Advance();
+  for (uint64_t r = 0; r < 1000; r += 13) EXPECT_EQ(dyn.Remap(r), r);
+  EXPECT_EQ(dyn.epoch(), 2u);
+}
+
+TEST(DynamicPopularity, RemapIsAlwaysBijective) {
+  DynamicPopularity dyn(200, 50);
+  dyn.Advance();
+  std::vector<bool> hit(200, false);
+  for (uint64_t r = 0; r < 200; ++r) {
+    const uint64_t y = dyn.Remap(r);
+    ASSERT_LT(y, 200u);
+    ASSERT_FALSE(hit[y]);
+    hit[y] = true;
+  }
+}
+
+TEST(DynamicPopularity, RejectsOverlappingSets) {
+  EXPECT_THROW(DynamicPopularity(100, 51), CheckFailure);
+  DynamicPopularity ok(100, 50);
+  ok.Advance();
+  EXPECT_EQ(ok.Remap(0), 50u);
+}
+
+TEST(DynamicPopularity, RejectsOutOfRangeRank) {
+  DynamicPopularity dyn(100, 10);
+  EXPECT_THROW(dyn.Remap(100), CheckFailure);
+}
+
+}  // namespace
+}  // namespace orbit::wl

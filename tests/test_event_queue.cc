@@ -1,0 +1,96 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/node.h"
+
+namespace orbit::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.PushCallback(30, [&] { order.push_back(3); });
+  q.PushCallback(10, [&] { order.push_back(1); });
+  q.PushCallback(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) q.PushCallback(5, [&, i] { order.push_back(i); });
+  while (!q.empty()) q.Pop().fn();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, HeapPropertyUnderRandomLoad) {
+  EventQueue q;
+  Rng rng(3);
+  // Interleave pushes and pops; popped times must be non-decreasing among
+  // a monotonically consistent schedule.
+  SimTime last = -1;
+  int pushed = 0, popped = 0;
+  while (popped < 5000) {
+    if (pushed < 5000 && (q.empty() || rng.Bernoulli(0.6))) {
+      // Never schedule into the past relative to what we've popped.
+      q.PushCallback(last + 1 + static_cast<SimTime>(rng.UniformU64(1000)),
+                     [] {});
+      ++pushed;
+    } else {
+      Event e = q.Pop();
+      EXPECT_GE(e.time, last);
+      last = e.time;
+      ++popped;
+    }
+  }
+}
+
+TEST(EventQueue, DeliveryEventsCarryPayload) {
+  struct Probe : Node {
+    void OnPacket(PacketPtr pkt, int port) override {
+      last_port = port;
+      last_key = pkt->msg.key;
+    }
+    std::string name() const override { return "probe"; }
+    int last_port = -1;
+    Key last_key;
+  } probe;
+
+  EventQueue q;
+  auto pkt = std::make_unique<Packet>();
+  pkt->msg.key = "k";
+  q.PushDelivery(5, &probe, 3, std::move(pkt));
+  Event e = q.Pop();
+  ASSERT_NE(e.node, nullptr);
+  e.node->OnPacket(std::move(e.pkt), e.port);
+  EXPECT_EQ(probe.last_port, 3);
+  EXPECT_EQ(probe.last_key, "k");
+}
+
+TEST(EventQueue, SizeTracksPushesAndPops) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.PushCallback(1, [] {});
+  q.PushCallback(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.Pop();
+  EXPECT_EQ(q.size(), 1u);
+  q.Pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimePeeksEarliest) {
+  EventQueue q;
+  q.PushCallback(42, [] {});
+  q.PushCallback(7, [] {});
+  EXPECT_EQ(q.next_time(), 7);
+}
+
+}  // namespace
+}  // namespace orbit::sim

@@ -1,0 +1,118 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace orbit {
+namespace {
+
+TEST(Mix64, IsBijective) {
+  // UnMix64 inverts Mix64 across a spread of inputs.
+  for (uint64_t x : {uint64_t{0}, uint64_t{1}, uint64_t{42},
+                     uint64_t{0xdeadbeef}, UINT64_MAX,
+                     uint64_t{0x123456789abcdef}}) {
+    EXPECT_EQ(UnMix64(Mix64(x)), x) << x;
+  }
+  for (uint64_t i = 0; i < 10000; ++i) EXPECT_EQ(UnMix64(Mix64(i)), i);
+}
+
+TEST(Hash64, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(Hash64("hello"), Hash64("hello"));
+  EXPECT_NE(Hash64("hello"), Hash64("hellp"));
+  EXPECT_NE(Hash64("hello", 1), Hash64("hello", 2));
+  EXPECT_NE(Hash64(""), Hash64("x"));
+}
+
+TEST(Hash64, LengthExtensionDiffers) {
+  // "ab" + "c" vs "abc" through different chunkings must not collide by
+  // construction of the length mixing.
+  EXPECT_NE(Hash64("abc"), Hash64("abcd"));
+  EXPECT_NE(Hash64(std::string(8, 'a')), Hash64(std::string(9, 'a')));
+  EXPECT_NE(Hash64(std::string(16, 'a')), Hash64(std::string(17, 'a')));
+}
+
+TEST(Hash64, AvalancheOnSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  std::string base = "0123456789abcdef";
+  const uint64_t h0 = Hash64(base);
+  double total_flips = 0;
+  int cases = 0;
+  for (size_t byte = 0; byte < base.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = base;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      total_flips += __builtin_popcountll(h0 ^ Hash64(mutated));
+      ++cases;
+    }
+  }
+  const double mean_flips = total_flips / cases;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(HashKey128, DeterministicAndDistinct) {
+  const Hash128 a = HashKey128("key-1");
+  EXPECT_EQ(a, HashKey128("key-1"));
+  EXPECT_NE(a, HashKey128("key-2"));
+  EXPECT_NE(a.hi, 0u);  // astronomically unlikely
+}
+
+TEST(HashKey128, NoCollisionsOverLargeKeySet) {
+  std::set<Hash128> seen;
+  for (int i = 0; i < 200000; ++i) {
+    const auto h = HashKey128("key-" + std::to_string(i));
+    EXPECT_TRUE(seen.insert(h).second) << "collision at " << i;
+  }
+}
+
+TEST(HashKey128, LanesAreIndependent) {
+  // hi and lo should not be trivially related.
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto h = HashKey128(std::to_string(i));
+    if (h.hi == h.lo) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Permutation, IsBijectiveOverOddDomain) {
+  const uint64_t n = 10007;  // prime, exercises cycle walking
+  Permutation perm(n, 99);
+  std::vector<bool> hit(n, false);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t y = perm(i);
+    ASSERT_LT(y, n);
+    ASSERT_FALSE(hit[y]) << "duplicate image " << y;
+    hit[y] = true;
+  }
+}
+
+TEST(Permutation, SeedChangesMapping) {
+  Permutation a(1 << 16, 1), b(1 << 16, 2);
+  int same = 0;
+  for (uint64_t i = 0; i < 1000; ++i)
+    if (a(i) == b(i)) ++same;
+  EXPECT_LT(same, 10);
+}
+
+TEST(Permutation, RejectsOutOfRange) {
+  Permutation perm(100, 1);
+  EXPECT_THROW(perm(100), CheckFailure);
+}
+
+TEST(Permutation, ScattersContiguousRanks) {
+  // Consecutive ranks (the hottest items) must not map to consecutive ids,
+  // or they would all land on adjacent partitions.
+  Permutation perm(1'000'000, 42);
+  int adjacent = 0;
+  for (uint64_t i = 0; i + 1 < 1000; ++i)
+    if (perm(i + 1) == perm(i) + 1) ++adjacent;
+  EXPECT_LT(adjacent, 5);
+}
+
+}  // namespace
+}  // namespace orbit

@@ -1,0 +1,102 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace orbit::stats {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (int64_t v = 0; v < 64; ++v) h.Record(v);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 63);
+  EXPECT_EQ(h.Percentile(0.5), 31);  // values < 64 bucket exactly
+  EXPECT_EQ(h.count(), 64u);
+}
+
+TEST(Histogram, QuantilesWithinRelativeError) {
+  Histogram h;
+  Rng rng(5);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t v = 1 + static_cast<int64_t>(rng.UniformU64(10'000'000));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const int64_t exact =
+        values[static_cast<size_t>(q * (values.size() - 1))];
+    const int64_t approx = h.Percentile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.03 + 2)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(60);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(100);
+  for (int i = 0; i < 100; ++i) b.Record(10000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_EQ(a.max(), 10000);
+  EXPECT_LT(a.Percentile(0.25), 200);
+  EXPECT_GT(a.Percentile(0.75), 9000);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  h.Record(7);
+  EXPECT_EQ(h.min(), 7);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_LE(h.Percentile(0.5), 0);
+}
+
+TEST(Histogram, PercentileClampedToObservedRange) {
+  Histogram h;
+  h.Record(1'000'000);
+  EXPECT_EQ(h.Percentile(0.5), 1'000'000);
+  EXPECT_EQ(h.Percentile(1.0), 1'000'000);
+  EXPECT_EQ(h.Percentile(0.0), 1'000'000);
+}
+
+TEST(Histogram, HugeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(int64_t{1} << 62);
+  h.Record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), int64_t{1} << 62);
+}
+
+}  // namespace
+}  // namespace orbit::stats

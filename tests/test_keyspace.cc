@@ -1,0 +1,61 @@
+#include "workload/keyspace.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace orbit::wl {
+namespace {
+
+TEST(KeySpace, KeysHaveExactConfiguredWidth) {
+  KeySpace ks(1000, 16, 1);
+  for (uint64_t i = 0; i < 1000; i += 97)
+    EXPECT_EQ(ks.KeyForId(i).size(), 16u);
+  KeySpace wide(1000, 40, 1);
+  EXPECT_EQ(wide.KeyForId(5).size(), 40u);
+}
+
+TEST(KeySpace, KeysAreUnique) {
+  KeySpace ks(50000, 16, 7);
+  std::unordered_set<Key> seen;
+  for (uint64_t i = 0; i < 50000; ++i)
+    ASSERT_TRUE(seen.insert(ks.KeyForId(i)).second) << i;
+}
+
+TEST(KeySpace, RankMappingIsBijective) {
+  KeySpace ks(10000, 16, 3);
+  std::unordered_set<uint64_t> ids;
+  for (uint64_t r = 0; r < 10000; ++r) {
+    const uint64_t id = ks.IdForRank(r);
+    ASSERT_LT(id, 10000u);
+    ASSERT_TRUE(ids.insert(id).second);
+  }
+}
+
+TEST(KeySpace, DeterministicAcrossInstances) {
+  KeySpace a(100000, 16, 42), b(100000, 16, 42);
+  for (uint64_t r = 0; r < 100; ++r)
+    EXPECT_EQ(a.KeyAtRank(r), b.KeyAtRank(r));
+  KeySpace c(100000, 16, 43);
+  int same = 0;
+  for (uint64_t r = 0; r < 100; ++r)
+    if (a.KeyAtRank(r) == c.KeyAtRank(r)) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(KeySpace, RejectsTooNarrowKeys) {
+  EXPECT_THROW(KeySpace(1000, 4, 1), CheckFailure);
+  KeySpace ks(10'000'000, 9, 1);  // 1 prefix + up to 8 digits: exactly fits
+  EXPECT_EQ(ks.KeyForId(9'999'999).size(), 9u);
+}
+
+TEST(KeySpace, HashMatchesClientHashing) {
+  KeySpace ks(100, 16, 1);
+  const Key k = ks.KeyAtRank(0);
+  EXPECT_EQ(ks.HashOf(k), HashKey128(k));
+}
+
+}  // namespace
+}  // namespace orbit::wl

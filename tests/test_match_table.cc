@@ -1,0 +1,81 @@
+#include "rmt/match_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace orbit::rmt {
+namespace {
+
+TEST(MatchTable, InsertLookupErase) {
+  Resources res((AsicConfig()));
+  ExactMatchTable<std::string, uint32_t> t(&res, "t", 0, 8, 16);
+  EXPECT_TRUE(t.Insert("alpha", 1));
+  EXPECT_TRUE(t.Insert("beta", 2));
+  ASSERT_NE(t.Lookup("alpha"), nullptr);
+  EXPECT_EQ(*t.Lookup("alpha"), 1u);
+  EXPECT_EQ(t.Lookup("gamma"), nullptr);
+  EXPECT_TRUE(t.Erase("alpha"));
+  EXPECT_FALSE(t.Erase("alpha"));
+  EXPECT_EQ(t.Lookup("alpha"), nullptr);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(MatchTable, InsertOverwritesExisting) {
+  Resources res((AsicConfig()));
+  ExactMatchTable<std::string, uint32_t> t(&res, "t", 0, 8, 16);
+  EXPECT_TRUE(t.Insert("k", 1));
+  EXPECT_TRUE(t.Insert("k", 2));
+  EXPECT_EQ(*t.Lookup("k"), 2u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(MatchTable, CapacityIsEnforced) {
+  Resources res((AsicConfig()));
+  ExactMatchTable<std::string, uint32_t> t(&res, "t", 0, 2, 16);
+  EXPECT_TRUE(t.Insert("a", 1));
+  EXPECT_TRUE(t.Insert("b", 2));
+  EXPECT_FALSE(t.Insert("c", 3)) << "table full";
+  t.Erase("a");
+  EXPECT_TRUE(t.Insert("c", 3));
+}
+
+TEST(MatchTable, RejectsKeysWiderThanMatchWidth) {
+  // The hardware constraint at the heart of the paper: NetCache cannot
+  // index items whose key exceeds the match-key width.
+  Resources res((AsicConfig()));
+  ExactMatchTable<std::string, uint32_t> t(&res, "t", 0, 8, 16);
+  EXPECT_TRUE(t.Insert(std::string(16, 'k'), 1));
+  EXPECT_THROW(t.Insert(std::string(17, 'k'), 2), CheckFailure);
+}
+
+TEST(MatchTable, DeclaringOverWideTableThrows) {
+  // A table declared wider than the ASIC's maximum match key fails at
+  // "compile time".
+  Resources res((AsicConfig()));  // max 16B
+  EXPECT_THROW((ExactMatchTable<std::string, int>(&res, "t", 0, 8, 32)),
+               CheckFailure);
+}
+
+TEST(MatchTable, Hash128KeysOccupySixteenBytes) {
+  Resources res((AsicConfig()));
+  ExactMatchTable<Hash128, uint32_t> t(&res, "t", 0, 8, 16);
+  const Hash128 h{0x1111, 0x2222};
+  EXPECT_TRUE(t.Insert(h, 5));
+  ASSERT_NE(t.Lookup(h), nullptr);
+  EXPECT_EQ(*t.Lookup(h), 5u);
+  EXPECT_EQ(t.Lookup(Hash128{0x1111, 0x2223}), nullptr);
+}
+
+TEST(MatchTable, ClearEmptiesTable) {
+  Resources res((AsicConfig()));
+  ExactMatchTable<std::string, int> t(&res, "t", 0, 8, 16);
+  t.Insert("a", 1);
+  t.Insert("b", 2);
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.Lookup("a"), nullptr);
+}
+
+}  // namespace
+}  // namespace orbit::rmt

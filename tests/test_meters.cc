@@ -1,0 +1,69 @@
+#include "stats/meters.h"
+
+#include <gtest/gtest.h>
+
+namespace orbit::stats {
+namespace {
+
+TEST(ThroughputMeter, CountsOnlyWhileOpen) {
+  ThroughputMeter m;
+  m.Add();  // before open: ignored
+  m.Open(1 * kSecond);
+  m.Add();
+  m.Add(3);
+  m.Close(2 * kSecond);
+  m.Add();  // after close: ignored
+  EXPECT_EQ(m.count(), 4u);
+  EXPECT_DOUBLE_EQ(m.RatePerSec(), 4.0);
+}
+
+TEST(ThroughputMeter, RateScalesWithWindow) {
+  ThroughputMeter m;
+  m.Open(0);
+  for (int i = 0; i < 500; ++i) m.Add();
+  m.Close(kSecond / 2);
+  EXPECT_DOUBLE_EQ(m.RatePerSec(), 1000.0);
+}
+
+TEST(ThroughputMeter, EmptyWindowIsZero) {
+  ThroughputMeter m;
+  EXPECT_EQ(m.RatePerSec(), 0.0);
+}
+
+TEST(LoadTracker, TracksPerServerCounts) {
+  LoadTracker lt(4);
+  lt.Add(0, 10);
+  lt.Add(1, 20);
+  lt.Add(2, 40);
+  lt.Add(3, 40);
+  EXPECT_EQ(lt.total(), 110u);
+  EXPECT_EQ(lt.min_load(), 10u);
+  EXPECT_EQ(lt.max_load(), 40u);
+  EXPECT_DOUBLE_EQ(lt.BalancingEfficiency(), 0.25);
+}
+
+TEST(LoadTracker, PerfectBalanceIsOne) {
+  LoadTracker lt(3);
+  for (size_t s = 0; s < 3; ++s) lt.Add(s, 7);
+  EXPECT_DOUBLE_EQ(lt.BalancingEfficiency(), 1.0);
+}
+
+TEST(LoadTracker, EmptyIsDefinedAsBalanced) {
+  LoadTracker lt(3);
+  EXPECT_DOUBLE_EQ(lt.BalancingEfficiency(), 1.0);
+}
+
+TEST(LoadTracker, ResetZeroes) {
+  LoadTracker lt(2);
+  lt.Add(0, 5);
+  lt.Reset();
+  EXPECT_EQ(lt.total(), 0u);
+}
+
+TEST(LoadTracker, OutOfRangeThrows) {
+  LoadTracker lt(2);
+  EXPECT_THROW(lt.Add(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace orbit::stats

@@ -1,0 +1,136 @@
+// §3.10 multi-packet item extension: values larger than one MTU circulate
+// as multiple cache-packet fragments; the ACKed-packet counter removes the
+// request metadata only when the last fragment has been forwarded.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "proto/message.h"
+#include "tests/orbit_rig.h"
+
+namespace orbit::oc {
+namespace {
+
+using testrig::Rig;
+using testrig::RigConfig;
+
+RigConfig MultiPacketRig(uint32_t value_size) {
+  RigConfig cfg;
+  cfg.orbit.capacity = 8;
+  cfg.orbit.multi_packet = true;
+  cfg.multi_packet_servers = true;
+  cfg.num_servers = 1;
+  cfg.value_size = value_size;
+  return cfg;
+}
+
+// Value big enough for exactly 3 fragments (budget ≈ 1422B with 16B keys).
+constexpr uint32_t kThreeFragValue = 4000;
+
+TEST(MultiPacket, ServerFragmentsOversizedValues) {
+  Rig rig(MultiPacketRig(kThreeFragValue));
+  rig.SendRead("big-key-00000000", 1);
+  rig.Settle();
+  // All fragments arrive, each tagged with index/total.
+  size_t frags = 0;
+  uint32_t total_bytes = 0;
+  std::set<uint8_t> indices;
+  for (const auto& r : rig.client().replies) {
+    if (r.msg.seq != 1) continue;
+    ++frags;
+    EXPECT_EQ(r.msg.frag_total, 3);
+    indices.insert(r.msg.frag_index);
+    total_bytes += r.msg.value.size();
+  }
+  EXPECT_EQ(frags, 3u);
+  EXPECT_EQ(indices.size(), 3u);
+  EXPECT_EQ(total_bytes, kThreeFragValue);
+  for (const auto& r : rig.client().replies)
+    EXPECT_LE(r.msg.payload_bytes(), proto::kMaxPayloadBytes);
+}
+
+TEST(MultiPacket, CachedLargeItemCirculatesAsMultipleFragments) {
+  Rig rig(MultiPacketRig(kThreeFragValue));
+  const Key key = "big-key-00000000";
+  rig.CacheAndFetch(key, 0);
+  EXPECT_EQ(rig.sw().stats().recirc_in_flight, 3)
+      << "one circulating cache packet per fragment";
+  EXPECT_TRUE(rig.program().IsValid(0))
+      << "valid only after all fragments fetched";
+}
+
+TEST(MultiPacket, CachedReadReceivesAllFragmentsFromSwitch) {
+  Rig rig(MultiPacketRig(kThreeFragValue));
+  const Key key = "big-key-00000000";
+  rig.CacheAndFetch(key, 0);
+  const uint64_t server_reads = rig.ServerFor(key).stats().reads;
+
+  rig.SendRead(key, 7);
+  rig.Settle();
+  std::set<uint8_t> indices;
+  uint32_t bytes = 0;
+  for (const auto& r : rig.client().replies) {
+    if (r.msg.seq != 7) continue;
+    EXPECT_EQ(r.msg.cached, 1);
+    indices.insert(r.msg.frag_index);
+    bytes += r.msg.value.size();
+  }
+  EXPECT_EQ(indices.size(), 3u) << "all distinct fragments delivered";
+  EXPECT_EQ(bytes, kThreeFragValue);
+  EXPECT_EQ(rig.ServerFor(key).stats().reads, server_reads);
+  // Metadata removed after the last fragment: a later read is served anew.
+  rig.SendRead(key, 8);
+  rig.Settle();
+  EXPECT_GE(rig.CountReplies(8), 3u);
+}
+
+TEST(MultiPacket, SequentialRequestsEachGetFullItem) {
+  Rig rig(MultiPacketRig(kThreeFragValue));
+  const Key key = "big-key-00000000";
+  rig.CacheAndFetch(key, 0);
+  for (uint32_t seq = 20; seq < 25; ++seq) {
+    rig.SendRead(key, seq);
+    rig.Run(50 * kMicrosecond);
+    EXPECT_EQ(rig.CountReplies(seq), 3u) << "seq " << seq;
+  }
+  EXPECT_EQ(rig.sw().stats().recirc_in_flight, 3)
+      << "fragment ring intact after serving";
+}
+
+TEST(MultiPacket, SinglePacketItemsUnaffectedByExtension) {
+  Rig rig(MultiPacketRig(64));
+  const Key key = "sml-key-00000000";
+  rig.CacheAndFetch(key, 0);
+  rig.SendRead(key, 1);
+  rig.Settle();
+  EXPECT_EQ(rig.CountReplies(1), 1u);
+  EXPECT_EQ(rig.FindReply(1)->msg.frag_total, 1);
+  EXPECT_EQ(rig.sw().stats().recirc_in_flight, 1);
+}
+
+TEST(MultiPacket, WithoutExtensionOversizedValueIsAnError) {
+  RigConfig cfg;
+  cfg.orbit.capacity = 8;
+  cfg.orbit.multi_packet = false;
+  cfg.multi_packet_servers = false;
+  cfg.num_servers = 1;
+  cfg.value_size = kThreeFragValue;
+  Rig rig(cfg);
+  rig.SendRead("big-key-00000000", 1);
+  EXPECT_THROW(rig.Settle(), CheckFailure)
+      << "server must refuse to emit an over-MTU packet";
+}
+
+TEST(MultiPacket, RequiresCloning) {
+  rmt::AsicConfig asic;
+  sim::Simulator sim;
+  sim::Network net(&sim);
+  rmt::SwitchDevice sw(&sim, &net, "sw", asic);
+  OrbitConfig bad;
+  bad.multi_packet = true;
+  bad.enable_cloning = false;
+  EXPECT_THROW(OrbitProgram(&sw, bad), CheckFailure);
+}
+
+}  // namespace
+}  // namespace orbit::oc

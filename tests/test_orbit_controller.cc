@@ -1,0 +1,173 @@
+// Control-plane behaviour: preloading, popularity-driven cache updates
+// (paper §3.8, Fig. 8), fetch retries, and dynamic cache sizing (§3.10).
+#include "orbitcache/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/orbit_rig.h"
+
+namespace orbit::oc {
+namespace {
+
+using testrig::Rig;
+using testrig::RigConfig;
+
+RigConfig ControllerRig(size_t cache_size = 4) {
+  RigConfig cfg;
+  cfg.orbit.capacity = 32;
+  cfg.num_servers = 2;
+  cfg.with_controller = true;
+  cfg.controller.cache_size = cache_size;
+  cfg.controller.max_cache_size = 32;
+  cfg.controller.min_cache_size = 2;
+  cfg.controller.update_period = 5 * kMillisecond;
+  cfg.controller.fetch_timeout = kMillisecond;
+  return cfg;
+}
+
+Key K(int i) { return "ctl-key-" + std::to_string(10000000 + i); }
+
+TEST(Controller, PreloadInstallsEntriesAndFetchesValues) {
+  Rig rig(ControllerRig());
+  rig.controller().Preload({K(1), K(2), K(3)});
+  rig.Settle();
+  EXPECT_EQ(rig.controller().num_cached(), 3u);
+  EXPECT_EQ(rig.program().num_entries(), 3u);
+  EXPECT_EQ(rig.sw().stats().recirc_in_flight, 3)
+      << "one cache packet per preloaded key";
+  // All entries valid and serving.
+  rig.SendRead(K(2), 1);
+  rig.Settle();
+  ASSERT_NE(rig.FindReply(1), nullptr);
+  EXPECT_EQ(rig.FindReply(1)->msg.cached, 1);
+}
+
+TEST(Controller, PreloadRespectsCacheSize) {
+  Rig rig(ControllerRig(2));
+  rig.controller().Preload({K(1), K(2), K(3), K(4)});
+  EXPECT_EQ(rig.controller().num_cached(), 2u);
+}
+
+TEST(Controller, HotReportedKeyEvictsColdCachedKey) {
+  Rig rig(ControllerRig(2));
+  rig.controller().Preload({K(1), K(2)});
+  rig.controller().Start();
+  rig.Settle();
+
+  // Give K(1) some switch-side popularity; K(2) stays cold.
+  for (uint32_t i = 0; i < 5; ++i) {
+    rig.SendRead(K(1), 100 + i);
+    rig.Run(5 * kMicrosecond);
+  }
+  // A much hotter uncached key arrives via a server top-k report.
+  proto::Message report;
+  report.op = proto::Op::kTopKReport;
+  report.key = K(9);
+  report.value = kv::Value::Synthetic(0, /*count=*/1000);
+  rig.net().Send(&rig.client(), 0,
+                 sim::MakePacket(rig.ServerAddrFor(K(9)),
+                                 testrig::kControllerAddr, 7000, 7000,
+                                 std::move(report)));
+  rig.Run(10 * kMillisecond);  // one update period
+  rig.Settle();
+
+  EXPECT_TRUE(rig.controller().IsCached(K(9)));
+  EXPECT_TRUE(rig.controller().IsCached(K(1))) << "hot key survives";
+  EXPECT_FALSE(rig.controller().IsCached(K(2))) << "cold key evicted";
+  EXPECT_GE(rig.controller().stats().evictions, 1u);
+  EXPECT_GE(rig.controller().stats().reports_received, 1u);
+
+  // The new key serves from the switch.
+  rig.SendRead(K(9), 200);
+  rig.Settle();
+  ASSERT_NE(rig.FindReply(200), nullptr);
+  EXPECT_EQ(rig.FindReply(200)->msg.cached, 1);
+}
+
+TEST(Controller, ColderReportedKeyDoesNotEvict) {
+  Rig rig(ControllerRig(2));
+  rig.controller().Preload({K(1), K(2)});
+  rig.controller().Start();
+  rig.Settle();
+  for (uint32_t i = 0; i < 20; ++i) {
+    rig.SendRead(K(1), 100 + i);
+    rig.SendRead(K(2), 200 + i);
+    rig.Run(2 * kMicrosecond);
+  }
+  proto::Message report;
+  report.op = proto::Op::kTopKReport;
+  report.key = K(9);
+  report.value = kv::Value::Synthetic(0, /*count=*/1);  // colder than both
+  rig.net().Send(&rig.client(), 0,
+                 sim::MakePacket(rig.ServerAddrFor(K(9)),
+                                 testrig::kControllerAddr, 7000, 7000,
+                                 std::move(report)));
+  rig.Run(10 * kMillisecond);
+  EXPECT_FALSE(rig.controller().IsCached(K(9)));
+  EXPECT_TRUE(rig.controller().IsCached(K(1)));
+  EXPECT_TRUE(rig.controller().IsCached(K(2)));
+}
+
+TEST(Controller, NewKeyInheritsVictimIndex) {
+  Rig rig(ControllerRig(1));
+  rig.controller().Preload({K(1)});
+  rig.controller().Start();
+  rig.Settle();
+  const uint32_t old_idx = *rig.program().FindIdx(HashKey128(K(1)));
+
+  proto::Message report;
+  report.op = proto::Op::kTopKReport;
+  report.key = K(9);
+  report.value = kv::Value::Synthetic(0, 1000);
+  rig.net().Send(&rig.client(), 0,
+                 sim::MakePacket(rig.ServerAddrFor(K(9)),
+                                 testrig::kControllerAddr, 7000, 7000,
+                                 std::move(report)));
+  rig.Run(10 * kMillisecond);
+  ASSERT_TRUE(rig.controller().IsCached(K(9)));
+  EXPECT_EQ(*rig.program().FindIdx(HashKey128(K(9))), old_idx)
+      << "§3.8: replacement inherits the CacheIdx";
+}
+
+TEST(Controller, DynamicSizingShrinksOnOverflow) {
+  RigConfig cfg = ControllerRig(8);
+  cfg.controller.dynamic_sizing = true;
+  cfg.controller.sizing_step = 2;
+  cfg.controller.overflow_threshold = 0.01;
+  Rig rig(cfg);
+  rig.controller().Preload({K(1)});
+  rig.controller().Start();
+  rig.Settle();
+
+  // Burst far beyond the queue depth so the overflow ratio spikes.
+  for (uint32_t i = 0; i < 64; ++i) rig.SendRead(K(1), 1000 + i);
+  rig.Run(10 * kMillisecond);
+  EXPECT_LT(rig.controller().current_cache_size(), 8u);
+  EXPECT_GE(rig.controller().stats().size_decreases, 1u);
+}
+
+TEST(Controller, DynamicSizingGrowsWhenHealthy) {
+  RigConfig cfg = ControllerRig(4);
+  cfg.controller.dynamic_sizing = true;
+  cfg.controller.sizing_step = 4;
+  Rig rig(cfg);
+  rig.controller().Preload({K(1)});
+  rig.controller().Start();
+  rig.Settle();
+  for (uint32_t i = 0; i < 10; ++i) {
+    rig.SendRead(K(1), 100 + i);
+    rig.Run(kMillisecond);
+  }
+  rig.Run(20 * kMillisecond);
+  EXPECT_GT(rig.controller().current_cache_size(), 4u);
+  EXPECT_GE(rig.controller().stats().size_increases, 1u);
+}
+
+TEST(Controller, RefusesOversizedConfiguration) {
+  RigConfig cfg = ControllerRig();
+  cfg.controller.max_cache_size = 999;  // > data-plane capacity of 32
+  EXPECT_THROW(Rig rig(cfg), CheckFailure);
+}
+
+}  // namespace
+}  // namespace orbit::oc

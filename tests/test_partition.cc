@@ -1,0 +1,52 @@
+#include "kv/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace orbit::kv {
+namespace {
+
+TEST(Partitioner, DeterministicMapping) {
+  Partitioner p(32, 1);
+  EXPECT_EQ(p.ServerFor("key-1"), p.ServerFor("key-1"));
+  Partitioner q(32, 1);
+  EXPECT_EQ(p.ServerFor("key-1"), q.ServerFor("key-1"));
+}
+
+TEST(Partitioner, StaysInRange) {
+  Partitioner p(7, 3);
+  for (int i = 0; i < 10000; ++i)
+    EXPECT_LT(p.ServerFor("k" + std::to_string(i)), 7u);
+}
+
+TEST(Partitioner, BalancesUniformKeys) {
+  const uint32_t n = 16;
+  Partitioner p(n, 5);
+  std::vector<int> counts(n, 0);
+  const int keys = 160000;
+  for (int i = 0; i < keys; ++i) ++counts[p.ServerFor("k" + std::to_string(i))];
+  for (uint32_t s = 0; s < n; ++s) {
+    const double frac = static_cast<double>(counts[s]) / keys;
+    EXPECT_NEAR(frac, 1.0 / n, 0.01) << "server " << s;
+  }
+}
+
+TEST(Partitioner, SeedReshuffles) {
+  Partitioner a(32, 1), b(32, 2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.ServerFor("k" + std::to_string(i)) ==
+        b.ServerFor("k" + std::to_string(i)))
+      ++same;
+  EXPECT_LT(same, 100);
+}
+
+TEST(Partitioner, RejectsZeroServers) {
+  EXPECT_THROW(Partitioner(0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace orbit::kv

@@ -1,0 +1,71 @@
+#include "rmt/pre.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "sim/packet.h"
+
+namespace orbit::rmt {
+namespace {
+
+TEST(Pre, GroupProgrammingAndLookup) {
+  Pre pre;
+  pre.SetGroup(1, {McastTarget{false, 5}, McastTarget{true, -1}});
+  const auto* g = pre.Group(1);
+  ASSERT_NE(g, nullptr);
+  ASSERT_EQ(g->size(), 2u);
+  EXPECT_FALSE((*g)[0].recirculate);
+  EXPECT_EQ((*g)[0].port, 5);
+  EXPECT_TRUE((*g)[1].recirculate);
+  EXPECT_EQ(pre.Group(2), nullptr);
+}
+
+TEST(Pre, GroupsCanBeReprogrammed) {
+  Pre pre;
+  pre.SetGroup(1, {McastTarget{false, 5}});
+  pre.SetGroup(1, {McastTarget{false, 9}});
+  EXPECT_EQ((*pre.Group(1))[0].port, 9);
+  EXPECT_EQ(pre.num_groups(), 1u);
+}
+
+TEST(Pre, RejectsReservedAndEmptyGroups) {
+  Pre pre;
+  EXPECT_THROW(pre.SetGroup(0, {McastTarget{false, 1}}), CheckFailure);
+  EXPECT_THROW(pre.SetGroup(1, {}), CheckFailure);
+}
+
+TEST(Pre, CloneCountsAccumulate) {
+  Pre pre;
+  EXPECT_EQ(pre.clones_made(), 0u);
+  pre.CountClones(3);
+  pre.CountClones(1);
+  EXPECT_EQ(pre.clones_made(), 4u);
+}
+
+TEST(ClonePacket, IsDescriptorCopyWithSharedPayload) {
+  // The PRE copies the descriptor, not the bytes: a clone of a packet with
+  // a materialized value must compare equal and share the backing string.
+  sim::Packet pkt;
+  pkt.src = 1;
+  pkt.dst = 2;
+  pkt.msg.op = proto::Op::kReadRep;
+  pkt.msg.key = "kkkkkkkkkkkkkkkk";
+  pkt.msg.value = kv::Value::FromBytes(std::string(256, 'v'));
+  pkt.recirc_count = 3;
+
+  sim::PacketPtr clone = sim::ClonePacket(pkt);
+  EXPECT_EQ(clone->src, pkt.src);
+  EXPECT_EQ(clone->msg.key, pkt.msg.key);
+  EXPECT_EQ(clone->msg.value, pkt.msg.value);
+  EXPECT_EQ(clone->recirc_count, 3u);
+  EXPECT_EQ(clone->wire_bytes(), pkt.wire_bytes());
+
+  // Mutating the clone's header does not touch the original.
+  clone->dst = 99;
+  clone->msg.seq = 7;
+  EXPECT_EQ(pkt.dst, 2u);
+  EXPECT_EQ(pkt.msg.seq, 0u);
+}
+
+}  // namespace
+}  // namespace orbit::rmt

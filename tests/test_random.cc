@@ -1,0 +1,94 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace orbit {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i)
+    if (a2.NextU64() != c.NextU64()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformU64StaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) EXPECT_LT(rng.UniformU64(13), 13u);
+}
+
+TEST(Rng, UniformU64IsUnbiased) {
+  Rng rng(7);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformU64(bound)];
+  for (uint64_t v = 0; v < bound; ++v) {
+    const double freq = static_cast<double>(counts[v]) / n;
+    EXPECT_NEAR(freq, 0.1, 0.01) << "value " << v;
+  }
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(9);
+  double mn = 1, mx = 0, sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_LT(mn, 0.001);
+  EXPECT_GT(mx, 0.999);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMatchesMeanAndVariance) {
+  Rng rng(11);
+  const double mean = 250.0;
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Exponential(mean);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double m = sum / n;
+  const double var = sq / n - m * m;
+  EXPECT_NEAR(m, mean, mean * 0.02);
+  EXPECT_NEAR(std::sqrt(var), mean, mean * 0.03);  // exp: stddev == mean
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.Exponential(0), CheckFailure);
+  EXPECT_THROW(rng.Exponential(-1), CheckFailure);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.Bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  Rng rng2(14);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng2.Bernoulli(0.0));
+    EXPECT_TRUE(rng2.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace orbit

@@ -1,0 +1,64 @@
+#include "rmt/register_array.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace orbit::rmt {
+namespace {
+
+TEST(RegisterArray, ReadWriteAndInitialValue) {
+  Resources res((AsicConfig()));
+  RegisterArray<uint32_t> arr(&res, "r", 0, 16, 7u);
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(arr.at(i), 7u);
+  arr.at(3) = 99;
+  EXPECT_EQ(arr.at(3), 99u);
+  arr.Fill(1);
+  EXPECT_EQ(arr.at(3), 1u);
+}
+
+TEST(RegisterArray, BoundsChecked) {
+  Resources res((AsicConfig()));
+  RegisterArray<uint8_t> arr(&res, "r", 0, 8);
+  EXPECT_THROW(arr.at(8), CheckFailure);
+}
+
+TEST(RegisterArray, EnforcesAluWidthLimit) {
+  AsicConfig cfg;
+  cfg.alu_bytes_per_stage = 4;
+  Resources res(cfg);
+  // 8-byte slots exceed a 4-byte ALU: the hardware constraint NetCache's
+  // value striping lives under.
+  EXPECT_THROW(
+      (RegisterArray<uint64_t>(&res, "wide", 0, 4)), CheckFailure);
+  RegisterArray<uint32_t> ok(&res, "ok", 0, 4);  // 4 bytes fits
+}
+
+TEST(RegisterArray, AccountsSramPerStage) {
+  Resources res((AsicConfig()));
+  RegisterArray<uint64_t> arr(&res, "big", 2, 1024);
+  EXPECT_EQ(res.sram_bytes_used(), 1024u * 8);
+  EXPECT_EQ(res.stages_used(), 3);  // stages 0..2
+}
+
+TEST(RegisterArray, StageAluBudgetEnforced) {
+  AsicConfig cfg;
+  cfg.alus_per_stage = 2;
+  Resources res(cfg);
+  RegisterArray<uint8_t> a(&res, "a", 0, 4);
+  RegisterArray<uint8_t> b(&res, "b", 0, 4);
+  EXPECT_THROW((RegisterArray<uint8_t>(&res, "c", 0, 4)), CheckFailure);
+  // A different stage is fine.
+  RegisterArray<uint8_t> d(&res, "d", 1, 4);
+}
+
+TEST(ScalarRegister, ActsAsSizeOneArray) {
+  Resources res((AsicConfig()));
+  Register<uint64_t> counter(&res, "ctr", 0);
+  EXPECT_EQ(counter.get(), 0u);
+  counter.get() += 5;
+  EXPECT_EQ(counter.get(), 5u);
+}
+
+}  // namespace
+}  // namespace orbit::rmt

@@ -1,0 +1,74 @@
+#include "rmt/resources.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace orbit::rmt {
+namespace {
+
+ResourceEntry Entry(const std::string& name, int stage, uint64_t sram,
+                    int alus = 0, int tables = 0, uint32_t key = 0) {
+  ResourceEntry e;
+  e.name = name;
+  e.stage = stage;
+  e.sram_bytes = sram;
+  e.alus = alus;
+  e.tables = tables;
+  e.match_key_bytes = key;
+  return e;
+}
+
+TEST(Resources, TracksUsage) {
+  Resources res((AsicConfig()));
+  res.Declare(Entry("a", 0, 1024, 1));
+  res.Declare(Entry("b", 3, 2048, 2));
+  EXPECT_EQ(res.stages_used(), 4);
+  EXPECT_EQ(res.sram_bytes_used(), 3072u);
+  EXPECT_EQ(res.alus_used(), 3);
+  EXPECT_GT(res.sram_fraction_used(), 0.0);
+}
+
+TEST(Resources, RejectsInvalidStage) {
+  AsicConfig cfg;
+  cfg.num_stages = 4;
+  Resources res(cfg);
+  EXPECT_THROW(res.Declare(Entry("bad", 4, 1)), CheckFailure);
+  EXPECT_THROW(res.Declare(Entry("bad", -1, 1)), CheckFailure);
+}
+
+TEST(Resources, RejectsOverWideMatchKey) {
+  Resources res((AsicConfig()));  // 16B max
+  EXPECT_THROW(res.Declare(Entry("t", 0, 1, 0, 1, 17)), CheckFailure);
+  res.Declare(Entry("t", 0, 1, 0, 1, 16));
+}
+
+TEST(Resources, EnforcesPerStageSram) {
+  AsicConfig cfg;
+  cfg.sram_bytes_per_stage = 1000;
+  Resources res(cfg);
+  res.Declare(Entry("a", 0, 600));
+  EXPECT_THROW(res.Declare(Entry("b", 0, 600)), CheckFailure);
+  res.Declare(Entry("b", 1, 600));  // another stage has its own budget
+}
+
+TEST(Resources, EnforcesPerStageTables) {
+  AsicConfig cfg;
+  cfg.tables_per_stage = 1;
+  Resources res(cfg);
+  res.Declare(Entry("t1", 0, 1, 0, 1));
+  EXPECT_THROW(res.Declare(Entry("t2", 0, 1, 0, 1)), CheckFailure);
+}
+
+TEST(Resources, ReportMentionsEveryObject) {
+  Resources res((AsicConfig()));
+  res.Declare(Entry("lookup_table", 0, 4096, 0, 1, 16));
+  res.Declare(Entry("valid_bits", 1, 128, 1));
+  const std::string report = res.Report();
+  EXPECT_NE(report.find("lookup_table"), std::string::npos);
+  EXPECT_NE(report.find("valid_bits"), std::string::npos);
+  EXPECT_NE(report.find("2/12 stages"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orbit::rmt

@@ -1,0 +1,189 @@
+// Storage-server shim behaviour: rate limiting, reply shapes, lazy value
+// synthesis, and top-k reporting (§3.1, §4).
+#include "apps/server.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace orbit::app {
+namespace {
+
+constexpr Addr kClient = 1, kServer = 2, kController = 3;
+constexpr L4Port kPort = 5008;
+
+class Catcher : public sim::Node {
+ public:
+  explicit Catcher(sim::Simulator* sim) : sim_(sim) {}
+  void OnPacket(sim::PacketPtr pkt, int) override {
+    replies.emplace_back(pkt->msg, sim_->now());
+  }
+  std::string name() const override { return "catcher"; }
+  std::vector<std::pair<proto::Message, SimTime>> replies;
+  sim::Simulator* sim_;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void Build(double rate_rps, Addr controller = kInvalidAddr,
+             SimTime report_period = 10 * kMillisecond) {
+    ServerConfig cfg;
+    cfg.addr = kServer;
+    cfg.srv_id = 7;
+    cfg.orbit_port = kPort;
+    cfg.service_rate_rps = rate_rps;
+    cfg.rx_queue_limit = 4;
+    cfg.controller_addr = controller;
+    cfg.report_period = report_period;
+    cfg.report_k = 4;
+    server_ = std::make_unique<ServerNode>(&sim_, &net_, 0, cfg,
+                                           [](const Key&) { return 40u; });
+    // The catcher plays both client and controller: two separate links.
+    auto s = net_.Connect(server_.get(), &catcher_, sim::LinkConfig{});
+    (void)s;
+    server_->Start();
+  }
+
+  void Send(proto::Op op, const Key& key, uint32_t seq, uint32_t size = 0,
+            uint8_t flag = 0, uint64_t version = 0) {
+    proto::Message msg;
+    msg.op = op;
+    msg.seq = seq;
+    msg.key = key;
+    msg.flag = flag;
+    if (size > 0 || version > 0) msg.value = kv::Value::Synthetic(size, version);
+    auto pkt = sim::MakePacket(kClient, kServer, 9000, kPort, std::move(msg));
+    // Deliver straight to the server (the catcher owns the far end).
+    sim_.Deliver(sim_.now(), server_.get(), 0, std::move(pkt));
+  }
+
+  const proto::Message* Find(uint32_t seq) {
+    for (auto& [msg, at] : catcher_.replies)
+      if (msg.seq == seq) return &msg;
+    return nullptr;
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_{&sim_};
+  Catcher catcher_{&sim_};
+  std::unique_ptr<ServerNode> server_;
+};
+
+TEST_F(ServerTest, ReadSynthesizesValueLazily) {
+  Build(0);
+  EXPECT_EQ(server_->store().size(), 0u);
+  Send(proto::Op::kReadReq, "some-key", 1);
+  sim_.RunToCompletion();
+  const auto* rep = Find(1);
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->op, proto::Op::kReadRep);
+  EXPECT_EQ(rep->key, "some-key");
+  EXPECT_EQ(rep->value.size(), 40u);
+  EXPECT_EQ(rep->srv_id, 7);
+  EXPECT_EQ(server_->store().size(), 1u);
+  // Second read reuses the stored value (same version).
+  Send(proto::Op::kReadReq, "some-key", 2);
+  sim_.RunToCompletion();
+  EXPECT_EQ(Find(2)->value.version(), Find(1)->value.version());
+}
+
+TEST_F(ServerTest, WriteRepliesCarryValueOnlyWhenFlagged) {
+  Build(0);
+  Send(proto::Op::kWriteReq, "k", 1, /*size=*/80);
+  sim_.RunToCompletion();
+  ASSERT_NE(Find(1), nullptr);
+  EXPECT_EQ(Find(1)->value.size(), 0u) << "uncached write: metadata only";
+  EXPECT_EQ(Find(1)->value.version(), 1u);
+
+  Send(proto::Op::kWriteReq, "k", 2, /*size=*/80, proto::kFlagCachedWrite);
+  sim_.RunToCompletion();
+  ASSERT_NE(Find(2), nullptr);
+  EXPECT_EQ(Find(2)->value.size(), 80u)
+      << "cached write: value appended for the switch (§3.3)";
+  EXPECT_EQ(Find(2)->value.version(), 2u);
+  EXPECT_NE(Find(2)->flag & proto::kFlagCachedWrite, 0);
+}
+
+TEST_F(ServerTest, FlushWritesApplySilently) {
+  Build(0);
+  Send(proto::Op::kWriteReq, "k", 1, /*size=*/64, proto::kFlagFlush,
+       /*version=*/9);
+  sim_.RunToCompletion();
+  EXPECT_EQ(Find(1), nullptr) << "no reply to a flush";
+  EXPECT_EQ(server_->stats().flushes, 1u);
+  auto v = server_->store().Get("k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->version(), 9u);
+}
+
+TEST_F(ServerTest, FetchRepliesEchoRequester) {
+  Build(0);
+  proto::Message msg;
+  msg.op = proto::Op::kFetchReq;
+  msg.seq = 5;
+  msg.key = "fetch-me";
+  msg.epoch = 33;
+  sim_.Deliver(sim_.now(), server_.get(), 0,
+               sim::MakePacket(kController, kServer, kPort, kPort,
+                               std::move(msg)));
+  sim_.RunToCompletion();
+  const auto* rep = Find(5);
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->op, proto::Op::kFetchRep);
+  EXPECT_EQ(rep->epoch, 33u) << "epoch echoed for the coherence guard";
+  EXPECT_EQ(rep->value.size(), 40u);
+}
+
+TEST_F(ServerTest, RateLimitSpacesCompletions) {
+  Build(100'000);  // 10us service time
+  for (uint32_t i = 0; i < 3; ++i) Send(proto::Op::kReadReq, "k", i);
+  sim_.RunToCompletion();
+  ASSERT_EQ(catcher_.replies.size(), 3u);
+  const SimTime t0 = catcher_.replies[0].second;
+  const SimTime t1 = catcher_.replies[1].second;
+  const SimTime t2 = catcher_.replies[2].second;
+  EXPECT_NEAR(static_cast<double>(t1 - t0), 10'000, 100);
+  EXPECT_NEAR(static_cast<double>(t2 - t1), 10'000, 100);
+}
+
+TEST_F(ServerTest, QueueOverflowDrops) {
+  Build(100'000);
+  for (uint32_t i = 0; i < 10; ++i) Send(proto::Op::kReadReq, "k", i);
+  sim_.RunToCompletion();
+  EXPECT_EQ(server_->stats().dropped, 6u) << "queue limit is 4";
+  EXPECT_EQ(catcher_.replies.size(), 4u);
+}
+
+TEST_F(ServerTest, TopKReportsHotKeys) {
+  Build(0, kController, 5 * kMillisecond);
+  for (int round = 0; round < 20; ++round) {
+    Send(proto::Op::kReadReq, "hot", 1000 + static_cast<uint32_t>(round));
+    if (round % 4 == 0)
+      Send(proto::Op::kReadReq, "mild", 2000 + static_cast<uint32_t>(round));
+    // Space the burst out so the 4-slot Rx queue never overflows.
+    sim_.RunUntil(sim_.now() + 50 * kMicrosecond);
+  }
+  sim_.RunUntil(6 * kMillisecond);
+  std::vector<std::pair<Key, uint64_t>> reported;
+  for (auto& [msg, at] : catcher_.replies)
+    if (msg.op == proto::Op::kTopKReport)
+      reported.emplace_back(msg.key, msg.value.version());
+  ASSERT_GE(reported.size(), 2u);
+  EXPECT_EQ(reported[0].first, "hot");
+  EXPECT_GE(reported[0].second, 20u);
+}
+
+TEST_F(ServerTest, CorrectionsServedLikeReads) {
+  Build(0);
+  Send(proto::Op::kCorrectionReq, "fix-me", 9);
+  sim_.RunToCompletion();
+  const auto* rep = Find(9);
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->op, proto::Op::kReadRep);
+  EXPECT_EQ(rep->key, "fix-me");
+  EXPECT_EQ(server_->stats().corrections, 1u);
+}
+
+}  // namespace
+}  // namespace orbit::app

@@ -1,0 +1,83 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace orbit::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  SimTime seen = -1;
+  sim.At(100, [&] { seen = sim.now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.At(50, [&] {
+    fired.push_back(sim.now());
+    sim.After(25, [&] { fired.push_back(sim.now()); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, (std::vector<SimTime>{50, 75}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.At(10, [&] { ++count; });
+  sim.At(20, [&] { ++count; });
+  sim.At(30, [&] { ++count; });
+  sim.RunUntil(20);
+  EXPECT_EQ(count, 2);  // events at exactly t run
+  EXPECT_EQ(sim.now(), 20);
+  sim.RunUntil(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), 100);  // clock advances even past last event
+}
+
+TEST(Simulator, RejectsSchedulingIntoThePast) {
+  Simulator sim;
+  sim.At(100, [] {});
+  sim.RunToCompletion();
+  EXPECT_THROW(sim.At(50, [] {}), CheckFailure);
+  EXPECT_THROW(sim.After(-1, [] {}), CheckFailure);
+}
+
+TEST(Simulator, CountsEvents) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.At(i, [] {});
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.events_processed(), 10u);
+}
+
+TEST(Simulator, CascadedEventsRunSameTimestamp) {
+  // An event scheduling another event at the same instant runs it before
+  // later-timestamped events.
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(10, [&] {
+    order.push_back(1);
+    sim.After(0, [&] { order.push_back(2); });
+  });
+  sim.At(11, [&] { order.push_back(3); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, StepReturnsFalseWhenDrained) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.At(1, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+}  // namespace
+}  // namespace orbit::sim

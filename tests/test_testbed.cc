@@ -1,0 +1,159 @@
+// End-to-end smoke and property tests for the full testbed assembly.
+#include "testbed/testbed.h"
+
+#include <gtest/gtest.h>
+
+namespace orbit::testbed {
+namespace {
+
+TestbedConfig SmallConfig(Scheme scheme) {
+  TestbedConfig cfg;
+  cfg.scheme = scheme;
+  cfg.num_clients = 2;
+  cfg.num_servers = 8;
+  cfg.server_rate_rps = 20'000;
+  cfg.client_rate_rps = 400'000;
+  cfg.num_keys = 100'000;
+  cfg.zipf_theta = 0.99;
+  cfg.orbit_cache_size = 32;
+  cfg.orbit_capacity = 128;
+  cfg.netcache_size = 1000;
+  cfg.warmup = 20 * kMillisecond;
+  cfg.duration = 80 * kMillisecond;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Testbed, OrbitCacheSmokeRun) {
+  TestbedResult res = RunTestbed(SmallConfig(Scheme::kOrbitCache));
+  EXPECT_GT(res.rx_rps, 0);
+  EXPECT_GT(res.cache_served_rps, 0) << "switch should serve hot keys";
+  EXPECT_GT(res.absorbed, 0u);
+  EXPECT_EQ(res.stale_reads, 0u);
+  EXPECT_EQ(res.cache_entries, 32u);
+  // Exactly one cache packet should circulate per preloaded (valid) entry.
+  EXPECT_LE(res.cache_packets_in_flight, 32u);
+  EXPECT_GE(res.cache_packets_in_flight, 28u);
+}
+
+TEST(Testbed, NoCacheSmokeRun) {
+  TestbedResult res = RunTestbed(SmallConfig(Scheme::kNoCache));
+  EXPECT_GT(res.rx_rps, 0);
+  EXPECT_EQ(res.cache_served_rps, 0);
+  EXPECT_EQ(res.stale_reads, 0u);
+}
+
+TEST(Testbed, NetCacheSmokeRun) {
+  TestbedResult res = RunTestbed(SmallConfig(Scheme::kNetCache));
+  EXPECT_GT(res.rx_rps, 0);
+  EXPECT_GT(res.cache_served_rps, 0);
+  EXPECT_EQ(res.stale_reads, 0u);
+}
+
+TEST(Testbed, OrbitCacheBeatsNoCacheOnSkewedWorkload) {
+  // Compare saturated throughput — the paper's Fig. 9 metric. Under skew
+  // the hottest partition caps NoCache, while OrbitCache absorbs the hot
+  // keys in the switch.
+  TestbedResult orbit = FindSaturation(SmallConfig(Scheme::kOrbitCache)).result;
+  TestbedResult nocache = FindSaturation(SmallConfig(Scheme::kNoCache)).result;
+  EXPECT_GT(orbit.rx_rps, 1.5 * nocache.rx_rps);
+  EXPECT_GE(orbit.balancing_efficiency, nocache.balancing_efficiency);
+}
+
+TEST(Testbed, UniformWorkloadNeedsNoCache) {
+  TestbedConfig cfg = SmallConfig(Scheme::kNoCache);
+  cfg.zipf_theta = 0.0;
+  cfg.client_rate_rps = 100'000;  // below aggregate capacity of 160K
+  TestbedResult res = RunTestbed(cfg);
+  // Uniform load balances itself: every server sees similar traffic.
+  EXPECT_GT(res.balancing_efficiency, 0.8);
+}
+
+TEST(Testbed, WritesReachServersAndStayCoherent) {
+  TestbedConfig cfg = SmallConfig(Scheme::kOrbitCache);
+  cfg.write_ratio = 0.2;
+  TestbedResult res = RunTestbed(cfg);
+  EXPECT_GT(res.rx_rps, 0);
+  EXPECT_EQ(res.stale_reads, 0u) << "invalidation protocol must hold";
+  EXPECT_GT(res.write_latency.count(), 0u);
+}
+
+TEST(Testbed, WriteBackOutperformsWriteThroughUnderWrites) {
+  // §3.10: write-back keeps serving from the switch regardless of the
+  // write ratio, while write-through forfeits its gain to invalidations.
+  TestbedConfig wt = SmallConfig(Scheme::kOrbitCache);
+  wt.write_ratio = 0.5;
+  TestbedConfig wb = wt;
+  wb.write_back = true;
+
+  TestbedResult wt_res = FindSaturation(wt).result;
+  TestbedResult wb_res = FindSaturation(wb).result;
+  EXPECT_GT(wb_res.rx_rps, 1.2 * wt_res.rx_rps);
+  EXPECT_EQ(wb_res.stale_reads, 0u);
+  EXPECT_GT(wb_res.cache_served_rps, wt_res.cache_served_rps);
+}
+
+TEST(Testbed, MultiPacketItemsEndToEnd) {
+  // Values spanning three packets: fragments circulate, clients
+  // reassemble, coherence still holds. Run below server saturation — in
+  // sustained overload, write replies return so late that newer writes
+  // have always superseded them and entries legitimately stay invalid.
+  TestbedConfig cfg = SmallConfig(Scheme::kOrbitCache);
+  cfg.multi_packet = true;
+  cfg.value_dist = wl::ValueDist::Fixed(4000);
+  cfg.orbit_cache_size = 8;  // 3 packets per entry: keep the ring modest
+  cfg.write_ratio = 0.05;
+  cfg.client_rate_rps = 120'000;  // below the 160K aggregate capacity
+  TestbedResult res = RunTestbed(cfg);
+  EXPECT_GT(res.rx_rps, 100'000.0);
+  EXPECT_GT(res.cache_served_rps, 10'000.0)
+      << "large items served by the switch";
+  EXPECT_EQ(res.stale_reads, 0u);
+  // Three fragments per cached entry orbit the switch; entries with a
+  // write in flight at the snapshot may be momentarily packet-less.
+  EXPECT_GE(res.cache_packets_in_flight, 12u);
+  EXPECT_LE(res.cache_packets_in_flight, 24u);
+}
+
+TEST(Testbed, DynamicWorkloadRecoversAfterSwap) {
+  TestbedConfig cfg = SmallConfig(Scheme::kOrbitCache);
+  cfg.num_servers = 4;
+  cfg.server_rate_rps = 50'000;
+  cfg.client_rate_rps = 180'000;
+  cfg.num_keys = 50'000;
+  cfg.orbit_cache_size = 32;
+  cfg.hot_in = true;
+  cfg.hot_in_count = 32;
+  cfg.hot_in_period = 400 * kMillisecond;
+  cfg.run_cache_updates = true;
+  cfg.update_period = 100 * kMillisecond;
+  cfg.report_period = 100 * kMillisecond;
+  cfg.warmup = 0;
+  cfg.duration = 1200 * kMillisecond;
+  cfg.timeline_bin = 50 * kMillisecond;
+  TestbedResult res = RunTestbed(cfg);
+  ASSERT_GE(res.throughput_timeline.size(), 20u);
+  // After the swap at 400 ms the controller must restore switch serving:
+  // the last pre-swap bin and the tail of the post-swap window should both
+  // be near the offered rate.
+  const double before = res.throughput_timeline[6];   // 300-350 ms
+  const double settled = res.throughput_timeline[14]; // 700-750 ms
+  EXPECT_GT(before, 150'000.0);
+  EXPECT_GT(settled, 0.9 * before) << "recovery within ~300 ms of the swap";
+  EXPECT_EQ(res.stale_reads, 0u);
+}
+
+TEST(Testbed, SaturationSearchFindsTheServerLimit) {
+  // With a uniform workload the saturation point must sit near the
+  // aggregate server capacity, independent of the probe rate.
+  TestbedConfig cfg = SmallConfig(Scheme::kNoCache);
+  cfg.zipf_theta = 0.0;
+  SaturationResult sat = FindSaturation(cfg);
+  const double capacity = cfg.server_rate_rps * cfg.num_servers;
+  EXPECT_GT(sat.result.rx_rps, 0.75 * capacity);
+  EXPECT_LE(sat.result.rx_rps, 1.05 * capacity);
+  EXPECT_GE(sat.runs, 2);
+}
+
+}  // namespace
+}  // namespace orbit::testbed

@@ -1,0 +1,73 @@
+#include "workload/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "workload/zipf.h"
+
+namespace orbit::wl {
+namespace {
+
+TEST(TopK, FindsExactTopOnDistinctCounts) {
+  TopKTracker tracker(3);
+  for (int i = 0; i < 50; ++i) tracker.Update("hot");
+  for (int i = 0; i < 30; ++i) tracker.Update("warm");
+  for (int i = 0; i < 10; ++i) tracker.Update("mild");
+  for (int i = 0; i < 2; ++i) tracker.Update("cold" + std::to_string(i));
+
+  const auto top = tracker.Snapshot();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "hot");
+  EXPECT_EQ(top[1].key, "warm");
+  EXPECT_EQ(top[2].key, "mild");
+  EXPECT_GE(top[0].count, 50u);
+}
+
+TEST(TopK, ResetForgetsHistory) {
+  TopKTracker tracker(2);
+  tracker.Update("a", 100);
+  tracker.Reset();
+  tracker.Update("b", 1);
+  const auto top = tracker.Snapshot();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, "b");
+}
+
+TEST(TopK, SnapshotIsSortedDescending) {
+  TopKTracker tracker(8);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i)
+    tracker.Update("k" + std::to_string(rng.UniformU64(50)));
+  const auto top = tracker.Snapshot();
+  for (size_t i = 1; i < top.size(); ++i)
+    EXPECT_GE(top[i - 1].count, top[i].count);
+}
+
+TEST(TopK, RecoversZipfHeadUnderChurn) {
+  // The server-side use case: identify the hottest uncached keys among a
+  // large churning key population within sketch memory.
+  TopKTracker tracker(16, 5, 4096);
+  ZipfGenerator zipf(100000, 0.99);
+  Rng rng(7);
+  for (int i = 0; i < 300000; ++i)
+    tracker.Update("key" + std::to_string(zipf.Sample(rng)));
+  const auto top = tracker.Snapshot();
+  ASSERT_GE(top.size(), 8u);
+  // The true hottest keys (ranks 0..3) must all be present.
+  std::unordered_map<std::string, bool> found;
+  for (const auto& e : top) found[e.key] = true;
+  for (int r = 0; r < 4; ++r)
+    EXPECT_TRUE(found.count("key" + std::to_string(r)))
+        << "missing rank " << r;
+}
+
+TEST(TopK, CandidateSetStaysBounded) {
+  TopKTracker tracker(4);
+  for (int i = 0; i < 10000; ++i) tracker.Update("k" + std::to_string(i));
+  EXPECT_LE(tracker.Snapshot().size(), 4u);
+}
+
+}  // namespace
+}  // namespace orbit::wl

@@ -1,0 +1,131 @@
+#include "workload/twitter.h"
+
+#include <gtest/gtest.h>
+
+#include "proto/message.h"
+#include "testbed/testbed.h"
+#include "workload/keyspace.h"
+
+namespace orbit::wl {
+namespace {
+
+TEST(Fig14Profiles, MatchPaperAnchors) {
+  const auto& profiles = Fig14Profiles();
+  ASSERT_EQ(profiles.size(), 5u);
+  EXPECT_EQ(profiles[0].id, "A");
+  EXPECT_NEAR(profiles[0].cacheable_ratio, 0.95, 1e-9);  // §5.2: 95%
+  EXPECT_EQ(profiles[4].id, "E");
+  EXPECT_NEAR(profiles[4].cacheable_ratio, 0.01, 1e-9);  // §5.2: 1%
+  // A's write ratio is "relatively high" compared to the rest.
+  for (size_t i = 1; i < profiles.size(); ++i)
+    EXPECT_GT(profiles[0].write_ratio, profiles[i].write_ratio);
+}
+
+TEST(NetCacheCacheable, DeterministicAndMatchesRatio) {
+  const auto& p = Fig14Profiles()[2];  // 45%
+  int cacheable = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(NetCacheCacheable(p, key), NetCacheCacheable(p, key));
+    if (NetCacheCacheable(p, key)) ++cacheable;
+  }
+  EXPECT_NEAR(static_cast<double>(cacheable) / n, p.cacheable_ratio, 0.01);
+}
+
+TEST(MotivationWorkloads, ReproducesPaperStatistics) {
+  const auto workloads = MotivationWorkloads();
+  ASSERT_EQ(workloads.size(), 54u);
+
+  const int samples = 8000;
+  CacheabilityLimits netcache{16, 128, 0};
+  CacheabilityLimits keys_only{16, UINT32_MAX, 0};
+  CacheabilityLimits values_only{UINT32_MAX, 128, 0};
+
+  int small_keys = 0, small_values = 0, none = 0, under10 = 0, over50 = 0;
+  for (const auto& w : workloads) {
+    if (CacheableFraction(w, keys_only, samples, 1) > 0.8) ++small_keys;
+    if (CacheableFraction(w, values_only, samples, 2) > 0.8) ++small_values;
+    const double nc = CacheableFraction(w, netcache, samples, 3);
+    if (nc < 1e-4) ++none;
+    if (nc < 0.10) ++under10;
+    if (nc > 0.50) ++over50;
+  }
+  EXPECT_EQ(small_keys, 2);    // paper: 3.7% of 54
+  EXPECT_EQ(small_values, 21); // paper: 38.9% of 54
+  EXPECT_EQ(none, 42);         // paper: 77.8% of 54
+  EXPECT_EQ(under10, 46);      // paper: 85%
+  EXPECT_EQ(over50, 2);        // paper: 2 workloads
+}
+
+TEST(MotivationWorkloads, OrbitCacheCoversAlmostEverything) {
+  CacheabilityLimits orbit{UINT32_MAX, UINT32_MAX, proto::kMaxPayloadBytes};
+  double total = 0;
+  const auto workloads = MotivationWorkloads();
+  for (const auto& w : workloads)
+    total += CacheableFraction(w, orbit, 4000, 5);
+  EXPECT_GT(total / workloads.size(), 0.9);
+}
+
+TEST(TwitterTestbedMode, SizeFnPreservesTheSmallValueFraction) {
+  // §5.2: cacheability is assigned per key independent of size, yet the
+  // overall 64B-vs-1024B mix must still match the profile's p_small. The
+  // testbed achieves that by conditioning sizes on the cacheability coin.
+  for (const auto& profile : wl::Fig14Profiles()) {
+    testbed::TestbedConfig cfg;
+    cfg.twitter = &profile;
+    auto size_fn = testbed::MakeValueSizeFn(cfg);
+    wl::KeySpace ks(50'000, 16, cfg.seed);
+    int small = 0, cacheable = 0, cacheable_large = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) {
+      const Key key = ks.KeyForId(static_cast<uint64_t>(i));
+      const uint32_t size = size_fn(key);
+      ASSERT_TRUE(size == 64 || size == 1024);
+      if (size == 64) ++small;
+      if (testbed::NetCacheCanCache(cfg, key)) {
+        ++cacheable;
+        if (size > 64) ++cacheable_large;
+      }
+    }
+    // Every cacheable key is 64B, so the small fraction cannot fall below
+    // the cacheable ratio (binds on workload A where 95% are cacheable).
+    const double expected_small =
+        std::max(profile.p_small, profile.cacheable_ratio);
+    EXPECT_NEAR(static_cast<double>(small) / n, expected_small, 0.02)
+        << profile.id;
+    EXPECT_NEAR(static_cast<double>(cacheable) / n, profile.cacheable_ratio,
+                0.02)
+        << profile.id;
+    EXPECT_EQ(cacheable_large, 0)
+        << profile.id << ": cacheable keys must physically fit NetCache";
+  }
+}
+
+TEST(TwitterTestbedMode, NonTwitterModeUsesValueDist) {
+  testbed::TestbedConfig cfg;
+  cfg.value_dist = wl::ValueDist::Fixed(300);
+  auto size_fn = testbed::MakeValueSizeFn(cfg);
+  EXPECT_EQ(size_fn("whatever-key-000"), 300u);
+  EXPECT_FALSE(testbed::NetCacheCanCache(cfg, "whatever-key-000"))
+      << "300B exceeds the 64B register budget";
+  cfg.value_dist = wl::ValueDist::Fixed(64);
+  EXPECT_TRUE(testbed::NetCacheCanCache(cfg, "whatever-key-000"));
+  EXPECT_FALSE(
+      testbed::NetCacheCanCache(cfg, Key(17, 'k')))
+      << "key wider than the match key";
+}
+
+TEST(CacheableFraction, RespectsLimits) {
+  SizeProfile tiny{"t", 8, 0.1, 32, 0.1};
+  EXPECT_GT(CacheableFraction(tiny, {16, 128, 0}, 2000, 1), 0.95);
+  SizeProfile huge{"h", 100, 0.1, 4000, 0.1};
+  EXPECT_LT(CacheableFraction(huge, {16, 128, 0}, 2000, 1), 0.01);
+  // Combined budget binds even when the individual limits pass.
+  SizeProfile mid{"m", 10, 0.05, 100, 0.05};
+  EXPECT_GT(CacheableFraction(mid, {16, 128, 0}, 2000, 1), 0.5);
+  EXPECT_LT(CacheableFraction(mid, {16, 128, 100}, 2000, 1), 0.05);
+}
+
+}  // namespace
+}  // namespace orbit::wl

@@ -1,0 +1,67 @@
+#include "kv/value.h"
+
+#include <gtest/gtest.h>
+
+namespace orbit::kv {
+namespace {
+
+TEST(Value, SyntheticCarriesSizeAndVersion) {
+  Value v = Value::Synthetic(256, 7);
+  EXPECT_EQ(v.size(), 256u);
+  EXPECT_EQ(v.version(), 7u);
+  EXPECT_TRUE(v.is_synthetic());
+}
+
+TEST(Value, MaterializeIsDeterministicPerKeyAndVersion) {
+  Value v = Value::Synthetic(100, 3);
+  EXPECT_EQ(v.Materialize("k1"), v.Materialize("k1"));
+  EXPECT_NE(v.Materialize("k1"), v.Materialize("k2"));
+  Value v2 = Value::Synthetic(100, 4);
+  EXPECT_NE(v.Materialize("k1"), v2.Materialize("k1"));
+  EXPECT_EQ(v.Materialize("k1").size(), 100u);
+}
+
+TEST(Value, VersionSurvivesByteRoundTrip) {
+  Value v = Value::Synthetic(64, 42);
+  Value back = Value::FromBytes(v.Materialize("key"));
+  EXPECT_EQ(back.size(), 64u);
+  EXPECT_EQ(back.version(), 42u);
+  EXPECT_FALSE(back.is_synthetic());
+}
+
+TEST(Value, ContentEqualsAcrossRepresentations) {
+  Value synthetic = Value::Synthetic(128, 9);
+  Value bytes = Value::FromBytes(synthetic.Materialize("key"));
+  EXPECT_TRUE(synthetic.ContentEquals(bytes, "key"));
+  EXPECT_TRUE(bytes.ContentEquals(synthetic, "key"));
+  Value other = Value::Synthetic(128, 10);
+  EXPECT_FALSE(synthetic.ContentEquals(other, "key"));
+}
+
+TEST(Value, SmallValuesHaveNoVersionField) {
+  Value v = Value::Synthetic(4, 9);
+  EXPECT_EQ(v.Materialize("k").size(), 4u);
+  Value back = Value::FromBytes(v.Materialize("k"));
+  EXPECT_EQ(back.version(), 0u);  // too small to carry one
+}
+
+TEST(Value, ZeroSizeIsMetadataOnly) {
+  Value v = Value::Synthetic(0, 5);
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.version(), 5u);
+  EXPECT_EQ(v.Materialize("k"), "");
+}
+
+class ValueSizes : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ValueSizes, MaterializedLengthMatches) {
+  Value v = Value::Synthetic(GetParam(), 1);
+  EXPECT_EQ(v.Materialize("some-key").size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ValueSizes,
+                         ::testing::Values(1, 7, 8, 9, 63, 64, 128, 1024,
+                                           1416));
+
+}  // namespace
+}  // namespace orbit::kv
