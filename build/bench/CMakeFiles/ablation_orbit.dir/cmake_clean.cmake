@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_orbit.dir/ablation_orbit.cc.o"
+  "CMakeFiles/ablation_orbit.dir/ablation_orbit.cc.o.d"
+  "ablation_orbit"
+  "ablation_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

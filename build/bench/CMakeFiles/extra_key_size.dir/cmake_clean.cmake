@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_key_size.dir/extra_key_size.cc.o"
+  "CMakeFiles/extra_key_size.dir/extra_key_size.cc.o.d"
+  "extra_key_size"
+  "extra_key_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_key_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_skewness.dir/fig09_skewness.cc.o"
+  "CMakeFiles/fig09_skewness.dir/fig09_skewness.cc.o.d"
+  "fig09_skewness"
+  "fig09_skewness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_skewness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_server_loads.dir/fig10_server_loads.cc.o"
+  "CMakeFiles/fig10_server_loads.dir/fig10_server_loads.cc.o.d"
+  "fig10_server_loads"
+  "fig10_server_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_server_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_dynamic.dir/fig18_dynamic.cc.o"
+  "CMakeFiles/fig18_dynamic.dir/fig18_dynamic.cc.o.d"
+  "fig18_dynamic"
+  "fig18_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_cacheability.dir/motivation_cacheability.cc.o"
+  "CMakeFiles/motivation_cacheability.dir/motivation_cacheability.cc.o.d"
+  "motivation_cacheability"
+  "motivation_cacheability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_cacheability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rationale_request_recirc.dir/rationale_request_recirc.cc.o"
+  "CMakeFiles/rationale_request_recirc.dir/rationale_request_recirc.cc.o.d"
+  "rationale_request_recirc"
+  "rationale_request_recirc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rationale_request_recirc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

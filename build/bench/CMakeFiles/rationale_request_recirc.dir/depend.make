@@ -1,0 +1,2 @@
+# Empty dependencies file for rationale_request_recirc.
+# This may be replaced when dependencies are built.

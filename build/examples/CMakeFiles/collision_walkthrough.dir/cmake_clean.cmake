@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_walkthrough.dir/collision_walkthrough.cpp.o"
+  "CMakeFiles/collision_walkthrough.dir/collision_walkthrough.cpp.o.d"
+  "collision_walkthrough"
+  "collision_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_popularity.dir/dynamic_popularity.cpp.o"
+  "CMakeFiles/dynamic_popularity.dir/dynamic_popularity.cpp.o.d"
+  "dynamic_popularity"
+  "dynamic_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_rack.dir/multi_rack.cpp.o"
+  "CMakeFiles/multi_rack.dir/multi_rack.cpp.o.d"
+  "multi_rack"
+  "multi_rack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_rack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

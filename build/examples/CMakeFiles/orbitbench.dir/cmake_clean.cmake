@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orbitbench.dir/orbitbench.cpp.o"
+  "CMakeFiles/orbitbench.dir/orbitbench.cpp.o.d"
+  "orbitbench"
+  "orbitbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orbitbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_cluster.dir/twitter_cluster.cpp.o"
+  "CMakeFiles/twitter_cluster.dir/twitter_cluster.cpp.o.d"
+  "twitter_cluster"
+  "twitter_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/client.cc" "src/CMakeFiles/orbitlab.dir/apps/client.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/apps/client.cc.o.d"
+  "/root/repo/src/apps/server.cc" "src/CMakeFiles/orbitlab.dir/apps/server.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/apps/server.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/orbitlab.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/orbitlab.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/orbitlab.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/orbitlab.dir/common/random.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/common/random.cc.o.d"
+  "/root/repo/src/kv/hash_table.cc" "src/CMakeFiles/orbitlab.dir/kv/hash_table.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/kv/hash_table.cc.o.d"
+  "/root/repo/src/kv/kv_store.cc" "src/CMakeFiles/orbitlab.dir/kv/kv_store.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/kv/kv_store.cc.o.d"
+  "/root/repo/src/kv/partition.cc" "src/CMakeFiles/orbitlab.dir/kv/partition.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/kv/partition.cc.o.d"
+  "/root/repo/src/kv/value.cc" "src/CMakeFiles/orbitlab.dir/kv/value.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/kv/value.cc.o.d"
+  "/root/repo/src/netcache/controller.cc" "src/CMakeFiles/orbitlab.dir/netcache/controller.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/netcache/controller.cc.o.d"
+  "/root/repo/src/netcache/program.cc" "src/CMakeFiles/orbitlab.dir/netcache/program.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/netcache/program.cc.o.d"
+  "/root/repo/src/nocache/program.cc" "src/CMakeFiles/orbitlab.dir/nocache/program.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/nocache/program.cc.o.d"
+  "/root/repo/src/orbitcache/controller.cc" "src/CMakeFiles/orbitlab.dir/orbitcache/controller.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/orbitcache/controller.cc.o.d"
+  "/root/repo/src/orbitcache/program.cc" "src/CMakeFiles/orbitlab.dir/orbitcache/program.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/orbitcache/program.cc.o.d"
+  "/root/repo/src/orbitcache/request_table.cc" "src/CMakeFiles/orbitlab.dir/orbitcache/request_table.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/orbitcache/request_table.cc.o.d"
+  "/root/repo/src/proto/codec.cc" "src/CMakeFiles/orbitlab.dir/proto/codec.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/proto/codec.cc.o.d"
+  "/root/repo/src/proto/message.cc" "src/CMakeFiles/orbitlab.dir/proto/message.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/proto/message.cc.o.d"
+  "/root/repo/src/rmt/match_table.cc" "src/CMakeFiles/orbitlab.dir/rmt/match_table.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/rmt/match_table.cc.o.d"
+  "/root/repo/src/rmt/pre.cc" "src/CMakeFiles/orbitlab.dir/rmt/pre.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/rmt/pre.cc.o.d"
+  "/root/repo/src/rmt/register_array.cc" "src/CMakeFiles/orbitlab.dir/rmt/register_array.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/rmt/register_array.cc.o.d"
+  "/root/repo/src/rmt/resources.cc" "src/CMakeFiles/orbitlab.dir/rmt/resources.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/rmt/resources.cc.o.d"
+  "/root/repo/src/rmt/switch.cc" "src/CMakeFiles/orbitlab.dir/rmt/switch.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/rmt/switch.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/orbitlab.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/CMakeFiles/orbitlab.dir/sim/link.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/sim/link.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/orbitlab.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/packet.cc" "src/CMakeFiles/orbitlab.dir/sim/packet.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/sim/packet.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/orbitlab.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/orbitlab.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/sim/trace.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/orbitlab.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/meters.cc" "src/CMakeFiles/orbitlab.dir/stats/meters.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/stats/meters.cc.o.d"
+  "/root/repo/src/stats/time_series.cc" "src/CMakeFiles/orbitlab.dir/stats/time_series.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/stats/time_series.cc.o.d"
+  "/root/repo/src/testbed/testbed.cc" "src/CMakeFiles/orbitlab.dir/testbed/testbed.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/testbed/testbed.cc.o.d"
+  "/root/repo/src/workload/count_min.cc" "src/CMakeFiles/orbitlab.dir/workload/count_min.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/workload/count_min.cc.o.d"
+  "/root/repo/src/workload/dynamic.cc" "src/CMakeFiles/orbitlab.dir/workload/dynamic.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/workload/dynamic.cc.o.d"
+  "/root/repo/src/workload/keyspace.cc" "src/CMakeFiles/orbitlab.dir/workload/keyspace.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/workload/keyspace.cc.o.d"
+  "/root/repo/src/workload/top_k.cc" "src/CMakeFiles/orbitlab.dir/workload/top_k.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/workload/top_k.cc.o.d"
+  "/root/repo/src/workload/twitter.cc" "src/CMakeFiles/orbitlab.dir/workload/twitter.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/workload/twitter.cc.o.d"
+  "/root/repo/src/workload/value_dist.cc" "src/CMakeFiles/orbitlab.dir/workload/value_dist.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/workload/value_dist.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/orbitlab.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/workload/ycsb.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/orbitlab.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/orbitlab.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_util.dir/test_bench_util.cc.o"
+  "CMakeFiles/test_bench_util.dir/test_bench_util.cc.o.d"
+  "test_bench_util"
+  "test_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

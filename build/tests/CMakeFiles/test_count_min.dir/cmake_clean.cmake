@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_count_min.dir/test_count_min.cc.o"
+  "CMakeFiles/test_count_min.dir/test_count_min.cc.o.d"
+  "test_count_min"
+  "test_count_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_count_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_table.dir/test_hash_table.cc.o"
+  "CMakeFiles/test_hash_table.dir/test_hash_table.cc.o.d"
+  "test_hash_table"
+  "test_hash_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

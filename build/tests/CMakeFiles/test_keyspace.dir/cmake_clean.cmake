@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keyspace.dir/test_keyspace.cc.o"
+  "CMakeFiles/test_keyspace.dir/test_keyspace.cc.o.d"
+  "test_keyspace"
+  "test_keyspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keyspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_match_table.dir/test_match_table.cc.o"
+  "CMakeFiles/test_match_table.dir/test_match_table.cc.o.d"
+  "test_match_table"
+  "test_match_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_match_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_rack.dir/test_multi_rack.cc.o"
+  "CMakeFiles/test_multi_rack.dir/test_multi_rack.cc.o.d"
+  "test_multi_rack"
+  "test_multi_rack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_rack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netcache.dir/test_netcache.cc.o"
+  "CMakeFiles/test_netcache.dir/test_netcache.cc.o.d"
+  "test_netcache"
+  "test_netcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

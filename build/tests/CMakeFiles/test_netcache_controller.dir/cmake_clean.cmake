@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netcache_controller.dir/test_netcache_controller.cc.o"
+  "CMakeFiles/test_netcache_controller.dir/test_netcache_controller.cc.o.d"
+  "test_netcache_controller"
+  "test_netcache_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netcache_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

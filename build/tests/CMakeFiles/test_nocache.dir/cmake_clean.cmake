@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nocache.dir/test_nocache.cc.o"
+  "CMakeFiles/test_nocache.dir/test_nocache.cc.o.d"
+  "test_nocache"
+  "test_nocache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nocache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orbit_controller.dir/test_orbit_controller.cc.o"
+  "CMakeFiles/test_orbit_controller.dir/test_orbit_controller.cc.o.d"
+  "test_orbit_controller"
+  "test_orbit_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orbit_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

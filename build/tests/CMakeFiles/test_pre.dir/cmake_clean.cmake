@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pre.dir/test_pre.cc.o"
+  "CMakeFiles/test_pre.dir/test_pre.cc.o.d"
+  "test_pre"
+  "test_pre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_register_array.dir/test_register_array.cc.o"
+  "CMakeFiles/test_register_array.dir/test_register_array.cc.o.d"
+  "test_register_array"
+  "test_register_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_register_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

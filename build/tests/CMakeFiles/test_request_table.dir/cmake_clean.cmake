@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_request_table.dir/test_request_table.cc.o"
+  "CMakeFiles/test_request_table.dir/test_request_table.cc.o.d"
+  "test_request_table"
+  "test_request_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_request_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_top_k.dir/test_top_k.cc.o"
+  "CMakeFiles/test_top_k.dir/test_top_k.cc.o.d"
+  "test_top_k"
+  "test_top_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_top_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

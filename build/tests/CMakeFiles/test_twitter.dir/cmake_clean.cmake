@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twitter.dir/test_twitter.cc.o"
+  "CMakeFiles/test_twitter.dir/test_twitter.cc.o.d"
+  "test_twitter"
+  "test_twitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

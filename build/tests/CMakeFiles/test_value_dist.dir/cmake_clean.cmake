@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value_dist.dir/test_value_dist.cc.o"
+  "CMakeFiles/test_value_dist.dir/test_value_dist.cc.o.d"
+  "test_value_dist"
+  "test_value_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

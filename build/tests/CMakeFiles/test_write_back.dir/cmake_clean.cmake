@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_back.dir/test_write_back.cc.o"
+  "CMakeFiles/test_write_back.dir/test_write_back.cc.o.d"
+  "test_write_back"
+  "test_write_back.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_back.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
