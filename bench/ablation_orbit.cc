@@ -1,78 +1,8 @@
-// Ablations of OrbitCache's design choices (DESIGN.md §4).
-//
-//  1. PRE cloning vs the §3.5 strawman (serve one request, then refetch
-//     the cache packet from the server): cloning is what lets one fetch
-//     serve arbitrarily many requests.
-//  2. Request-table queue depth S: deeper queues absorb bursts for hot
-//     keys; shallow queues overflow to the servers.
-//  3. Recirculation-port bandwidth: the single recirc port sets the orbit
-//     period and thus the wait time and request-table pressure — moving it
-//     moves Fig. 16's knee.
-#include "bench/bench_util.h"
+// OrbitCache design ablations: cloning, queue depth S, write policy, recirculation bandwidth.
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-
-  benchutil::PrintHeader("Ablation 1 — PRE cloning vs refetch strawman");
-  std::printf("%-18s %10s %12s %10s\n", "variant", "rx(MRPS)", "cache(MRPS)",
-              "overflow");
-  for (bool cloning : {true, false}) {
-    testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-    cfg.scheme = testbed::Scheme::kOrbitCache;
-    cfg.enable_cloning = cloning;
-    cfg.run_cache_updates = true;  // the refetch path runs via the CPU
-    const testbed::TestbedResult res = testbed::FindSaturation(cfg).result;
-    std::printf("%-18s %10.2f %12.2f %9.2f%%\n",
-                cloning ? "PRE cloning" : "refetch strawman", res.rx_rps / 1e6,
-                res.cache_served_rps / 1e6, 100.0 * res.overflow_ratio);
-    std::fflush(stdout);
-  }
-
-  benchutil::PrintHeader("Ablation 2 — request-table queue depth S");
-  std::printf("%6s %10s %10s %10s\n", "S", "rx(MRPS)", "overflow",
-              "sw p99(us)");
-  for (size_t s : {1, 2, 4, 8, 16}) {
-    testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-    cfg.scheme = testbed::Scheme::kOrbitCache;
-    cfg.orbit_queue_size = s;
-    const testbed::TestbedResult res = testbed::FindSaturation(cfg).result;
-    std::printf("%6zu %10.2f %9.2f%% %10.1f\n", s, res.rx_rps / 1e6,
-                100.0 * res.overflow_ratio,
-                res.read_cached_latency.P99() / 1e3);
-    std::fflush(stdout);
-  }
-
-  benchutil::PrintHeader(
-      "Ablation 4 — write-through vs write-back (§3.10) across write ratios");
-  std::printf("%-14s %8s %8s %8s %8s\n", "variant", "w=0.10", "w=0.25",
-              "w=0.50", "w=1.00");
-  for (bool wb : {false, true}) {
-    std::printf("%-14s", wb ? "write-back" : "write-through");
-    for (double w : {0.10, 0.25, 0.50, 1.00}) {
-      testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-      cfg.scheme = testbed::Scheme::kOrbitCache;
-      cfg.write_ratio = w;
-      cfg.write_back = wb;
-      const testbed::TestbedResult res = testbed::FindSaturation(cfg).result;
-      std::printf(" %8.2f", res.rx_rps / 1e6);
-      std::fflush(stdout);
-    }
-    std::printf("\n");
-  }
-
-  benchutil::PrintHeader("Ablation 3 — recirculation-port bandwidth");
-  std::printf("%10s %10s %10s %10s\n", "gbps", "rx(MRPS)", "overflow",
-              "sw p99(us)");
-  for (double gbps : {10.0, 25.0, 50.0, 100.0}) {
-    testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-    cfg.scheme = testbed::Scheme::kOrbitCache;
-    cfg.asic.recirc_rate_gbps = gbps;
-    const testbed::TestbedResult res = testbed::FindSaturation(cfg).result;
-    std::printf("%10.0f %10.2f %9.2f%% %10.1f\n", gbps, res.rx_rps / 1e6,
-                100.0 * res.overflow_ratio,
-                res.read_cached_latency.P99() / 1e3);
-    std::fflush(stdout);
-  }
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::AblationCloning(), orbit::benchexp::AblationQueueDepth(), orbit::benchexp::AblationWritePolicy(), orbit::benchexp::AblationRecircBandwidth()}, argc, argv);
 }

@@ -1,27 +1,36 @@
-// Shared plumbing for the figure-reproduction harnesses.
+// Back-compat shims over the experiment harness (src/harness/).
 //
-// Every fig* binary prints the paper's series as aligned text rows. The
-// default ("quick") mode uses a reduced key space and shorter windows so
-// the whole bench suite runs in minutes; pass --full for paper-scale
-// parameters (10M keys, longer measurement windows).
+// The fig* binaries are now thin drivers over declarative specs
+// (bench/experiments.cc) and parse their flags through harness::ParseCli;
+// this header survives as the stable "give me the paper's §5.1 testbed"
+// entry point used by tests and one-off tools. The scale knobs themselves
+// live in exactly one place: harness::PaperScaleProfile.
 #pragma once
 
 #include <cstdio>
 #include <cstring>
-#include <string>
 
+#include "harness/spec.h"
 #include "testbed/testbed.h"
 
 namespace orbit::benchutil {
 
 struct Mode {
   bool full = false;
+  bool quick = false;
+
+  harness::Scale scale() const {
+    if (full) return harness::Scale::kFull;
+    if (quick) return harness::Scale::kQuick;
+    return harness::Scale::kDefault;
+  }
 };
 
 inline Mode ParseArgs(int argc, char** argv) {
   Mode mode;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) mode.full = true;
+    if (std::strcmp(argv[i], "--quick") == 0) mode.quick = true;
   }
   return mode;
 }
@@ -29,22 +38,10 @@ inline Mode ParseArgs(int argc, char** argv) {
 // The paper's §5.1 testbed: 4 client nodes, 32 emulated servers at 100K
 // RPS, 10M keys, zipf-0.99, bimodal 82%/18% 64B/1024B values, OrbitCache
 // preloaded with the 128 hottest items and NetCache with the cacheable
-// subset of the 10K hottest.
+// subset of the 10K hottest. Default mode shrinks only the key space and
+// the time windows (see harness::PaperScaleProfile).
 inline testbed::TestbedConfig PaperConfig(const Mode& mode) {
-  testbed::TestbedConfig cfg;
-  cfg.num_clients = 4;
-  cfg.num_servers = 32;
-  cfg.server_rate_rps = 100'000;
-  cfg.client_rate_rps = 8'000'000;
-  cfg.num_keys = mode.full ? 10'000'000 : 1'000'000;
-  cfg.zipf_theta = 0.99;
-  cfg.value_dist = wl::ValueDist::PaperDefault();
-  cfg.orbit_cache_size = 128;
-  cfg.netcache_size = 10'000;
-  cfg.warmup = mode.full ? 100 * kMillisecond : 50 * kMillisecond;
-  cfg.duration = mode.full ? 500 * kMillisecond : 150 * kMillisecond;
-  cfg.seed = 42;
-  return cfg;
+  return harness::ScaledPaperConfig(mode.scale());
 }
 
 inline void PrintHeader(const char* title) {

@@ -1,0 +1,39 @@
+// Declarative specs for every figure, ablation, and extra experiment.
+//
+// Each bench binary registers one or more of these with the harness
+// (harness::HarnessMain) instead of hand-rolling sweep loops; bench/run_all
+// executes AllExperiments() as one suite. The paper commentary that used to
+// live in each binary's header comment now sits on the spec definitions in
+// experiments.cc.
+#pragma once
+
+#include <vector>
+
+#include "harness/spec.h"
+
+namespace orbit::benchexp {
+
+harness::ExperimentSpec MotivationCacheability();   // §2.1 analysis
+harness::ExperimentSpec Fig09Skewness();
+harness::ExperimentSpec Fig10ServerLoads();
+harness::ExperimentSpec Fig11LatencyThroughput();
+harness::ExperimentSpec Fig12WriteRatio();
+harness::ExperimentSpec Fig13Scalability();
+harness::ExperimentSpec Fig14Production();
+harness::ExperimentSpec Fig15LatencyBreakdown();
+harness::ExperimentSpec Fig16CacheSize();
+harness::ExperimentSpec Fig17ItemSize();
+harness::ExperimentSpec Fig17EffectiveSize();       // panel (c)'s grid
+harness::ExperimentSpec Fig18Dynamic();
+harness::ExperimentSpec AblationCloning();
+harness::ExperimentSpec AblationQueueDepth();
+harness::ExperimentSpec AblationWritePolicy();
+harness::ExperimentSpec AblationRecircBandwidth();
+harness::ExperimentSpec RationaleRequestRecirc();   // §2.2 strawman
+harness::ExperimentSpec ExtraKeySize();
+harness::ExperimentSpec YcsbSuite();
+
+// Registration order is the suite order and the JSONL record order.
+std::vector<harness::ExperimentSpec> AllExperiments();
+
+}  // namespace orbit::benchexp

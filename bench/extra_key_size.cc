@@ -1,39 +1,8 @@
-// Extra: impact of key size (the paper omits this figure, noting the
-// result "is similar to the result in the impact of value size" — §5.3).
-//
-// Expected shape: OrbitCache keeps balancing with keys far beyond the
-// 16-byte match-key limit (they ride inside the cache packet; only their
-// 16-byte hash is matched on), with a mild throughput drop as packets
-// grow. NetCache cannot even install entries for wide keys — the lookup
-// table's match width is a hardware constant — so it degrades to NoCache.
-#include "bench/bench_util.h"
+// Extra figure: impact of key size.
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-
-  benchutil::PrintHeader("Extra — impact of key size (64B values)");
-  std::printf("%10s %12s %12s %14s\n", "key(B)", "orbit MRPS",
-              "netcache MRPS", "nc entries");
-
-  for (uint32_t ks : {16u, 32u, 64u, 128u}) {
-    testbed::TestbedConfig base = benchutil::PaperConfig(mode);
-    base.key_size = ks;
-    base.value_dist = wl::ValueDist::Fixed(64);
-
-    testbed::TestbedConfig ocfg = base;
-    ocfg.scheme = testbed::Scheme::kOrbitCache;
-    const testbed::TestbedResult orbit = testbed::FindSaturation(ocfg).result;
-
-    testbed::TestbedConfig ncfg = base;
-    ncfg.scheme = testbed::Scheme::kNetCache;
-    const testbed::TestbedResult net = testbed::FindSaturation(ncfg).result;
-
-    std::printf("%10u %12.2f %12.2f %14zu\n", ks, orbit.rx_rps / 1e6,
-                net.rx_rps / 1e6, net.cache_entries);
-    std::fflush(stdout);
-  }
-  std::printf("\n(NetCache entry count collapses to 0 beyond 16B keys: the "
-              "match-key width is burned into the ASIC)\n");
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::ExtraKeySize()}, argc, argv);
 }

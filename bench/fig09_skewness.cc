@@ -1,44 +1,8 @@
-// Figure 9: throughput with different key access distributions.
-//
-// Paper result: OrbitCache sustains high throughput regardless of skew;
-// NoCache and NetCache degrade as skew rises. At zipf-0.99 OrbitCache beats
-// NoCache by ~3.6x and NetCache by ~2x.
-#include "bench/bench_util.h"
+// Figure 9: saturated throughput vs key skewness.
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-
-  const double skews[] = {0.0, 0.90, 0.95, 0.99};
-  const testbed::Scheme schemes[] = {testbed::Scheme::kNoCache,
-                                     testbed::Scheme::kNetCache,
-                                     testbed::Scheme::kOrbitCache};
-
-  benchutil::PrintHeader("Fig. 9 — throughput (MRPS) vs key skewness");
-  std::printf("%-12s %10s %10s %10s %10s\n", "scheme", "uniform", "zipf-0.90",
-              "zipf-0.95", "zipf-0.99");
-
-  double orbit99 = 0, nocache99 = 0, netcache99 = 0;
-  for (auto scheme : schemes) {
-    std::printf("%-12s", testbed::SchemeName(scheme));
-    for (double skew : skews) {
-      testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-      cfg.scheme = scheme;
-      cfg.zipf_theta = skew;
-      const testbed::TestbedResult res =
-          testbed::FindSaturation(cfg).result;
-      std::printf(" %10.2f", res.rx_rps / 1e6);
-      std::fflush(stdout);
-      if (skew == 0.99) {
-        if (scheme == testbed::Scheme::kOrbitCache) orbit99 = res.rx_rps;
-        if (scheme == testbed::Scheme::kNoCache) nocache99 = res.rx_rps;
-        if (scheme == testbed::Scheme::kNetCache) netcache99 = res.rx_rps;
-      }
-    }
-    std::printf("\n");
-  }
-  std::printf("\nzipf-0.99 speedup: OrbitCache/NoCache = %.2fx (paper: 3.59x), "
-              "OrbitCache/NetCache = %.2fx (paper: 1.95x)\n",
-              orbit99 / nocache99, orbit99 / netcache99);
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::Fig09Skewness()}, argc, argv);
 }

@@ -1,41 +1,8 @@
-// Figure 10: load on individual storage servers (zipf-0.99, 32 servers).
-//
-// Paper result: NoCache and NetCache leave hot-partition servers heavily
-// overloaded relative to the rest; OrbitCache's per-server loads are nearly
-// flat because every hot item — whatever its size — is absorbed upstream.
-#include <algorithm>
-
-#include "bench/bench_util.h"
+// Figure 10: per-server load at saturation (zipf-0.99).
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-
-  benchutil::PrintHeader(
-      "Fig. 10 — per-server load (KRPS) at saturation, zipf-0.99");
-
-  const testbed::Scheme schemes[] = {testbed::Scheme::kNoCache,
-                                     testbed::Scheme::kNetCache,
-                                     testbed::Scheme::kOrbitCache};
-  for (auto scheme : schemes) {
-    testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-    cfg.scheme = scheme;
-    const testbed::TestbedResult res = testbed::FindSaturation(cfg).result;
-    const double secs =
-        static_cast<double>(cfg.duration) / static_cast<double>(kSecond);
-
-    std::printf("%-12s", testbed::SchemeName(scheme));
-    for (size_t i = 0; i < res.server_loads.size(); ++i) {
-      if (i % 8 == 0 && i > 0) std::printf("\n%-12s", "");
-      std::printf(" %6.1f",
-                  static_cast<double>(res.server_loads[i]) / secs / 1e3);
-    }
-    const auto [mn, mx] = std::minmax_element(res.server_loads.begin(),
-                                              res.server_loads.end());
-    std::printf("\n%-12s min=%.1fK max=%.1fK balancing-efficiency=%.2f\n\n",
-                "", static_cast<double>(*mn) / secs / 1e3,
-                static_cast<double>(*mx) / secs / 1e3,
-                res.balancing_efficiency);
-  }
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::Fig10ServerLoads()}, argc, argv);
 }

@@ -1,42 +1,8 @@
-// Figure 11: median and 99th-percentile read latency vs Rx throughput.
-//
-// Paper result: OrbitCache reaches the highest throughput before its
-// latency knee; its median sits ~1us above NetCache (requests wait for the
-// circulating cache packet) but far below the saturating baselines.
-#include "bench/bench_util.h"
-#include "stats/histogram.h"
+// Figure 11: read latency vs Rx throughput.
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-
-  benchutil::PrintHeader("Fig. 11 — read latency vs Rx throughput");
-  std::printf("%-12s %10s %10s %10s %10s\n", "scheme", "rx(MRPS)", "p50(us)",
-              "p99(us)", "loss");
-
-  const testbed::Scheme schemes[] = {testbed::Scheme::kNoCache,
-                                     testbed::Scheme::kNetCache,
-                                     testbed::Scheme::kOrbitCache};
-  const double fractions[] = {0.2, 0.4, 0.6, 0.8, 0.95, 1.05};
-
-  for (auto scheme : schemes) {
-    testbed::TestbedConfig base = benchutil::PaperConfig(mode);
-    base.scheme = scheme;
-    // Establish this scheme's saturation point once, then sweep below it.
-    const double sat_tx = testbed::FindSaturation(base).sat_tx_rps;
-    for (double f : fractions) {
-      testbed::TestbedConfig cfg = base;
-      cfg.client_rate_rps = f * sat_tx;
-      const testbed::TestbedResult res = testbed::RunTestbed(cfg);
-      stats::Histogram reads = res.read_cached_latency;
-      reads.Merge(res.read_server_latency);
-      std::printf("%-12s %10.2f %10.1f %10.1f %9.1f%%\n",
-                  testbed::SchemeName(scheme), res.rx_rps / 1e6,
-                  reads.Median() / 1e3, reads.P99() / 1e3,
-                  100.0 * (1.0 - res.rx_rps / std::max(1.0, res.tx_rps)));
-      std::fflush(stdout);
-    }
-    std::printf("\n");
-  }
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::Fig11LatencyThroughput()}, argc, argv);
 }

@@ -1,35 +1,8 @@
-// Figure 12: throughput vs write ratio.
-//
-// Paper result: OrbitCache's gain shrinks as writes grow (each write for a
-// cached key invalidates the entry until the write reply refreshes it) and
-// converges to NoCache at 100% writes; NetCache behaves alike.
-#include "bench/bench_util.h"
+// Figure 12: saturated throughput vs write ratio.
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-
-  benchutil::PrintHeader(
-      "Fig. 12 — saturated throughput (MRPS) vs write ratio, zipf-0.99");
-  const double ratios[] = {0.0, 0.1, 0.25, 0.5, 0.75, 1.0};
-  std::printf("%-12s", "scheme");
-  for (double w : ratios) std::printf("   w=%4.2f", w);
-  std::printf("\n");
-
-  const testbed::Scheme schemes[] = {testbed::Scheme::kNoCache,
-                                     testbed::Scheme::kNetCache,
-                                     testbed::Scheme::kOrbitCache};
-  for (auto scheme : schemes) {
-    std::printf("%-12s", testbed::SchemeName(scheme));
-    for (double w : ratios) {
-      testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-      cfg.scheme = scheme;
-      cfg.write_ratio = w;
-      const testbed::TestbedResult res = testbed::FindSaturation(cfg).result;
-      std::printf(" %8.2f", res.rx_rps / 1e6);
-      std::fflush(stdout);
-    }
-    std::printf("\n");
-  }
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::Fig12WriteRatio()}, argc, argv);
 }

@@ -1,52 +1,8 @@
-// Figure 13: scalability with the number of storage servers (50K RPS per
-// server so the servers stay the bottleneck even at 64 of them).
-//
-// Paper result: OrbitCache's throughput grows almost linearly with server
-// count and its balancing efficiency stays near 1.0; the baselines are
-// pinned by their hottest partitions.
-#include "bench/bench_util.h"
+// Figure 13: scalability with the number of storage servers.
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-
-  benchutil::PrintHeader("Fig. 13 — scalability (zipf-0.99, 50K RPS/server)");
-  const int server_counts[] = {8, 16, 32, 64};
-  const testbed::Scheme schemes[] = {testbed::Scheme::kNoCache,
-                                     testbed::Scheme::kNetCache,
-                                     testbed::Scheme::kOrbitCache};
-
-  std::printf("(a) saturated throughput (MRPS)\n%-12s", "scheme");
-  for (int n : server_counts) std::printf(" %8d", n);
-  std::printf("\n");
-  std::vector<std::vector<double>> eff(3);
-  int si = 0;
-  for (auto scheme : schemes) {
-    std::printf("%-12s", testbed::SchemeName(scheme));
-    for (int n : server_counts) {
-      testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-      cfg.scheme = scheme;
-      cfg.num_servers = n;
-      cfg.server_rate_rps = 50'000;  // paper's Fig. 13 rate limit
-      const testbed::TestbedResult res = testbed::FindSaturation(cfg).result;
-      std::printf(" %8.2f", res.rx_rps / 1e6);
-      std::fflush(stdout);
-      eff[si].push_back(res.balancing_efficiency);
-    }
-    std::printf("\n");
-    ++si;
-  }
-
-  std::printf("\n(b) balancing efficiency (min/max server throughput)\n%-12s",
-              "scheme");
-  for (int n : server_counts) std::printf(" %8d", n);
-  std::printf("\n");
-  si = 0;
-  for (auto scheme : schemes) {
-    std::printf("%-12s", testbed::SchemeName(scheme));
-    for (double e : eff[si]) std::printf(" %8.2f", e);
-    std::printf("\n");
-    ++si;
-  }
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::Fig13Scalability()}, argc, argv);
 }

@@ -1,37 +1,8 @@
-// Figure 14: performance with production (Twitter-like) workloads A-E.
-//
-// Paper result: OrbitCache is best on all five; the gap is smallest on
-// workload A (NetCache can cache 95% of items and the write ratio is
-// relatively high) and largest on workload E (only 1% cacheable).
-#include "bench/bench_util.h"
-#include "workload/twitter.h"
+// Figure 14: production (Twitter-like) workloads A-E.
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-
-  benchutil::PrintHeader(
-      "Fig. 14 — saturated throughput (MRPS) on production workloads");
-  std::printf("%-12s", "scheme");
-  for (const auto& p : wl::Fig14Profiles())
-    std::printf("  %s(%s,w=%.2f)", p.id.c_str(), p.cluster.c_str(),
-                p.write_ratio);
-  std::printf("\n");
-
-  const testbed::Scheme schemes[] = {testbed::Scheme::kNoCache,
-                                     testbed::Scheme::kNetCache,
-                                     testbed::Scheme::kOrbitCache};
-  for (auto scheme : schemes) {
-    std::printf("%-12s", testbed::SchemeName(scheme));
-    for (const auto& profile : wl::Fig14Profiles()) {
-      testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-      cfg.scheme = scheme;
-      cfg.twitter = &profile;
-      const testbed::TestbedResult res = testbed::FindSaturation(cfg).result;
-      std::printf(" %17.2f", res.rx_rps / 1e6);
-      std::fflush(stdout);
-    }
-    std::printf("\n");
-  }
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::Fig14Production()}, argc, argv);
 }

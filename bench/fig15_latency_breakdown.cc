@@ -1,42 +1,8 @@
-// Figure 15: latency breakdown — requests handled by the switch cache vs
-// by the storage servers, as throughput rises.
-//
-// Paper result: OrbitCache's switch-handled median is slightly above
-// NetCache's (requests wait for the circulating cache packet) and its
-// switch tail grows with load (request-table queueing + cloning), yet stays
-// tens of microseconds even where server tails blow up at saturation.
-#include "bench/bench_util.h"
+// Figure 15: switch- vs server-served latency breakdown.
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-
-  benchutil::PrintHeader("Fig. 15 — latency breakdown (us) vs throughput");
-  std::printf("%-12s %9s | %9s %9s | %9s %9s | %12s\n", "scheme", "rx(MRPS)",
-              "sw p50", "sw p99", "srv p50", "srv p99", "sw-resident p99");
-
-  const testbed::Scheme schemes[] = {testbed::Scheme::kNetCache,
-                                     testbed::Scheme::kOrbitCache};
-  const double fractions[] = {0.25, 0.5, 0.75, 1.0};
-
-  for (auto scheme : schemes) {
-    testbed::TestbedConfig base = benchutil::PaperConfig(mode);
-    base.scheme = scheme;
-    const double sat_tx = testbed::FindSaturation(base).sat_tx_rps;
-    for (double f : fractions) {
-      testbed::TestbedConfig cfg = base;
-      cfg.client_rate_rps = f * sat_tx;
-      const testbed::TestbedResult res = testbed::RunTestbed(cfg);
-      std::printf("%-12s %9.2f | %9.1f %9.1f | %9.1f %9.1f | %12.1f\n",
-                  testbed::SchemeName(scheme), res.rx_rps / 1e6,
-                  res.read_cached_latency.Median() / 1e3,
-                  res.read_cached_latency.P99() / 1e3,
-                  res.read_server_latency.Median() / 1e3,
-                  res.read_server_latency.P99() / 1e3,
-                  res.switch_resident.P99() / 1e3);
-      std::fflush(stdout);
-    }
-    std::printf("\n");
-  }
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::Fig15LatencyBreakdown()}, argc, argv);
 }

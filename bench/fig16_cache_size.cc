@@ -1,35 +1,8 @@
 // Figure 16: impact of the OrbitCache cache size.
-//
-// Paper result: throughput saturates around 128 cached items; the switch
-// tail latency climbs past 64-128 items (longer orbits between passes);
-// and from 256 items the overflow-request ratio takes off because the
-// request-table queues fill while cache packets crawl around the longer
-// recirculation ring. The knee is the architecture's central trade-off.
-#include "bench/bench_util.h"
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-
-  benchutil::PrintHeader("Fig. 16 — impact of cache size (OrbitCache)");
-  std::printf("%8s %10s %12s %12s %10s %10s %10s\n", "entries", "rx(MRPS)",
-              "cache(MRPS)", "server(MRPS)", "sw p50(us)", "sw p99(us)",
-              "overflow");
-
-  const size_t sizes[] = {8, 16, 32, 64, 128, 256, 512, 1024};
-  for (size_t size : sizes) {
-    testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-    cfg.scheme = testbed::Scheme::kOrbitCache;
-    cfg.orbit_cache_size = size;
-    cfg.orbit_capacity = 1024;
-    const testbed::TestbedResult res = testbed::FindSaturation(cfg).result;
-    std::printf("%8zu %10.2f %12.2f %12.2f %10.1f %10.1f %9.2f%%\n", size,
-                res.rx_rps / 1e6, res.cache_served_rps / 1e6,
-                res.server_served_rps / 1e6,
-                res.read_cached_latency.Median() / 1e3,
-                res.read_cached_latency.P99() / 1e3,
-                100.0 * res.overflow_ratio);
-    std::fflush(stdout);
-  }
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::Fig16CacheSize()}, argc, argv);
 }

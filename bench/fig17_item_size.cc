@@ -1,54 +1,8 @@
-// Figure 17: impact of item size (all items share one value size — the
-// worst case for OrbitCache, since every cache packet is maximal).
-//
-// Paper result: OrbitCache balances even 100% MTU-sized items with only a
-// mild throughput drop; balancing efficiency stays high; and the
-// *effective* cache size (the entry count with the best throughput)
-// shrinks as values grow, because bigger cache packets stretch the orbit.
-#include "bench/bench_util.h"
+// Figure 17: impact of item size, plus panel (c) effective size.
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-
-  benchutil::PrintHeader("Fig. 17 — impact of item size (OrbitCache)");
-  const uint32_t sizes[] = {64, 128, 256, 512, 1024, 1416};
-
-  std::printf("(a,b) throughput and balancing efficiency at 128 entries\n");
-  std::printf("%10s %10s %10s\n", "value(B)", "rx(MRPS)", "bal-eff");
-  for (uint32_t vs : sizes) {
-    testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-    cfg.scheme = testbed::Scheme::kOrbitCache;
-    cfg.value_dist = wl::ValueDist::Fixed(vs);
-    const testbed::TestbedResult res = testbed::FindSaturation(cfg).result;
-    std::printf("%10u %10.2f %10.2f\n", vs, res.rx_rps / 1e6,
-                res.balancing_efficiency);
-    std::fflush(stdout);
-  }
-
-  std::printf("\n(c) effective cache size (best-throughput entry count)\n");
-  std::printf("%10s %14s %14s\n", "value(B)", "best entries", "rx(MRPS)");
-  const size_t entry_sweep[] = {16, 32, 64, 128, 256};
-  for (uint32_t vs : sizes) {
-    size_t best_entries = 0;
-    double best_rx = 0;
-    for (size_t entries : entry_sweep) {
-      testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-      cfg.scheme = testbed::Scheme::kOrbitCache;
-      cfg.value_dist = wl::ValueDist::Fixed(vs);
-      cfg.orbit_cache_size = entries;
-      cfg.duration = cfg.duration / 2;  // sweep point, shorter window
-      const testbed::TestbedResult res =
-          testbed::FindSaturation(cfg, /*loss_tolerance=*/0.05,
-                                  /*max_corrections=*/1)
-              .result;
-      if (res.rx_rps > best_rx) {
-        best_rx = res.rx_rps;
-        best_entries = entries;
-      }
-    }
-    std::printf("%10u %14zu %14.2f\n", vs, best_entries, best_rx / 1e6);
-    std::fflush(stdout);
-  }
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::Fig17ItemSize(), orbit::benchexp::Fig17EffectiveSize()}, argc, argv);
 }

@@ -1,64 +1,8 @@
-// Figure 18: dynamic workloads — the "hot-in" pattern swaps the popularity
-// of the hottest and coldest items periodically, instantly staling the
-// whole cache.
-//
-// Paper result: throughput dips at each swap and recovers within a few
-// seconds as the controller replaces the cache entries from the servers'
-// top-k reports; the overflow-request ratio spikes at the swap (requests
-// for not-yet-fetched keys overflow to servers) and settles after fetches
-// complete. The paper runs 60s with swaps every 10s on 4 unthrottled
-// servers; quick mode compresses the timeline (12s, 2s swaps) so the bench
-// suite stays fast — the dip-and-recover dynamics are unchanged.
-#include "bench/bench_util.h"
+// Figure 18: hot-in dynamic workload timeline.
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-
-  testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-  cfg.scheme = testbed::Scheme::kOrbitCache;
-  cfg.num_clients = 4;
-  cfg.num_servers = 4;  // paper: 4 servers without emulation. We keep a
-  // finite per-server capacity (the paper's real CPUs have one too) so the
-  // post-swap traffic that misses the stale cache can actually overload
-  // the hot partition — that overload is what produces the dips.
-  cfg.server_rate_rps = 100'000;
-  cfg.client_rate_rps = 450'000;
-  cfg.hot_in = true;
-  cfg.hot_in_count = 128;
-  cfg.run_cache_updates = true;   // the experiment is about cache updates
-  cfg.update_period = 500 * kMillisecond;
-  cfg.report_period = 500 * kMillisecond;
-  cfg.warmup = 0;                 // the full timeline is the result
-  if (mode.full) {
-    cfg.hot_in_period = 10 * kSecond;
-    cfg.duration = 60 * kSecond;
-    cfg.timeline_bin = kSecond;
-  } else {
-    cfg.hot_in_period = 2 * kSecond;
-    cfg.duration = 12 * kSecond;
-    cfg.timeline_bin = 200 * kMillisecond;
-  }
-
-  benchutil::PrintHeader("Fig. 18 — hot-in dynamic workload (OrbitCache)");
-  std::printf("swap every %.0fs, %zu-entry cache, %.0fK RPS offered\n\n",
-              static_cast<double>(cfg.hot_in_period) / kSecond,
-              cfg.orbit_cache_size, cfg.client_rate_rps / 1e3);
-
-  const testbed::TestbedResult res = testbed::RunTestbed(cfg);
-
-  std::printf("%8s %12s %12s\n", "t(s)", "rx(KRPS)", "overflow");
-  const size_t n = std::min(res.throughput_timeline.size(),
-                            res.overflow_ratio_timeline.size());
-  for (size_t i = 0; i < n; ++i) {
-    std::printf("%8.1f %12.1f %11.2f%%\n",
-                static_cast<double>(i * cfg.timeline_bin) / kSecond,
-                res.throughput_timeline[i] / 1e3,
-                100.0 * res.overflow_ratio_timeline[i]);
-  }
-  std::printf("\ncollisions (inherited CacheIdx resolutions): %llu, "
-              "stale reads: %llu\n",
-              static_cast<unsigned long long>(res.collisions),
-              static_cast<unsigned long long>(res.stale_reads));
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::Fig18Dynamic()}, argc, argv);
 }

@@ -1,69 +1,8 @@
-// §2.1 motivation analysis: how many items of 54 Twitter-like workloads
-// could NetCache-class systems cache (16B keys / 128B values), vs
-// OrbitCache's single-packet limit?
-//
-// Paper numbers this harness reproduces:
-//   * 3.7% of workloads have >80% of keys ≤ 16B,
-//   * 38.9% have >80% of values ≤ 128B,
-//   * 85% have <10% cacheable items; 77.8% have essentially none,
-//   * only 2 workloads exceed 50% cacheable.
-#include <cstdio>
+// §2.1 motivation: cacheability of 54 Twitter-like workloads.
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
-#include "proto/message.h"
-#include "workload/twitter.h"
-
-int main() {
-  using namespace orbit;
-
-  const auto workloads = wl::MotivationWorkloads();
-  const int kSamples = 20000;
-
-  wl::CacheabilityLimits netcache_limits;  // 16B keys, 128B values
-  wl::CacheabilityLimits key_only{16, UINT32_MAX, 0};
-  wl::CacheabilityLimits value_only{UINT32_MAX, 128, 0};
-  wl::CacheabilityLimits orbit_limits{UINT32_MAX, UINT32_MAX,
-                                      proto::kMaxPayloadBytes};
-
-  int small_keys = 0, small_values = 0, none = 0, under10 = 0, over50 = 0;
-  double netcache_sum = 0, orbit_sum = 0;
-
-  std::printf("%-22s %9s %9s %11s %9s\n", "workload", "keys<=16", "val<=128",
-              "netcacheable", "orbit");
-  int i = 0;
-  for (const auto& w : workloads) {
-    const double kf = wl::CacheableFraction(w, key_only, kSamples, 1);
-    const double vf = wl::CacheableFraction(w, value_only, kSamples, 2);
-    const double nc = wl::CacheableFraction(w, netcache_limits, kSamples, 3);
-    const double oc = wl::CacheableFraction(w, orbit_limits, kSamples, 4);
-    if (kf > 0.8) ++small_keys;
-    if (vf > 0.8) ++small_values;
-    if (nc < 1e-4) ++none;
-    if (nc < 0.10) ++under10;
-    if (nc > 0.50) ++over50;
-    netcache_sum += nc;
-    orbit_sum += oc;
-    // Print a sample of rows plus every "interesting" workload.
-    if (i < 6 || nc > 0.05)
-      std::printf("%-22s %8.1f%% %8.1f%% %10.1f%% %8.1f%%\n", w.name.c_str(),
-                  100 * kf, 100 * vf, 100 * nc, 100 * oc);
-    ++i;
-  }
-
-  const double n = static_cast<double>(workloads.size());
-  std::printf("\nsummary over %zu workloads            paper\n",
-              workloads.size());
-  std::printf("  >80%% keys <= 16B      : %4.1f%%      3.7%%\n",
-              100 * small_keys / n);
-  std::printf("  >80%% values <= 128B   : %4.1f%%     38.9%%\n",
-              100 * small_values / n);
-  std::printf("  <10%% items cacheable  : %4.1f%%     85.0%%\n",
-              100 * under10 / n);
-  std::printf("  ~zero items cacheable : %4.1f%%     77.8%%\n",
-              100 * none / n);
-  std::printf("  >50%% items cacheable  : %4d        2\n", over50);
-  std::printf("  mean cacheable, NetCache-class : %4.1f%%\n",
-              100 * netcache_sum / n);
-  std::printf("  mean cacheable, OrbitCache     : %4.1f%%\n",
-              100 * orbit_sum / n);
-  return 0;
+int main(int argc, char** argv) {
+  return orbit::harness::HarnessMain({ orbit::benchexp::MotivationCacheability()}, argc, argv);
 }

@@ -1,64 +1,8 @@
-// §2.2 design-rationale experiment: why OrbitCache recirculates *cache
-// packets* instead of *requests*.
-//
-// The strawman keeps the NetCache architecture but reads large values by
-// recirculating each request once per 64B slice ("if every request is
-// recirculated 8 times to read a 1024-byte value, the effective throughput
-// of the recirculation port is reduced to 1/8"). The recirculation load is
-// then proportional to the request rate, and the single internal port caps
-// cache-hit throughput. OrbitCache's recirculation load is a small
-// constant — one pass per circulating cache packet — independent of load.
-//
-// Setup: a tiny all-hot key space that both designs fully cache (so the
-// storage servers are idle and the switch itself is the bottleneck), value
-// sizes swept from one pass (64B) to a full packet.
-#include "bench/bench_util.h"
+// §2.2 rationale: request recirculation strawman vs circulating cache packets.
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-  (void)mode;
-
-  benchutil::PrintHeader(
-      "§2.2 rationale — request recirculation vs circulating cache packets");
-  std::printf("%10s | %10s %9s %9s | %10s %9s %9s\n", "value(B)", "RR MRPS",
-              "RR p50", "RR p99", "Orbit MRPS", "p50", "p99");
-
-  for (uint32_t vs : {64u, 256u, 1024u}) {
-    testbed::TestbedConfig base;
-    base.num_clients = 4;
-    base.num_servers = 8;
-    base.server_rate_rps = 100'000;
-    base.client_rate_rps = 12'000'000;  // drive the switch, not the servers
-    base.num_keys = 32;                // everything cacheable and cached
-    base.zipf_theta = 0.0;             // spread load across all hot keys
-    base.value_dist = wl::ValueDist::Fixed(vs);
-    base.orbit_cache_size = 32;
-    base.netcache_size = 32;
-    base.warmup = 30 * kMillisecond;
-    base.duration = 100 * kMillisecond;
-
-    testbed::TestbedConfig rr = base;
-    rr.scheme = testbed::Scheme::kNetCache;
-    rr.netcache_recirc_read = true;
-    const testbed::TestbedResult rr_res = testbed::RunTestbed(rr);
-
-    testbed::TestbedConfig oc = base;
-    oc.scheme = testbed::Scheme::kOrbitCache;
-    const testbed::TestbedResult oc_res = testbed::RunTestbed(oc);
-
-    std::printf("%10u | %10.2f %8.1fus %8.1fus | %10.2f %8.1fus %8.1fus\n",
-                vs, rr_res.rx_rps / 1e6,
-                rr_res.read_cached_latency.Median() / 1e3,
-                rr_res.read_cached_latency.P99() / 1e3, oc_res.rx_rps / 1e6,
-                oc_res.read_cached_latency.Median() / 1e3,
-                oc_res.read_cached_latency.P99() / 1e3);
-    std::fflush(stdout);
-  }
-  std::printf("\nRR = NetCache + request recirculation (1 pass per 64B "
-              "slice): every hit pays ceil(len/64)-1 recirculation passes in "
-              "latency and recirc-port bandwidth, so both grow with value "
-              "size and offered load. OrbitCache pays one pass per *serve* "
-              "and keeps a constant 32-packet ring.\n");
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::RationaleRequestRecirc()}, argc, argv);
 }

@@ -1,0 +1,11 @@
+// The whole experiment suite: every figure, ablation, and extra, one
+// command. `run_all --quick --jobs 4 --out bench_quick.jsonl` is the CI
+// profile; positional arguments filter by experiment-name substring
+// (e.g. `run_all fig09 fig12`). See docs/HARNESS.md.
+#include "bench/experiments.h"
+#include "harness/cli.h"
+
+int main(int argc, char** argv) {
+  return orbit::harness::HarnessMain(orbit::benchexp::AllExperiments(), argc,
+                                     argv);
+}

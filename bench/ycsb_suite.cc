@@ -1,37 +1,8 @@
-// Extra (not a paper figure): the three schemes on the classic YCSB core
-// mixes. Complements Fig. 12's pure write-ratio sweep with the workload
-// shapes practitioners actually quote.
-#include "bench/bench_util.h"
-#include "workload/ycsb.h"
+// Extra figure: YCSB core mixes.
+// Spec definition (sweep axes, paper commentary): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace orbit;
-  const auto mode = benchutil::ParseArgs(argc, argv);
-
-  benchutil::PrintHeader(
-      "YCSB core mixes — saturated throughput (MRPS), zipf-0.99");
-  std::printf("%-12s", "scheme");
-  for (const auto& p : wl::YcsbCoreWorkloads())
-    std::printf("  %s(w=%.2f)", p.id.c_str(), p.write_ratio);
-  std::printf("\n");
-
-  const testbed::Scheme schemes[] = {testbed::Scheme::kNoCache,
-                                     testbed::Scheme::kNetCache,
-                                     testbed::Scheme::kOrbitCache};
-  for (auto scheme : schemes) {
-    std::printf("%-12s", testbed::SchemeName(scheme));
-    for (const auto& profile : wl::YcsbCoreWorkloads()) {
-      testbed::TestbedConfig cfg = benchutil::PaperConfig(mode);
-      cfg.scheme = scheme;
-      cfg.zipf_theta = profile.zipf_theta;
-      cfg.write_ratio = profile.write_ratio;
-      const testbed::TestbedResult res = testbed::FindSaturation(cfg).result;
-      std::printf(" %9.2f", res.rx_rps / 1e6);
-      std::fflush(stdout);
-    }
-    std::printf("\n");
-  }
-  std::printf("\n(D's read-latest skew and F's RMW are approximated within "
-              "the open-loop model; see src/workload/ycsb.h)\n");
-  return 0;
+  return orbit::harness::HarnessMain({ orbit::benchexp::YcsbSuite()}, argc, argv);
 }

@@ -1,0 +1,179 @@
+#include "harness/cli.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+namespace orbit::harness {
+
+namespace {
+
+bool ParseUint64(const char* s, uint64_t* out) {
+  const char* end = s + std::strlen(s);
+  const auto res = std::from_chars(s, end, *out);
+  return res.ec == std::errc() && res.ptr == end;
+}
+
+bool ParseInt(const char* s, int* out) {
+  const char* end = s + std::strlen(s);
+  const auto res = std::from_chars(s, end, *out);
+  return res.ec == std::errc() && res.ptr == end;
+}
+
+bool ParseDouble(const char* s, double* out) {
+  const char* end = s + std::strlen(s);
+  const auto res = std::from_chars(s, end, *out);
+  return res.ec == std::errc() && res.ptr == end;
+}
+
+}  // namespace
+
+CliOptions ParseCli(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        opts.error = std::string(flag) + " requires a value";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--full") == 0) {
+      opts.runner.scale = Scale::kFull;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      opts.runner.scale = Scale::kQuick;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* v = next_value("--seed");
+      if (v == nullptr) break;
+      if (!ParseUint64(v, &opts.runner.base_seed)) {
+        opts.error = std::string("bad --seed value: ") + v;
+        break;
+      }
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      const char* v = next_value("--jobs");
+      if (v == nullptr) break;
+      if (!ParseInt(v, &opts.runner.jobs) || opts.runner.jobs < 1) {
+        opts.error = std::string("bad --jobs value: ") + v;
+        break;
+      }
+    } else if (std::strcmp(arg, "--timeout") == 0) {
+      const char* v = next_value("--timeout");
+      if (v == nullptr) break;
+      if (!ParseDouble(v, &opts.runner.point_timeout_sec) ||
+          opts.runner.point_timeout_sec < 0) {
+        opts.error = std::string("bad --timeout value: ") + v;
+        break;
+      }
+    } else if (std::strcmp(arg, "--out") == 0) {
+      const char* v = next_value("--out");
+      if (v == nullptr) break;
+      opts.out_path = v;
+    } else if (std::strcmp(arg, "--no-progress") == 0) {
+      opts.runner.progress = false;
+    } else if (std::strcmp(arg, "--list") == 0) {
+      opts.list = true;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      opts.help = true;
+    } else if (arg[0] == '-') {
+      opts.error = std::string("unknown flag: ") + arg;
+      break;
+    } else {
+      opts.filters.emplace_back(arg);
+    }
+  }
+  return opts;
+}
+
+void PrintHelp(const char* prog, const std::vector<ExperimentSpec>& specs) {
+  std::printf(
+      "usage: %s [NAME...] [--quick|--full] [--seed N] [--jobs N]\n"
+      "       [--timeout SEC] [--out results.jsonl] [--list] [--no-progress]\n"
+      "\n"
+      "  NAME...        run only experiments whose name contains NAME\n"
+      "  --quick        CI smoke scale (100K keys, 20/60 ms windows)\n"
+      "  --full         paper scale (10M keys, 100/500 ms windows)\n"
+      "  --seed N       base seed (default 42); repetitions derive from it\n"
+      "  --jobs N       run up to N sweep points in parallel (default 1);\n"
+      "                 output is byte-identical at any job count\n"
+      "  --timeout SEC  per-point wall-clock budget; an expired point is\n"
+      "                 recorded as an error, the suite continues\n"
+      "  --out PATH     write one JSON metrics record per point to PATH\n"
+      "  --list         list experiment names and exit\n"
+      "\n"
+      "experiments and swept parameters:\n",
+      prog);
+  for (const auto& spec : specs) {
+    std::printf("  %-24s %s\n", spec.name.c_str(), spec.title.c_str());
+    for (const auto& axis : spec.axes) {
+      std::printf("      %-20s", axis.name.c_str());
+      for (size_t i = 0; i < axis.params.size(); ++i)
+        std::printf("%s%s", i == 0 ? "" : ", ", axis.params[i].label.c_str());
+      std::printf("\n");
+    }
+    if (spec.repetitions > 1)
+      std::printf("      %-20s%d (derived seeds)\n", "repetitions",
+                  spec.repetitions);
+  }
+}
+
+int HarnessMain(const std::vector<ExperimentSpec>& specs, int argc,
+                char** argv) {
+  const CliOptions opts = ParseCli(argc, argv);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "%s\nrun with --help for usage\n",
+                 opts.error.c_str());
+    return 2;
+  }
+  if (opts.help) {
+    PrintHelp(argv[0], specs);
+    return 0;
+  }
+  if (opts.list) {
+    for (const auto& spec : specs)
+      std::printf("%s\t%zu points\n", spec.name.c_str(),
+                  spec.GridSize() * static_cast<size_t>(spec.repetitions));
+    return 0;
+  }
+
+  std::vector<ExperimentSpec> selected;
+  if (opts.filters.empty()) {
+    selected = specs;
+  } else {
+    for (const auto& spec : specs)
+      for (const auto& f : opts.filters)
+        if (spec.name.find(f) != std::string::npos) {
+          selected.push_back(spec);
+          break;
+        }
+    if (selected.empty()) {
+      std::fprintf(stderr, "no experiment matches the given filters\n");
+      return 2;
+    }
+  }
+
+  const RunOutcome outcome = RunExperiments(selected, opts.runner);
+  PrintTables(selected, outcome.records);
+  std::printf("\n%zu points in %.1fs (scale=%s, jobs=%d, seed=%llu",
+              outcome.records.size(), outcome.wall_seconds,
+              ScaleName(opts.runner.scale), opts.runner.jobs,
+              static_cast<unsigned long long>(opts.runner.base_seed));
+  if (outcome.sat_cache_hits > 0)
+    std::printf(", sat-cache hits=%llu",
+                static_cast<unsigned long long>(outcome.sat_cache_hits));
+  std::printf(")%s\n",
+              outcome.errors > 0 ? " — WITH ERRORS" : "");
+
+  if (!opts.out_path.empty()) {
+    std::string error;
+    if (!WriteJsonlFile(opts.out_path, outcome.records, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    std::printf("wrote %zu records to %s\n", outcome.records.size(),
+                opts.out_path.c_str());
+  }
+  return outcome.errors > 0 ? 1 : 0;
+}
+
+}  // namespace orbit::harness

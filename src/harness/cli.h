@@ -1,0 +1,42 @@
+// Shared command line for every bench binary and bench/run_all.
+//
+//   --quick / --full    scale selection (default: the EXPERIMENTS.md scale)
+//   --seed N            base seed (default 42, the paper runs' seed)
+//   --jobs N            parallel points (default 1 = fully serial)
+//   --out PATH          write JSON-lines metrics records
+//   --timeout SEC       per-point wall-clock budget (0 = off)
+//   --list              list experiments and exit
+//   --help              usage plus each experiment's swept parameters
+//   NAME...             positional filters (substring match on experiment)
+//
+// HarnessMain() is the whole driver: parse, filter, run, print tables,
+// write the JSONL, return the exit code (0 ok, 1 point failures, 2 usage).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+#include "harness/spec.h"
+
+namespace orbit::harness {
+
+struct CliOptions {
+  RunnerOptions runner;
+  std::string out_path;
+  std::vector<std::string> filters;
+  bool help = false;
+  bool list = false;
+  std::string error;  // non-empty: parsing failed
+
+  bool ok() const { return error.empty(); }
+};
+
+CliOptions ParseCli(int argc, char** argv);
+
+void PrintHelp(const char* prog, const std::vector<ExperimentSpec>& specs);
+
+int HarnessMain(const std::vector<ExperimentSpec>& specs, int argc,
+                char** argv);
+
+}  // namespace orbit::harness

@@ -1,0 +1,143 @@
+#include "harness/metrics.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace orbit::harness {
+
+std::string MetricsRecord::Key() const {
+  std::string key = experiment;
+  for (const auto& [name, value] : params) {
+    key += '|';
+    key += name;
+    key += '=';
+    key += value;
+  }
+  key += "|rep=";
+  key += std::to_string(rep);
+  return key;
+}
+
+double MetricsRecord::Metric(std::string_view name) const {
+  const JsonValue* v = metrics.FindPath(name);
+  if (v == nullptr || !v->is_number()) return std::nan("");
+  return v->AsDouble();
+}
+
+JsonValue MetricsRecord::ToJson() const {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("experiment", experiment);
+  out.Set("point", point);
+  out.Set("rep", rep);
+  // Seeds use the full 64-bit range; store as a decimal string so the
+  // value survives JSON's signed-integer ceiling.
+  out.Set("seed", std::to_string(seed));
+  JsonValue p = JsonValue::MakeObject();
+  for (const auto& [name, value] : params) p.Set(name, value);
+  out.Set("params", std::move(p));
+  if (!error.empty()) out.Set("error", error);
+  out.Set("metrics", metrics);
+  return out;
+}
+
+bool MetricsRecord::FromJson(const JsonValue& json, MetricsRecord* out,
+                             std::string* error) {
+  if (!json.is_object()) {
+    if (error != nullptr) *error = "record is not an object";
+    return false;
+  }
+  const JsonValue* exp = json.Find("experiment");
+  const JsonValue* metrics = json.Find("metrics");
+  if (exp == nullptr || !exp->is_string() || metrics == nullptr ||
+      !metrics->is_object()) {
+    if (error != nullptr) *error = "record missing experiment/metrics";
+    return false;
+  }
+  *out = MetricsRecord();
+  out->experiment = exp->AsString();
+  if (const JsonValue* v = json.Find("point")) out->point = v->AsInt();
+  if (const JsonValue* v = json.Find("rep")) out->rep = v->AsInt();
+  if (const JsonValue* v = json.Find("seed"); v != nullptr && v->is_string()) {
+    const std::string& s = v->AsString();
+    std::from_chars(s.data(), s.data() + s.size(), out->seed);
+  }
+  if (const JsonValue* v = json.Find("error"); v != nullptr && v->is_string())
+    out->error = v->AsString();
+  if (const JsonValue* v = json.Find("params"); v != nullptr && v->is_object())
+    for (const auto& [name, value] : v->object())
+      out->params.emplace_back(
+          name, value.is_string() ? value.AsString() : value.Dump());
+  out->metrics = *metrics;
+  return true;
+}
+
+std::string DumpJsonl(const std::vector<MetricsRecord>& records) {
+  std::string out;
+  for (const auto& r : records) {
+    r.ToJson().DumpTo(&out);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool ParseJsonl(std::string_view text, std::vector<MetricsRecord>* out,
+                std::string* error) {
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    JsonValue json;
+    std::string parse_error;
+    if (!ParseJson(line, &json, &parse_error)) {
+      if (error != nullptr)
+        *error = "line " + std::to_string(line_no) + ": " + parse_error;
+      return false;
+    }
+    MetricsRecord record;
+    if (!MetricsRecord::FromJson(json, &record, &parse_error)) {
+      if (error != nullptr)
+        *error = "line " + std::to_string(line_no) + ": " + parse_error;
+      return false;
+    }
+    out->push_back(std::move(record));
+  }
+  return true;
+}
+
+bool WriteJsonlFile(const std::string& path,
+                    const std::vector<MetricsRecord>& records,
+                    std::string* error) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::string text = DumpJsonl(records);
+  f.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!f) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+bool ReadJsonlFile(const std::string& path, std::vector<MetricsRecord>* out,
+                   std::string* error) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseJsonl(buf.str(), out, error);
+}
+
+}  // namespace orbit::harness

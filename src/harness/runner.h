@@ -1,0 +1,45 @@
+// Parallel experiment execution.
+//
+// Every PointRun is independent (the simulator is single-threaded and
+// deterministic per point), so the runner fans the expanded grid out over
+// a pool of worker threads pulling from a shared queue. Records land in
+// pre-assigned slots ordered by (spec order, point, rep), which makes the
+// JSON-lines output of `--jobs 8` byte-identical to `--jobs 1`. One
+// point's failure (timeout, divergence, CHECK) is captured in its record's
+// error field and never kills the suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/metrics.h"
+#include "harness/spec.h"
+
+namespace orbit::harness {
+
+struct RunnerOptions {
+  Scale scale = Scale::kDefault;
+  uint64_t base_seed = 42;
+  int jobs = 1;
+  double point_timeout_sec = 0;  // 0 disables the per-point deadline
+  bool progress = true;          // one stderr line per finished point
+};
+
+struct RunOutcome {
+  // Ordered by (spec order, point, rep) regardless of jobs.
+  std::vector<MetricsRecord> records;
+  int errors = 0;
+  double wall_seconds = 0;   // never serialized (would break determinism)
+  uint64_t sat_cache_hits = 0;
+};
+
+RunOutcome RunExperiments(const std::vector<ExperimentSpec>& specs,
+                          const RunnerOptions& options);
+
+// Text output: per-experiment aligned tables (params + table_metrics) and
+// the spec's epilogue, from the already-collected records.
+void PrintTables(const std::vector<ExperimentSpec>& specs,
+                 const std::vector<MetricsRecord>& records);
+
+}  // namespace orbit::harness

@@ -1,0 +1,48 @@
+#include "harness/sat_cache.h"
+
+#include "testbed/serialize.h"
+
+namespace orbit::harness {
+
+testbed::SaturationResult SaturationCache::Get(
+    const testbed::TestbedConfig& config, double loss_tolerance,
+    int max_corrections) {
+  std::string key = testbed::ConfigFingerprint(config);
+  key += "|tol=";
+  key += std::to_string(loss_tolerance);
+  key += "|corr=";
+  key += std::to_string(max_corrections);
+
+  std::promise<testbed::SaturationResult> promise;
+  std::shared_future<testbed::SaturationResult> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memo_.find(key);
+    if (it == memo_.end()) {
+      future = promise.get_future().share();
+      memo_.emplace(key, future);
+      owner = true;
+      ++misses_;
+    } else {
+      future = it->second;
+      ++hits_;
+    }
+  }
+  if (owner) {
+    try {
+      promise.set_value(
+          testbed::FindSaturation(config, loss_tolerance, max_corrections));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();  // rethrows the owner's exception for every waiter
+}
+
+size_t SaturationCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_.size();
+}
+
+}  // namespace orbit::harness

@@ -1,0 +1,40 @@
+// Thread-safe memoization of testbed::FindSaturation.
+//
+// Saturation searches are pure functions of the config, so several sweep
+// points that share a base (every load fraction of one scheme, say) can
+// share one search. The cache keys on the config fingerprint plus the
+// search parameters and deduplicates concurrent computations with a
+// shared_future, which keeps parallel runs from racing to compute the same
+// point — and, because the function is deterministic, keeps cached and
+// recomputed values identical, preserving parallel-equals-serial output.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "testbed/testbed.h"
+
+namespace orbit::harness {
+
+class SaturationCache {
+ public:
+  testbed::SaturationResult Get(const testbed::TestbedConfig& config,
+                                double loss_tolerance, int max_corrections);
+
+  size_t entries() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string,
+                     std::shared_future<testbed::SaturationResult>>
+      memo_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace orbit::harness

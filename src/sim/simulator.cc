@@ -1,9 +1,42 @@
 #include "sim/simulator.h"
 
+#include <chrono>
+
 #include "common/check.h"
 #include "sim/node.h"
 
 namespace orbit::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// 0 = disarmed. Thread-local so concurrent harness workers each enforce
+// their own per-point budget without synchronization.
+thread_local Clock::time_point g_deadline{};
+
+// Checking the clock on every event would be measurable; every 8192 events
+// keeps the overhead in the noise while still bounding overrun to
+// milliseconds of simulation work.
+constexpr uint64_t kDeadlineCheckMask = 8191;
+
+}  // namespace
+
+void SetThreadDeadline(double seconds_from_now) {
+  if (seconds_from_now <= 0) {
+    ClearThreadDeadline();
+    return;
+  }
+  g_deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(seconds_from_now));
+}
+
+void ClearThreadDeadline() { g_deadline = Clock::time_point{}; }
+
+void Simulator::CheckDeadline() const {
+  if (g_deadline != Clock::time_point{} && Clock::now() > g_deadline)
+    throw DeadlineExceeded();
+}
 
 void Simulator::At(SimTime t, std::function<void()> fn) {
   ORBIT_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < " << now_);
@@ -22,6 +55,7 @@ void Simulator::Deliver(SimTime t, Node* node, int port, PacketPtr pkt) {
 
 bool Simulator::Step() {
   if (queue_.empty()) return false;
+  if ((events_processed_ & kDeadlineCheckMask) == 0) CheckDeadline();
   Event e = queue_.Pop();
   now_ = e.time;
   ++events_processed_;

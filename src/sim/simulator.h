@@ -3,11 +3,40 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
 
 namespace orbit::sim {
+
+// Thrown out of Step()/RunUntil() when the calling thread's wall-clock
+// deadline (set by the experiment harness for per-point timeouts) expires.
+// The simulation cannot be resumed after this; the harness records the
+// point as failed and moves on.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded() : std::runtime_error("simulation wall-clock deadline exceeded") {}
+};
+
+// Arms a wall-clock budget for simulations run on the *calling thread*
+// (thread-local, so parallel harness workers time out independently).
+// seconds <= 0 clears the deadline. The check runs every few thousand
+// events, so enforcement is approximate but cheap — and a disarmed
+// deadline costs one thread-local load per checked batch.
+void SetThreadDeadline(double seconds_from_now);
+void ClearThreadDeadline();
+
+// RAII guard used by the harness around one experiment point.
+class ScopedThreadDeadline {
+ public:
+  explicit ScopedThreadDeadline(double seconds_from_now) {
+    SetThreadDeadline(seconds_from_now);
+  }
+  ~ScopedThreadDeadline() { ClearThreadDeadline(); }
+  ScopedThreadDeadline(const ScopedThreadDeadline&) = delete;
+  ScopedThreadDeadline& operator=(const ScopedThreadDeadline&) = delete;
+};
 
 class Simulator {
  public:
@@ -31,6 +60,8 @@ class Simulator {
   size_t pending_events() const { return queue_.size(); }
 
  private:
+  void CheckDeadline() const;
+
   SimTime now_ = 0;
   uint64_t events_processed_ = 0;
   EventQueue queue_;

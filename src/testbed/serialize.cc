@@ -1,0 +1,163 @@
+#include "testbed/serialize.h"
+
+#include <algorithm>
+
+namespace orbit::testbed {
+
+using harness::JsonValue;
+
+JsonValue ConfigJson(const TestbedConfig& config) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("scheme", SchemeName(config.scheme));
+  out.Set("num_clients", config.num_clients);
+  out.Set("num_servers", config.num_servers);
+  out.Set("server_rate_rps", config.server_rate_rps);
+  out.Set("client_rate_rps", config.client_rate_rps);
+  out.Set("num_keys", config.num_keys);
+  out.Set("key_size", static_cast<int64_t>(config.key_size));
+  out.Set("zipf_theta", config.zipf_theta);
+  {
+    JsonValue vd = JsonValue::MakeObject();
+    vd.Set("min", static_cast<int64_t>(config.value_dist.min_size()));
+    vd.Set("max", static_cast<int64_t>(config.value_dist.max_size()));
+    vd.Set("mean", config.value_dist.mean_size());
+    out.Set("value_dist", std::move(vd));
+  }
+  out.Set("write_ratio", config.write_ratio);
+  out.Set("twitter", config.twitter != nullptr ? JsonValue(config.twitter->id)
+                                               : JsonValue());
+  out.Set("preload", config.preload);
+  out.Set("orbit_cache_size", static_cast<int64_t>(config.orbit_cache_size));
+  out.Set("orbit_capacity", static_cast<int64_t>(config.orbit_capacity));
+  out.Set("orbit_queue_size", static_cast<int64_t>(config.orbit_queue_size));
+  out.Set("netcache_size", static_cast<int64_t>(config.netcache_size));
+  out.Set("netcache_recirc_read", config.netcache_recirc_read);
+  out.Set("epoch_guard", config.epoch_guard);
+  out.Set("enable_cloning", config.enable_cloning);
+  out.Set("write_back", config.write_back);
+  out.Set("multi_packet", config.multi_packet);
+  out.Set("dynamic_sizing", config.dynamic_sizing);
+  out.Set("run_cache_updates", config.run_cache_updates);
+  out.Set("update_period", config.update_period);
+  out.Set("report_period", config.report_period);
+  out.Set("hot_in", config.hot_in);
+  out.Set("hot_in_period", config.hot_in_period);
+  out.Set("hot_in_count", config.hot_in_count);
+  out.Set("warmup", config.warmup);
+  out.Set("duration", config.duration);
+  out.Set("seed", std::to_string(config.seed));
+  out.Set("timeline_bin", config.timeline_bin);
+  {
+    JsonValue asic = JsonValue::MakeObject();
+    asic.Set("num_stages", config.asic.num_stages);
+    asic.Set("max_match_key_bytes",
+             static_cast<int64_t>(config.asic.max_match_key_bytes));
+    asic.Set("alu_bytes_per_stage",
+             static_cast<int64_t>(config.asic.alu_bytes_per_stage));
+    asic.Set("sram_bytes_per_stage",
+             static_cast<int64_t>(config.asic.sram_bytes_per_stage));
+    asic.Set("alus_per_stage", config.asic.alus_per_stage);
+    asic.Set("tables_per_stage", config.asic.tables_per_stage);
+    asic.Set("pipeline_latency_ns", config.asic.pipeline_latency_ns);
+    asic.Set("packet_slot_ns", config.asic.packet_slot_ns);
+    asic.Set("port_rate_gbps", config.asic.port_rate_gbps);
+    asic.Set("recirc_rate_gbps", config.asic.recirc_rate_gbps);
+    asic.Set("recirc_loop_ns", config.asic.recirc_loop_ns);
+    asic.Set("recirc_queue_bytes",
+             static_cast<int64_t>(config.asic.recirc_queue_bytes));
+    out.Set("asic", std::move(asic));
+  }
+  out.Set("client_link_gbps", config.client_link_gbps);
+  out.Set("server_link_gbps", config.server_link_gbps);
+  out.Set("link_delay", config.link_delay);
+  return out;
+}
+
+std::string ConfigFingerprint(const TestbedConfig& config) {
+  return ConfigJson(config).Dump();
+}
+
+namespace {
+
+// Percentile summary of one latency histogram, in microseconds.
+JsonValue LatencyJson(const stats::Histogram& h) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("n", h.count());
+  out.Set("p50_us", h.count() > 0 ? h.Median() / 1e3 : 0.0);
+  out.Set("p99_us", h.count() > 0 ? h.P99() / 1e3 : 0.0);
+  out.Set("mean_us", h.mean() / 1e3);
+  return out;
+}
+
+}  // namespace
+
+JsonValue ResultMetrics(const TestbedResult& result,
+                        const ResultMetricsOptions& options) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("rx_mrps", result.rx_rps / 1e6);
+  out.Set("tx_mrps", result.tx_rps / 1e6);
+  out.Set("cache_mrps", result.cache_served_rps / 1e6);
+  out.Set("server_mrps", result.server_served_rps / 1e6);
+  out.Set("loss", result.tx_rps > 0
+                      ? std::max(0.0, 1.0 - result.rx_rps / result.tx_rps)
+                      : 0.0);
+  out.Set("balancing_efficiency", result.balancing_efficiency);
+
+  {
+    stats::Histogram reads = result.read_cached_latency;
+    reads.Merge(result.read_server_latency);
+    out.Set("read_p50_us", reads.count() > 0 ? reads.Median() / 1e3 : 0.0);
+    out.Set("read_p99_us", reads.count() > 0 ? reads.P99() / 1e3 : 0.0);
+  }
+  out.Set("read_cached", LatencyJson(result.read_cached_latency));
+  out.Set("read_server", LatencyJson(result.read_server_latency));
+  out.Set("write", LatencyJson(result.write_latency));
+  out.Set("switch_resident", LatencyJson(result.switch_resident));
+
+  out.Set("lookup_hits", result.lookup_hits);
+  out.Set("absorbed", result.absorbed);
+  out.Set("overflows", result.overflows);
+  out.Set("overflow_ratio", result.overflow_ratio);
+  out.Set("recirc_drops", result.recirc_drops);
+  out.Set("cache_packets_in_flight", result.cache_packets_in_flight);
+  out.Set("cp_drop_evicted", result.cp_drop_evicted);
+  out.Set("cp_drop_invalid", result.cp_drop_invalid);
+  out.Set("cp_drop_epoch", result.cp_drop_epoch);
+  out.Set("validations", result.validations);
+  out.Set("collisions", result.collisions);
+  out.Set("stale_reads", result.stale_reads);
+  out.Set("timeouts", result.timeouts);
+  out.Set("server_drops", result.server_drops);
+  out.Set("cache_entries", static_cast<int64_t>(result.cache_entries));
+  out.Set("controller_cache_size",
+          static_cast<int64_t>(result.controller_cache_size));
+
+  if (!result.server_loads.empty()) {
+    const auto [mn, mx] = std::minmax_element(result.server_loads.begin(),
+                                              result.server_loads.end());
+    out.Set("server_load_min", *mn);
+    out.Set("server_load_max", *mx);
+  }
+  if (options.include_server_loads) {
+    JsonValue loads = JsonValue::MakeArray();
+    for (uint64_t v : result.server_loads) loads.Append(v);
+    out.Set("server_loads", std::move(loads));
+  }
+  if (options.include_timelines) {
+    JsonValue tput = JsonValue::MakeArray();
+    for (double v : result.throughput_timeline) tput.Append(v);
+    out.Set("throughput_timeline_rps", std::move(tput));
+    JsonValue ovf = JsonValue::MakeArray();
+    for (double v : result.overflow_ratio_timeline) ovf.Append(v);
+    out.Set("overflow_ratio_timeline", std::move(ovf));
+  }
+
+  out.Set("rmt_stages_used", result.rmt_stages_used);
+  out.Set("rmt_sram_bytes_used", result.rmt_sram_bytes_used);
+  out.Set("rmt_sram_fraction", result.rmt_sram_fraction);
+  out.Set("rmt_alus_used", result.rmt_alus_used);
+  out.Set("events_processed", result.events_processed);
+  return out;
+}
+
+}  // namespace orbit::testbed

@@ -438,6 +438,10 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     res.controller_cache_size = orbit_ctrl->current_cache_size();
   res.recirc_drops = sw.stats().recirc_drops - snap.recirc_drops;
   res.resource_report = sw.resources().Report();
+  res.rmt_stages_used = sw.resources().stages_used();
+  res.rmt_sram_bytes_used = sw.resources().sram_bytes_used();
+  res.rmt_sram_fraction = sw.resources().sram_fraction_used();
+  res.rmt_alus_used = sw.resources().alus_used();
   res.events_processed = sim.events_processed();
 
   if (config.timeline_bin > 0) {

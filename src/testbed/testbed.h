@@ -132,6 +132,12 @@ struct TestbedResult {
   std::vector<double> overflow_ratio_timeline;  // per bin
 
   std::string resource_report;
+  // Structured RMT usage (same numbers the report prints) so the harness
+  // can emit them as metrics without parsing text.
+  int rmt_stages_used = 0;
+  uint64_t rmt_sram_bytes_used = 0;
+  double rmt_sram_fraction = 0;
+  int rmt_alus_used = 0;
   uint64_t events_processed = 0;
 };
 

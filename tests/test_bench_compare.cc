@@ -1,0 +1,133 @@
+// Result files round-trip through JSONL and compare with a relative
+// tolerance plus an absolute slack floor — the contract behind the CI
+// regression gate (tools/bench_compare vs the committed baseline).
+#include "harness/compare.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "harness/metrics.h"
+
+namespace orbit::harness {
+namespace {
+
+MetricsRecord MakeRecord(const std::string& experiment,
+                         const std::string& scheme, int point,
+                         double rx_mrps) {
+  MetricsRecord r;
+  r.experiment = experiment;
+  r.point = point;
+  r.rep = 0;
+  r.seed = 42;
+  r.params = {{"scheme", scheme}};
+  r.metrics.Set("rx_mrps", rx_mrps);
+  r.metrics.Set("read_p99_us", 120.5);
+  return r;
+}
+
+TEST(MetricsRecord, JsonlRoundTripPreservesEverything) {
+  std::vector<MetricsRecord> records = {
+      MakeRecord("fig09", "NoCache", 0, 1.25),
+      MakeRecord("fig09", "OrbitCache", 1, 4.5)};
+  records[1].seed = ~uint64_t{0};  // full uint64 range must survive
+  records[1].error = "timed out";
+
+  const std::string text = DumpJsonl(records);
+  std::vector<MetricsRecord> back;
+  std::string error;
+  ASSERT_TRUE(ParseJsonl(text, &back, &error)) << error;
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].Key(), records[0].Key());
+  EXPECT_EQ(back[1].seed, ~uint64_t{0});
+  EXPECT_EQ(back[1].error, "timed out");
+  EXPECT_DOUBLE_EQ(back[0].Metric("rx_mrps"), 1.25);
+  // Byte stability: dumping the parse is the identity.
+  EXPECT_EQ(DumpJsonl(back), text);
+}
+
+TEST(MetricsRecord, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/compare_rt.jsonl";
+  const std::vector<MetricsRecord> records = {
+      MakeRecord("fig12", "NetCache", 3, 2.0)};
+  std::string error;
+  ASSERT_TRUE(WriteJsonlFile(path, records, &error)) << error;
+  std::vector<MetricsRecord> back;
+  ASSERT_TRUE(ReadJsonlFile(path, &back, &error)) << error;
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].Key(), records[0].Key());
+  std::remove(path.c_str());
+}
+
+TEST(CompareResults, IdenticalFilesMatch) {
+  const std::vector<MetricsRecord> a = {MakeRecord("fig09", "NoCache", 0, 1.25)};
+  const CompareReport report = CompareResults(a, a, CompareOptions{});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.matched, 1u);
+  EXPECT_GE(report.metrics_compared, 2u);
+}
+
+TEST(CompareResults, DriftBeyondToleranceFails) {
+  const std::vector<MetricsRecord> a = {MakeRecord("e", "s", 0, 10.0)};
+  const std::vector<MetricsRecord> b = {MakeRecord("e", "s", 0, 12.0)};
+  CompareOptions options;
+  options.tolerance = 0.05;
+  const CompareReport tight = CompareResults(a, b, options);
+  EXPECT_FALSE(tight.ok());
+  ASSERT_EQ(tight.diffs.size(), 1u);
+  EXPECT_EQ(tight.diffs[0].metric, "rx_mrps");
+
+  options.tolerance = 0.25;  // 20% drift within a 25% tolerance
+  EXPECT_TRUE(CompareResults(a, b, options).ok());
+}
+
+TEST(CompareResults, SlackFloorsTinyAbsoluteWobble) {
+  // 0.001 vs 0.003 is a 200% relative difference but far below the
+  // absolute slack — near-zero metrics must not trip the gate.
+  const std::vector<MetricsRecord> a = {MakeRecord("e", "s", 0, 0.001)};
+  const std::vector<MetricsRecord> b = {MakeRecord("e", "s", 0, 0.003)};
+  CompareOptions options;
+  options.tolerance = 0.05;
+  options.slack = 0.02;
+  EXPECT_TRUE(CompareResults(a, b, options).ok());
+  options.slack = 0;
+  EXPECT_FALSE(CompareResults(a, b, options).ok());
+}
+
+TEST(CompareResults, MissingRecordsAndAsymmetricErrorsFail) {
+  const std::vector<MetricsRecord> a = {MakeRecord("e", "s", 0, 1.0),
+                                        MakeRecord("e", "t", 1, 2.0)};
+  std::vector<MetricsRecord> b = {MakeRecord("e", "s", 0, 1.0)};
+  const CompareReport missing = CompareResults(a, b, CompareOptions{});
+  EXPECT_FALSE(missing.ok());
+  ASSERT_EQ(missing.only_a.size(), 1u);
+
+  b = a;
+  b[1].error = "deadline exceeded";
+  const CompareReport asym = CompareResults(a, b, CompareOptions{});
+  EXPECT_FALSE(asym.ok());
+  EXPECT_EQ(asym.errored.size(), 1u);
+
+  // Both sides failing identically is still a match (deterministic
+  // failures should not flap the gate).
+  std::vector<MetricsRecord> a2 = a;
+  a2[1].error = "deadline exceeded";
+  EXPECT_TRUE(CompareResults(a2, b, CompareOptions{}).ok());
+}
+
+TEST(CompareResults, ExplicitMetricListAndDottedPaths) {
+  std::vector<MetricsRecord> a = {MakeRecord("e", "s", 0, 1.0)};
+  std::vector<MetricsRecord> b = {MakeRecord("e", "s", 0, 9.0)};
+  JsonValue nested = JsonValue::MakeObject();
+  nested.Set("p99_us", 10.0);
+  a[0].metrics.Set("read_cached", nested);
+  nested.Set("p99_us", 10.1);
+  b[0].metrics.Set("read_cached", nested);
+  CompareOptions options;
+  options.metrics = {"read_cached.p99_us"};  // rx_mrps drift is ignored
+  EXPECT_TRUE(CompareResults(a, b, options).ok());
+}
+
+}  // namespace
+}  // namespace orbit::harness

@@ -50,5 +50,34 @@ TEST(ParseArgs, RecognizesFullFlag) {
   EXPECT_TRUE(ParseArgs(2, const_cast<char**>(argv2)).full);
 }
 
+TEST(ParseArgs, RecognizesQuickFlag) {
+  const char* argv[] = {"bench", "--quick"};
+  const Mode mode = ParseArgs(2, const_cast<char**>(argv));
+  EXPECT_TRUE(mode.quick);
+  EXPECT_EQ(mode.scale(), harness::Scale::kQuick);
+}
+
+// The three scales are ordered; full is the §5.1 paper scale; PaperConfig
+// is a pure delegate of the single ScaleProfile source of truth.
+TEST(ScaleProfile, OrderedAndDelegated) {
+  const harness::ScaleProfile q =
+      harness::PaperScaleProfile(harness::Scale::kQuick);
+  const harness::ScaleProfile d =
+      harness::PaperScaleProfile(harness::Scale::kDefault);
+  const harness::ScaleProfile f =
+      harness::PaperScaleProfile(harness::Scale::kFull);
+  EXPECT_LT(q.num_keys, d.num_keys);
+  EXPECT_LT(d.num_keys, f.num_keys);
+  EXPECT_LT(q.duration, d.duration);
+  EXPECT_LT(d.duration, f.duration);
+  EXPECT_EQ(f.num_keys, 10'000'000u);
+
+  Mode full;
+  full.full = true;
+  EXPECT_EQ(PaperConfig(full).num_keys, f.num_keys);
+  EXPECT_EQ(PaperConfig(full).duration, f.duration);
+  EXPECT_EQ(PaperConfig(Mode{}).num_keys, d.num_keys);
+}
+
 }  // namespace
 }  // namespace orbit::benchutil

@@ -1,0 +1,108 @@
+// The harness promises byte-identical JSONL across serial and parallel
+// runs; that only holds if serialization is fully deterministic and the
+// parser accepts everything the writer emits. Pin both directions.
+#include "harness/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace orbit::harness {
+namespace {
+
+TEST(JsonValue, ObjectKeepsInsertionOrder) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("zeta", 1);
+  obj.Set("alpha", 2);
+  obj.Set("mid", 3);
+  EXPECT_EQ(obj.Dump(), R"({"zeta":1,"alpha":2,"mid":3})");
+  // Replacing a key must keep its original position.
+  obj.Set("alpha", 9);
+  EXPECT_EQ(obj.Dump(), R"({"zeta":1,"alpha":9,"mid":3})");
+}
+
+TEST(JsonValue, NumbersPrintShortestRoundTrip) {
+  EXPECT_EQ(JsonValue(0.82).Dump(), "0.82");
+  EXPECT_EQ(JsonValue(1.0 / 3.0).Dump(), "0.3333333333333333");
+  EXPECT_EQ(JsonValue(int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(JsonValue(int64_t{1} << 62).Dump(), "4611686018427387904");
+  // JSON has no NaN/inf — they degrade to null rather than corrupt a line.
+  EXPECT_EQ(JsonValue(std::nan("")).Dump(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+}
+
+TEST(JsonValue, Uint64WidensOnlyWhenNeeded) {
+  EXPECT_EQ(JsonValue(uint64_t{42}).type(), JsonValue::Type::kInt);
+  EXPECT_EQ(JsonValue(~uint64_t{0}).type(), JsonValue::Type::kDouble);
+}
+
+TEST(JsonValue, StringEscapes) {
+  EXPECT_EQ(JsonValue("a\"b\\c\n\t\x01").Dump(),
+            R"("a\"b\\c\n\t\u0001")");
+}
+
+TEST(JsonValue, FindPathResolvesNestedObjects) {
+  JsonValue inner = JsonValue::MakeObject();
+  inner.Set("p99_us", 12.5);
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("read_cached", std::move(inner));
+  ASSERT_NE(obj.FindPath("read_cached.p99_us"), nullptr);
+  EXPECT_DOUBLE_EQ(obj.FindPath("read_cached.p99_us")->AsDouble(), 12.5);
+  EXPECT_EQ(obj.FindPath("read_cached.p50_us"), nullptr);
+  EXPECT_EQ(obj.FindPath("nope.p99_us"), nullptr);
+}
+
+TEST(ParseJson, RoundTripsWriterOutput) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("s", "hi \"there\"\n");
+  obj.Set("i", int64_t{-12345});
+  obj.Set("d", 3.25);
+  obj.Set("b", true);
+  obj.Set("n", JsonValue());
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(1);
+  arr.Append(2.5);
+  arr.Append("x");
+  obj.Set("a", std::move(arr));
+  const std::string text = obj.Dump();
+
+  JsonValue back;
+  std::string error;
+  ASSERT_TRUE(ParseJson(text, &back, &error)) << error;
+  EXPECT_TRUE(back == obj);
+  EXPECT_EQ(back.Dump(), text);  // bytes stable through a round trip
+}
+
+TEST(ParseJson, AcceptsWhitespaceAndUnicodeEscapes) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson("  { \"k\" : [ 1 , \"\\u0041\" ] }\n", &v, &error))
+      << error;
+  EXPECT_EQ(v.FindPath("k")->array()[1].AsString(), "A");
+}
+
+TEST(ParseJson, RejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\":}", &v, &error));
+  EXPECT_FALSE(ParseJson("[1,2", &v, &error));
+  EXPECT_FALSE(ParseJson("true false", &v, &error));  // trailing garbage
+  EXPECT_FALSE(ParseJson("", &v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ParseJson, IntegerVsDoubleDistinction) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson("[7,7.0,7e0]", &v, &error)) << error;
+  EXPECT_EQ(v.array()[0].type(), JsonValue::Type::kInt);
+  EXPECT_EQ(v.array()[1].type(), JsonValue::Type::kDouble);
+  EXPECT_EQ(v.array()[2].type(), JsonValue::Type::kDouble);
+  // Cross-type numeric equality still holds.
+  EXPECT_TRUE(v.array()[0] == v.array()[1]);
+}
+
+}  // namespace
+}  // namespace orbit::harness

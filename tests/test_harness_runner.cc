@@ -1,0 +1,120 @@
+// The parallel runner's core promise: running sweep points across a
+// thread pool changes wall-clock time only — the JSONL bytes, record
+// order, and every metric are identical to a serial run. Also covers
+// failure isolation and the per-point wall-clock timeout.
+#include "harness/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/metrics.h"
+#include "harness/sat_cache.h"
+
+namespace orbit::harness {
+namespace {
+
+// A real-simulation spec kept tiny so the 2x4-point suite runs in well
+// under a second per job count.
+ExperimentSpec TinySimSpec() {
+  ExperimentSpec spec;
+  spec.name = "unit_tiny_sim";
+  spec.apply_paper_scale = false;
+  spec.base.num_clients = 2;
+  spec.base.num_servers = 4;
+  spec.base.num_keys = 2'000;
+  spec.base.server_rate_rps = 100'000;
+  spec.base.client_rate_rps = 400'000;
+  spec.base.warmup = 2 * kMillisecond;
+  spec.base.duration = 10 * kMillisecond;
+  spec.axes = {SchemeAxis({testbed::Scheme::kNoCache,
+                           testbed::Scheme::kOrbitCache}),
+               NumericAxis("zipf_theta", {0.9, 0.99},
+                           [](testbed::TestbedConfig& cfg, double v) {
+                             cfg.zipf_theta = v;
+                           })};
+  spec.run = FixedLoadRun();
+  return spec;
+}
+
+TEST(RunExperiments, ParallelOutputIsByteIdenticalToSerial) {
+  const std::vector<ExperimentSpec> specs = {TinySimSpec()};
+  RunnerOptions serial;
+  serial.scale = Scale::kQuick;
+  serial.jobs = 1;
+  serial.progress = false;
+  RunnerOptions parallel = serial;
+  parallel.jobs = 8;
+
+  const RunOutcome a = RunExperiments(specs, serial);
+  const RunOutcome b = RunExperiments(specs, parallel);
+  ASSERT_EQ(a.records.size(), 4u);
+  ASSERT_EQ(b.records.size(), 4u);
+  EXPECT_EQ(a.errors, 0);
+  EXPECT_EQ(b.errors, 0);
+  // The whole point: byte-for-byte identical machine-readable output.
+  EXPECT_EQ(DumpJsonl(a.records), DumpJsonl(b.records));
+}
+
+TEST(RunExperiments, FailingPointIsIsolated) {
+  ExperimentSpec spec;
+  spec.name = "unit_failures";
+  spec.apply_paper_scale = false;
+  spec.axes = {NumericAxis("x", {1, 2, 3}, nullptr)};
+  spec.run = [](const PointRun& p, SaturationCache&) {
+    if (p.point == 1) throw std::runtime_error("boom");
+    JsonValue m = JsonValue::MakeObject();
+    m.Set("x", p.Value("x"));
+    return m;
+  };
+  RunnerOptions options;
+  options.progress = false;
+  const RunOutcome out = RunExperiments({spec}, options);
+  ASSERT_EQ(out.records.size(), 3u);
+  EXPECT_EQ(out.errors, 1);
+  EXPECT_TRUE(out.records[0].ok());
+  EXPECT_FALSE(out.records[1].ok());
+  EXPECT_EQ(out.records[1].error, "boom");
+  EXPECT_TRUE(out.records[2].ok());
+  EXPECT_DOUBLE_EQ(out.records[2].Metric("x"), 3.0);
+}
+
+TEST(RunExperiments, PointTimeoutRecordsErrorAndContinues) {
+  ExperimentSpec spec = TinySimSpec();
+  spec.name = "unit_timeout";
+  // A simulated 10 minutes cannot complete within the 0.2s budget; the
+  // deadline check inside Simulator::Step aborts the point instead of
+  // hanging the suite.
+  spec.base.duration = 600 * kSecond;
+  spec.axes = {SchemeAxis({testbed::Scheme::kNoCache})};
+  RunnerOptions options;
+  options.scale = Scale::kQuick;
+  options.progress = false;
+  options.point_timeout_sec = 0.2;
+  const RunOutcome out = RunExperiments({spec}, options);
+  ASSERT_EQ(out.records.size(), 1u);
+  EXPECT_EQ(out.errors, 1);
+  EXPECT_FALSE(out.records[0].ok());
+  EXPECT_NE(out.records[0].error.find("deadline"), std::string::npos)
+      << out.records[0].error;
+}
+
+TEST(RunExperiments, SaturationCacheDeduplicatesIdenticalConfigs) {
+  ExperimentSpec spec = TinySimSpec();
+  spec.name = "unit_sat_cache";
+  // Two labels, no config difference: the second point must reuse the
+  // first point's saturation search.
+  spec.axes = {NumericAxis("probe", {1, 2}, nullptr)};
+  spec.run = SaturationRun();
+  spec.max_corrections = 0;
+  RunnerOptions options;
+  options.scale = Scale::kQuick;
+  options.progress = false;
+  const RunOutcome out = RunExperiments({spec}, options);
+  ASSERT_EQ(out.records.size(), 2u);
+  EXPECT_EQ(out.errors, 0);
+  EXPECT_EQ(out.sat_cache_hits, 1u);
+  EXPECT_DOUBLE_EQ(out.records[0].Metric("sat_tx_mrps"),
+                   out.records[1].Metric("sat_tx_mrps"));
+}
+
+}  // namespace
+}  // namespace orbit::harness

@@ -1,0 +1,99 @@
+// Diff two JSONL result files produced by the bench harness (--out).
+//
+//   bench_compare a.jsonl b.jsonl [--tolerance F] [--slack F]
+//                 [--metrics m1,m2,...] [--all-metrics]
+//
+// Records are matched by experiment + swept-parameter labels + rep; each
+// selected metric is compared with a relative tolerance plus an absolute
+// slack floor (small absolute wobble on a near-zero metric is not drift).
+// Exit 0: match within tolerance. Exit 1: drift, missing records, or
+// asymmetric failures. Exit 2: usage / unreadable input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/compare.h"
+#include "harness/metrics.h"
+
+namespace {
+
+void Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s A.jsonl B.jsonl [--tolerance F] [--slack F]\n"
+      "          [--metrics m1,m2,...] [--all-metrics]\n"
+      "  --tolerance F   relative tolerance, default 0.05 (5%%)\n"
+      "  --slack F       absolute difference always allowed, default 0.02\n"
+      "  --metrics LIST  comma-separated metric names (dotted paths ok)\n"
+      "  --all-metrics   compare every numeric top-level metric\n",
+      prog);
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    const size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  orbit::harness::CompareOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--tolerance") {
+      options.tolerance = std::atof(value("--tolerance"));
+    } else if (arg == "--slack") {
+      options.slack = std::atof(value("--slack"));
+    } else if (arg == "--metrics") {
+      options.metrics = SplitCsv(value("--metrics"));
+    } else if (arg == "--all-metrics") {
+      options.all_metrics = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::string error;
+  std::vector<orbit::harness::MetricsRecord> a, b;
+  if (!orbit::harness::ReadJsonlFile(paths[0], &a, &error)) {
+    std::fprintf(stderr, "%s: %s\n", paths[0].c_str(), error.c_str());
+    return 2;
+  }
+  if (!orbit::harness::ReadJsonlFile(paths[1], &b, &error)) {
+    std::fprintf(stderr, "%s: %s\n", paths[1].c_str(), error.c_str());
+    return 2;
+  }
+
+  const auto report = orbit::harness::CompareResults(a, b, options);
+  std::fputs(orbit::harness::FormatReport(report, options).c_str(), stdout);
+  return report.ok() ? 0 : 1;
+}
