@@ -3,6 +3,8 @@
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "telemetry/counters.h"
+#include "telemetry/trace.h"
 
 namespace orbit::app {
 
@@ -53,14 +55,19 @@ void ClientNode::SendNext() {
 }
 
 void ClientNode::SendRequest(const WorkloadSource::Request& req,
-                             bool correction, SimTime original_sent_at) {
+                             bool correction, SimTime original_sent_at,
+                             uint64_t inherited_trace_id) {
   const uint32_t seq = next_seq_++;  // wraps naturally (§3.6)
+  uint64_t trace_id = inherited_trace_id;
+  if (trace_id == 0 && tracer_ != nullptr && tracer_->Sampled(seq))
+    trace_id = telemetry::MakeTraceId(config_.addr, seq);
   Pending pending;
   pending.key = req.key;
   pending.sent_at = original_sent_at;
   pending.is_write = req.is_write;
   pending.is_correction = correction;
   pending.server = req.server;
+  pending.trace_id = trace_id;
   pending_[seq] = pending;
 
   proto::Message msg;
@@ -87,6 +94,11 @@ void ClientNode::SendRequest(const WorkloadSource::Request& req,
   auto pkt = sim::MakePacket(config_.addr, req.server, config_.src_port,
                              config_.orbit_port, std::move(msg));
   pkt->sent_at = original_sent_at;
+  pkt->trace_id = trace_id;
+  if (tracer_ != nullptr && trace_id != 0)
+    tracer_->Instant(track_, trace_id, "send", sim_->now(),
+                     correction ? "correction"
+                                : (req.is_write ? "write" : "read"));
   net_->Send(this, port_, std::move(pkt));
 }
 
@@ -118,8 +130,9 @@ void ClientNode::HandleReply(const sim::Packet& pkt) {
     fix.server = pending.server;
     fix.is_write = false;
     const SimTime original = pending.sent_at;
+    const uint64_t trace_id = pending.trace_id;
     pending_.erase(it);
-    SendRequest(fix, /*correction=*/true, original);
+    SendRequest(fix, /*correction=*/true, original, trace_id);
     return;
   }
 
@@ -149,6 +162,18 @@ void ClientNode::HandleReply(const sim::Packet& pkt) {
   rx_meter_.Add();
   if (timeline_ != nullptr) timeline_->Add(sim_->now());
   if (window_open_) RecordLatency(pkt, pending);
+  if (tracer_ != nullptr && pending.trace_id != 0) {
+    // The root span: total client-observed latency, labeled by how the
+    // request was ultimately satisfied.
+    const char* outcome =
+        pending.is_write
+            ? "write"
+            : (msg.cached != 0 ? "read_cached"
+                               : (pending.is_correction ? "read_correction"
+                                                        : "read_server"));
+    tracer_->Span(track_, pending.trace_id, "request", pending.sent_at,
+                  sim_->now() - pending.sent_at, outcome);
+  }
   pending_.erase(it);
 }
 
@@ -172,12 +197,36 @@ void ClientNode::SweepTimeouts() {
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->second.sent_at < cutoff) {
       ++stats_.timeouts;
+      if (tracer_ != nullptr && it->second.trace_id != 0)
+        tracer_->Span(track_, it->second.trace_id, "request",
+                      it->second.sent_at, sim_->now() - it->second.sent_at,
+                      "timeout");
       it = pending_.erase(it);
     } else {
       ++it;
     }
   }
   sim_->After(config_.timeout_sweep_period, [this] { SweepTimeouts(); });
+}
+
+void ClientNode::SetTracer(telemetry::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr)
+    track_ = tracer_->RegisterTrack("client-" + std::to_string(config_.addr));
+}
+
+void ClientNode::RegisterTelemetry(telemetry::Registry& reg,
+                                   const std::string& prefix) {
+  reg.AddCounter(prefix + ".tx_requests",
+                 [this] { return stats_.tx_requests; });
+  reg.AddCounter(prefix + ".rx_replies", [this] { return stats_.rx_replies; });
+  reg.AddCounter(prefix + ".timeouts", [this] { return stats_.timeouts; });
+  reg.AddCounter(prefix + ".collisions", [this] { return stats_.collisions; });
+  reg.AddCounter(prefix + ".stray_replies",
+                 [this] { return stats_.stray_replies; });
+  reg.AddCounter(prefix + ".stale_reads",
+                 [this] { return stats_.stale_reads; });
+  reg.AddGauge(prefix + ".pending", [this] { return pending_.size(); });
 }
 
 }  // namespace orbit::app

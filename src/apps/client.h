@@ -30,6 +30,11 @@
 #include "stats/meters.h"
 #include "stats/time_series.h"
 
+namespace orbit::telemetry {
+class Registry;
+class Tracer;
+}  // namespace orbit::telemetry
+
 namespace orbit::app {
 
 // What a client asks for next; implemented by the testbed's workload model.
@@ -76,6 +81,13 @@ class ClientNode : public sim::Node {
   // Optional per-reply timeline for the dynamic-workload experiment.
   void AttachTimeline(stats::TimeSeries* timeline) { timeline_ = timeline; }
 
+  // Telemetry (optional): the client is where request lifecycles start —
+  // it decides which requests are sampled and closes each trace with a
+  // "request" span covering client-observed latency.
+  void SetTracer(telemetry::Tracer* tracer);
+  // Registers `<prefix>.*` counters (tx/rx/timeouts/…) against `reg`.
+  void RegisterTelemetry(telemetry::Registry& reg, const std::string& prefix);
+
   struct Stats {
     uint64_t tx_requests = 0;
     uint64_t rx_replies = 0;
@@ -105,11 +117,13 @@ class ClientNode : public sim::Node {
     bool is_correction = false;
     Addr server = kInvalidAddr;
     uint32_t frags_seen = 0;  // bitmap over frag_index (≤ 32 fragments)
+    uint64_t trace_id = 0;    // non-zero when this request is sampled
   };
 
   void SendNext();
+  // `inherited_trace_id` keeps a correction retry on its original trace.
   void SendRequest(const WorkloadSource::Request& req, bool correction,
-                   SimTime original_sent_at);
+                   SimTime original_sent_at, uint64_t inherited_trace_id = 0);
   void HandleReply(const sim::Packet& pkt);
   void SweepTimeouts();
   void RecordLatency(const sim::Packet& pkt, const Pending& pending);
@@ -133,6 +147,9 @@ class ClientNode : public sim::Node {
   stats::Histogram lat_switch_;
   stats::TimeSeries* timeline_ = nullptr;
   bool window_open_ = false;
+
+  telemetry::Tracer* tracer_ = nullptr;
+  int track_ = -1;
 
   Stats stats_;
 };

@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "telemetry/counters.h"
+#include "telemetry/trace.h"
 
 namespace orbit::app {
 
@@ -39,6 +41,9 @@ void ServerNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
   // socket buffer.
   if (queue_depth_ >= config_.rx_queue_limit) {
     ++stats_.dropped;
+    if (tracer_ != nullptr && pkt->trace_id != 0)
+      tracer_->Instant(track_, pkt->trace_id, "rx_drop", sim_->now(),
+                       "queue_full");
     return;
   }
   const SimTime service =
@@ -46,8 +51,17 @@ void ServerNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
           ? static_cast<SimTime>(static_cast<double>(kSecond) /
                                  config_.service_rate_rps)
           : config_.base_processing;
-  busy_until_ = std::max(busy_until_, sim_->now()) + service;
+  const SimTime start = std::max(busy_until_, sim_->now());
+  busy_until_ = start + service;
   ++queue_depth_;
+  if (tracer_ != nullptr && pkt->trace_id != 0) {
+    // Both spans are known at enqueue time (FIFO, fixed service time), so
+    // emit them here rather than splitting emission across events.
+    if (start > sim_->now())
+      tracer_->Span(track_, pkt->trace_id, "srv_queue", sim_->now(),
+                    start - sim_->now());
+    tracer_->Span(track_, pkt->trace_id, "srv_process", start, service);
+  }
   sim::Packet* raw = pkt.release();
   sim_->At(busy_until_, [this, raw] {
     --queue_depth_;
@@ -152,6 +166,7 @@ void ServerNode::Reply(const sim::Packet& req, proto::Message msg) {
     auto rep = sim::MakePacket(config_.addr, req.src, config_.orbit_port,
                                req.sport, std::move(frag));
     rep->sent_at = sim_->now();
+    rep->trace_id = req.trace_id;  // the reply continues the request's trace
     ++stats_.replies;
     net_->Send(this, port_, std::move(rep));
   }
@@ -173,6 +188,25 @@ void ServerNode::SendReport() {
   }
   top_k_.Reset();
   sim_->After(config_.report_period, [this] { SendReport(); });
+}
+
+void ServerNode::SetTracer(telemetry::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) track_ = tracer_->RegisterTrack(name());
+}
+
+void ServerNode::RegisterTelemetry(telemetry::Registry& reg,
+                                   const std::string& prefix) {
+  reg.AddCounter(prefix + ".requests", [this] { return stats_.requests; });
+  reg.AddCounter(prefix + ".reads", [this] { return stats_.reads; });
+  reg.AddCounter(prefix + ".writes", [this] { return stats_.writes; });
+  reg.AddCounter(prefix + ".fetches", [this] { return stats_.fetches; });
+  reg.AddCounter(prefix + ".corrections",
+                 [this] { return stats_.corrections; });
+  reg.AddCounter(prefix + ".flushes", [this] { return stats_.flushes; });
+  reg.AddCounter(prefix + ".drop.rx_queue", [this] { return stats_.dropped; });
+  reg.AddCounter(prefix + ".replies", [this] { return stats_.replies; });
+  reg.AddGauge(prefix + ".queue_depth", [this] { return queue_depth_; });
 }
 
 }  // namespace orbit::app

@@ -20,6 +20,11 @@
 #include "sim/simulator.h"
 #include "workload/top_k.h"
 
+namespace orbit::telemetry {
+class Registry;
+class Tracer;
+}  // namespace orbit::telemetry
+
 namespace orbit::app {
 
 struct ServerConfig {
@@ -73,6 +78,12 @@ class ServerNode : public sim::Node {
   kv::KvStore& store() { return store_; }
   const ServerConfig& config() const { return config_; }
 
+  // Telemetry (optional): queue/process spans for sampled requests, reply
+  // packets inherit the request's trace id.
+  void SetTracer(telemetry::Tracer* tracer);
+  // Registers `<prefix>.*` counters and a queue-depth gauge against `reg`.
+  void RegisterTelemetry(telemetry::Registry& reg, const std::string& prefix);
+
  private:
   void Process(sim::PacketPtr pkt);
   void Reply(const sim::Packet& req, proto::Message msg);
@@ -90,6 +101,9 @@ class ServerNode : public sim::Node {
 
   SimTime busy_until_ = 0;
   size_t queue_depth_ = 0;
+
+  telemetry::Tracer* tracer_ = nullptr;
+  int track_ = -1;
 
   Stats stats_;
 };

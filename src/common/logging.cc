@@ -1,14 +1,27 @@
 #include "common/logging.h"
 
+#include <mutex>
+
 namespace orbit {
 
-LogLevel Logger::level_ = LogLevel::kWarn;
+std::atomic<LogLevel> Logger::level_{LogLevel::kWarn};
 
 void Logger::Emit(LogLevel level, const std::string& msg) {
   static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
   const int idx = static_cast<int>(level);
   if (idx < 0 || idx > 3) return;
-  std::cerr << "[" << kNames[idx] << "] " << msg << "\n";
+  // One preformatted line per write, under a lock: concurrent harness
+  // workers may log at once and lines must never interleave mid-message.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += '[';
+  line += kNames[idx];
+  line += "] ";
+  line += msg;
+  line += '\n';
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::cerr << line;
 }
 
 }  // namespace orbit

@@ -3,8 +3,14 @@
 // The simulator is performance sensitive, so log calls below the active
 // level cost one branch. Benches run with the logger off; tests may raise
 // the level to debug specific scenarios.
+//
+// Thread safety: the harness runs independent simulator instances on
+// worker threads, so the level is atomic (relaxed — it is a filter, not a
+// synchronization point) and Emit serializes under a mutex so concurrent
+// lines never interleave mid-message.
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -15,13 +21,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 class Logger {
  public:
-  static LogLevel level() { return level_; }
-  static void set_level(LogLevel level) { level_ = level; }
-  static bool enabled(LogLevel level) { return level >= level_; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  static bool enabled(LogLevel level) {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
   static void Emit(LogLevel level, const std::string& msg);
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 }  // namespace orbit

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "harness/telemetry_io.h"
+
 namespace orbit::harness {
 
 namespace {
@@ -69,6 +71,33 @@ CliOptions ParseCli(int argc, char** argv) {
       const char* v = next_value("--out");
       if (v == nullptr) break;
       opts.out_path = v;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      const char* v = next_value("--trace-out");
+      if (v == nullptr) break;
+      opts.trace_out_path = v;
+    } else if (std::strcmp(arg, "--trace-sample") == 0) {
+      const char* v = next_value("--trace-sample");
+      if (v == nullptr) break;
+      uint64_t n = 0;
+      if (!ParseUint64(v, &n) || n > UINT32_MAX) {
+        opts.error = std::string("bad --trace-sample value: ") + v;
+        break;
+      }
+      opts.runner.trace_sample = static_cast<uint32_t>(n);
+    } else if (std::strcmp(arg, "--counters-out") == 0) {
+      const char* v = next_value("--counters-out");
+      if (v == nullptr) break;
+      opts.counters_out_path = v;
+    } else if (std::strcmp(arg, "--snapshot-interval") == 0) {
+      const char* v = next_value("--snapshot-interval");
+      if (v == nullptr) break;
+      double ms = 0;
+      if (!ParseDouble(v, &ms) || ms < 0) {
+        opts.error = std::string("bad --snapshot-interval value: ") + v;
+        break;
+      }
+      opts.runner.snapshot_interval =
+          static_cast<SimTime>(ms * kMillisecond);
     } else if (std::strcmp(arg, "--no-progress") == 0) {
       opts.runner.progress = false;
     } else if (std::strcmp(arg, "--list") == 0) {
@@ -89,6 +118,8 @@ void PrintHelp(const char* prog, const std::vector<ExperimentSpec>& specs) {
   std::printf(
       "usage: %s [NAME...] [--quick|--full] [--seed N] [--jobs N]\n"
       "       [--timeout SEC] [--out results.jsonl] [--list] [--no-progress]\n"
+      "       [--trace-out trace.json] [--trace-sample N]\n"
+      "       [--counters-out counters.jsonl] [--snapshot-interval MS]\n"
       "\n"
       "  NAME...        run only experiments whose name contains NAME\n"
       "  --quick        CI smoke scale (100K keys, 20/60 ms windows)\n"
@@ -99,6 +130,16 @@ void PrintHelp(const char* prog, const std::vector<ExperimentSpec>& specs) {
       "  --timeout SEC  per-point wall-clock budget; an expired point is\n"
       "                 recorded as an error, the suite continues\n"
       "  --out PATH     write one JSON metrics record per point to PATH\n"
+      "  --trace-out PATH\n"
+      "                 capture request-lifecycle spans and write one merged\n"
+      "                 Chrome trace (open in Perfetto / chrome://tracing)\n"
+      "  --trace-sample N\n"
+      "                 trace every Nth request per client (default 64)\n"
+      "  --counters-out PATH\n"
+      "                 write switch/app counter snapshots as JSONL series\n"
+      "  --snapshot-interval MS\n"
+      "                 sim-time period between counter snapshots (default\n"
+      "                 0 = one final snapshot per point)\n"
       "  --list         list experiment names and exit\n"
       "\n"
       "experiments and swept parameters:\n",
@@ -152,7 +193,15 @@ int HarnessMain(const std::vector<ExperimentSpec>& specs, int argc,
     }
   }
 
-  const RunOutcome outcome = RunExperiments(selected, opts.runner);
+  RunnerOptions runner = opts.runner;
+  if (!opts.trace_out_path.empty() || !opts.counters_out_path.empty()) {
+    runner.capture_telemetry = true;
+    // Collect only what will be written: spans cost nothing when sampling
+    // is off, and counter snapshots cost nothing unless requested.
+    if (opts.trace_out_path.empty()) runner.trace_sample = 0;
+  }
+
+  const RunOutcome outcome = RunExperiments(selected, runner);
   PrintTables(selected, outcome.records);
   std::printf("\n%zu points in %.1fs (scale=%s, jobs=%d, seed=%llu",
               outcome.records.size(), outcome.wall_seconds,
@@ -172,6 +221,27 @@ int HarnessMain(const std::vector<ExperimentSpec>& specs, int argc,
     }
     std::printf("wrote %zu records to %s\n", outcome.records.size(),
                 opts.out_path.c_str());
+  }
+  if (!opts.trace_out_path.empty()) {
+    std::string error;
+    if (!WriteTextFile(opts.trace_out_path,
+                       MergedChromeTrace(outcome.records, outcome.captures),
+                       &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    std::printf("wrote trace to %s\n", opts.trace_out_path.c_str());
+  }
+  if (!opts.counters_out_path.empty()) {
+    std::string error;
+    if (!WriteTextFile(opts.counters_out_path,
+                       CountersJsonl(outcome.records, outcome.captures),
+                       &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    std::printf("wrote counter snapshots to %s\n",
+                opts.counters_out_path.c_str());
   }
   return outcome.errors > 0 ? 1 : 0;
 }

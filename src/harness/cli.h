@@ -5,9 +5,17 @@
 //   --jobs N            parallel points (default 1 = fully serial)
 //   --out PATH          write JSON-lines metrics records
 //   --timeout SEC       per-point wall-clock budget (0 = off)
+//   --trace-out PATH    write a merged Chrome trace (Perfetto-viewable)
+//   --trace-sample N    trace every Nth request per client (default 64)
+//   --counters-out PATH write counter-snapshot JSONL time series
+//   --snapshot-interval MS  periodic registry snapshots (0 = final only)
 //   --list              list experiments and exit
 //   --help              usage plus each experiment's swept parameters
 //   NAME...             positional filters (substring match on experiment)
+//
+// The telemetry flags enable instrumentation only for the files they
+// produce: with none given, runs are bit-identical to a build without the
+// telemetry layer.
 //
 // HarnessMain() is the whole driver: parse, filter, run, print tables,
 // write the JSONL, return the exit code (0 ok, 1 point failures, 2 usage).
@@ -24,6 +32,8 @@ namespace orbit::harness {
 struct CliOptions {
   RunnerOptions runner;
   std::string out_path;
+  std::string trace_out_path;     // non-empty enables trace capture
+  std::string counters_out_path;  // non-empty enables counter snapshots
   std::vector<std::string> filters;
   bool help = false;
   bool list = false;

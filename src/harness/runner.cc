@@ -44,6 +44,15 @@ RunOutcome RunExperiments(const std::vector<ExperimentSpec>& specs,
 
   RunOutcome outcome;
   outcome.records.resize(jobs.size());
+  if (options.capture_telemetry) {
+    outcome.captures.resize(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      jobs[i].point.config.telemetry.capture = &outcome.captures[i];
+      jobs[i].point.config.telemetry.trace_sample = options.trace_sample;
+      jobs[i].point.config.telemetry.snapshot_interval =
+          options.snapshot_interval;
+    }
+  }
   SaturationCache sat_cache;
   std::atomic<size_t> next{0};
   std::atomic<int> errors{0};

@@ -15,6 +15,7 @@
 
 #include "harness/metrics.h"
 #include "harness/spec.h"
+#include "telemetry/counters.h"
 
 namespace orbit::harness {
 
@@ -24,11 +25,21 @@ struct RunnerOptions {
   int jobs = 1;
   double point_timeout_sec = 0;  // 0 disables the per-point deadline
   bool progress = true;          // one stderr line per finished point
+
+  // Telemetry (off by default). When enabled the runner attaches one
+  // RunCapture per slot; captures land alongside records and never touch
+  // the metrics themselves, so record JSONL stays byte-identical either
+  // way. Sim-time timestamps keep captures deterministic across --jobs.
+  bool capture_telemetry = false;
+  uint32_t trace_sample = 64;        // trace every Nth request per client
+  SimTime snapshot_interval = 0;     // 0 = final snapshot only
 };
 
 struct RunOutcome {
   // Ordered by (spec order, point, rep) regardless of jobs.
   std::vector<MetricsRecord> records;
+  // Slot-aligned with records when capture_telemetry was set; else empty.
+  std::vector<telemetry::RunCapture> captures;
   int errors = 0;
   double wall_seconds = 0;   // never serialized (would break determinism)
   uint64_t sat_cache_hits = 0;

@@ -154,8 +154,21 @@ std::vector<PointRun> ExpandGrid(const ExperimentSpec& spec, Scale scale,
 
 RunFn SaturationRun() {
   return [](const PointRun& p, SaturationCache& cache) {
-    const testbed::SaturationResult sat = cache.Get(
-        p.config, p.spec->loss_tolerance, p.spec->max_corrections);
+    // The cache is shared across points, so the search itself always runs
+    // uninstrumented; a memoized hit would otherwise skip filling this
+    // point's capture (and a miss would race captures across threads).
+    testbed::TestbedConfig base = p.config;
+    base.telemetry = {};
+    const testbed::SaturationResult sat =
+        cache.Get(base, p.spec->loss_tolerance, p.spec->max_corrections);
+    if (p.config.telemetry.capture != nullptr) {
+      // Replay the saturating measurement once with instrumentation on.
+      // RunTestbed is deterministic and telemetry is results-neutral, so
+      // this reproduces sat.result exactly while filling the capture.
+      testbed::TestbedConfig instrumented = p.config;
+      instrumented.client_rate_rps = sat.sat_tx_rps;
+      (void)testbed::RunTestbed(instrumented);
+    }
     testbed::ResultMetricsOptions opts;
     opts.include_timelines = p.spec->include_timelines;
     opts.include_server_loads = p.spec->include_server_loads;
@@ -189,9 +202,12 @@ RunFn FractionOfSaturationRun(std::string fraction_axis) {
     const double fraction = p.Value(fraction_axis);
     // The shared base (config without the fraction applied) is what the
     // saturation search measures; every fraction of one base hits the
-    // same cache entry.
-    const testbed::SaturationResult sat = cache.Get(
-        p.config, p.spec->loss_tolerance, p.spec->max_corrections);
+    // same cache entry. Telemetry is stripped so the shared search never
+    // writes into one point's capture — the fraction run below keeps it.
+    testbed::TestbedConfig base = p.config;
+    base.telemetry = {};
+    const testbed::SaturationResult sat =
+        cache.Get(base, p.spec->loss_tolerance, p.spec->max_corrections);
     testbed::TestbedConfig cfg = p.config;
     cfg.client_rate_rps = fraction * sat.sat_tx_rps;
     const testbed::TestbedResult res = testbed::RunTestbed(cfg);

@@ -1,0 +1,98 @@
+#include "harness/telemetry_io.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "telemetry/export.h"
+
+namespace orbit::harness {
+
+std::string CaptureLabel(const MetricsRecord& record) {
+  std::string label = record.experiment;
+  label += " point=" + std::to_string(record.point);
+  label += " rep=" + std::to_string(record.rep);
+  for (const auto& [name, value] : record.params)
+    label += " " + name + "=" + value;
+  return label;
+}
+
+std::string MergedChromeTrace(
+    const std::vector<MetricsRecord>& records,
+    const std::vector<telemetry::RunCapture>& captures) {
+  ORBIT_CHECK(records.size() == captures.size());
+  std::vector<telemetry::LabeledCapture> processes;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (captures[i].events.empty()) continue;
+    processes.emplace_back(CaptureLabel(records[i]), &captures[i]);
+  }
+  return telemetry::ChromeTraceJson(processes);
+}
+
+std::string CountersJsonl(const std::vector<MetricsRecord>& records,
+                          const std::vector<telemetry::RunCapture>& captures) {
+  ORBIT_CHECK(records.size() == captures.size());
+  std::string out;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const MetricsRecord& record = records[i];
+    for (const telemetry::Snapshot& snap : captures[i].snapshots) {
+      JsonValue line = JsonValue::MakeObject();
+      line.Set("experiment", record.experiment);
+      line.Set("point", record.point);
+      line.Set("rep", record.rep);
+      JsonValue params = JsonValue::MakeObject();
+      for (const auto& [name, value] : record.params) params.Set(name, value);
+      line.Set("params", std::move(params));
+      line.Set("t_ns", static_cast<int64_t>(snap.at));
+      JsonValue counters = JsonValue::MakeObject();
+      for (const auto& [name, value] : snap.counters)
+        counters.Set(name, value);
+      line.Set("counters", std::move(counters));
+      JsonValue gauges = JsonValue::MakeObject();
+      for (const auto& [name, value] : snap.gauges) gauges.Set(name, value);
+      line.Set("gauges", std::move(gauges));
+      line.DumpTo(&out);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+bool ParseCountersJsonl(std::string_view text, std::vector<JsonValue>* out,
+                        std::string* error) {
+  out->clear();
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    JsonValue value;
+    std::string parse_error;
+    if (!ParseJson(line, &value, &parse_error) || !value.is_object()) {
+      if (error != nullptr)
+        *error = "line " + std::to_string(line_no) + ": " +
+                 (parse_error.empty() ? "not a JSON object" : parse_error);
+      return false;
+    }
+    out->push_back(std::move(value));
+  }
+  return true;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& contents,
+                   std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool ok = written == contents.size() && std::fclose(f) == 0;
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace orbit::harness

@@ -1,0 +1,52 @@
+// Harness-side telemetry output: labeling per-point RunCaptures, merging
+// them into one Chrome trace-event document, and flattening counter
+// snapshots into JSON-lines time series.
+//
+// Both writers share the harness determinism contract: output depends only
+// on the records/captures (which are themselves deterministic functions of
+// spec + seed), never on wall clock, thread count, or map iteration order.
+// Telemetry files are a side channel — MetricsRecord JSONL is unaffected
+// by whether they are produced.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/metrics.h"
+#include "telemetry/counters.h"
+
+namespace orbit::harness {
+
+// Human-readable label identifying one record's capture in a merged trace:
+// "experiment point=N rep=M axis=value ...". Shown as the Perfetto process
+// name.
+std::string CaptureLabel(const MetricsRecord& record);
+
+// Merges slot-aligned captures (as produced by RunExperiments with
+// capture_telemetry set) into one Chrome trace-event JSON document; points
+// with empty captures are skipped. records/captures must be equal length.
+std::string MergedChromeTrace(
+    const std::vector<MetricsRecord>& records,
+    const std::vector<telemetry::RunCapture>& captures);
+
+// Counter-snapshot time series, one JSON line per snapshot per point:
+//   {"experiment":"fig15","point":0,"rep":0,"params":{"scheme":"OrbitCache"},
+//    "t_ns":500000000,"counters":{"switch.rx_packets":123,...},
+//    "gauges":{"switch.recirc.in_flight":4,...}}
+// Lines appear in slot order, snapshots in sim-time order within a point.
+std::string CountersJsonl(const std::vector<MetricsRecord>& records,
+                          const std::vector<telemetry::RunCapture>& captures);
+
+// Parses CountersJsonl text back into one JsonValue object per line (blank
+// lines ignored). Returns false on the first malformed line, reporting its
+// line number in *error. Used by bench_compare --counters and tests.
+bool ParseCountersJsonl(std::string_view text, std::vector<JsonValue>* out,
+                        std::string* error);
+
+// Writes `contents` to `path` byte-for-byte. Returns false and fills
+// *error on I/O failure.
+bool WriteTextFile(const std::string& path, const std::string& contents,
+                   std::string* error);
+
+}  // namespace orbit::harness

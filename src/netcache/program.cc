@@ -3,10 +3,22 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "telemetry/counters.h"
+#include "telemetry/trace.h"
 
 namespace orbit::nc {
 
 using rmt::IngressResult;
+
+namespace {
+inline void Note(rmt::SwitchDevice* dev, const sim::Packet& pkt,
+                 const char* name, const char* detail = nullptr) {
+  telemetry::Tracer* t = dev->tracer();
+  if (t != nullptr && pkt.trace_id != 0)
+    t->Instant(dev->trace_track(), pkt.trace_id, name, dev->sim().now(),
+               detail);
+}
+}  // namespace
 
 NetProgram::NetProgram(rmt::SwitchDevice* device, const NetConfig& config)
     : device_(device),
@@ -172,6 +184,7 @@ IngressResult NetProgram::HandleReadRequest(sim::Packet& pkt) {
   const uint32_t* idxp = lookup_.Lookup(pkt.msg.key);
   if (idxp == nullptr) {
     ++stats_.read_misses;
+    Note(device_, pkt, "lookup_miss");
     // Heavy-hitter detection for uncached keys.
     sketch_.Update(pkt.msg.key);
     if (sketch_.Estimate(pkt.msg.key) >= config_.hot_threshold &&
@@ -188,6 +201,7 @@ IngressResult NetProgram::HandleReadRequest(sim::Packet& pkt) {
   }
   if (valid_.at(idx) == 0) {
     ++stats_.invalid_to_server;
+    Note(device_, pkt, "lookup_hit", "invalid_bypass");
     return IngressResult::ToAddr(pkt.dst);
   }
   if (config_.recirc_read_mode) {
@@ -199,6 +213,7 @@ IngressResult NetProgram::HandleReadRequest(sim::Packet& pkt) {
         (len + bytes_per_pass() - 1) / std::max(1u, bytes_per_pass());
     if (passes > 1 && pkt.recirc_count + 1 < passes) {
       ++stats_.request_recircs;
+      Note(device_, pkt, "recirc_read_pass");
       return IngressResult::Recirculate();
     }
   }
@@ -213,6 +228,7 @@ IngressResult NetProgram::HandleReadRequest(sim::Packet& pkt) {
   pkt.sport = config_.orbit_port;
   pkt.dport = client_port;
   ++stats_.served_by_cache;
+  Note(device_, pkt, "lookup_hit", "serve");
   return IngressResult::ToAddr(client);
 }
 
@@ -246,7 +262,46 @@ IngressResult NetProgram::HandleValueReply(sim::Packet& pkt) {
   StoreValue(idx, bytes);
   valid_.at(idx) = 1;
   ++stats_.validations;
+  Note(device_, pkt, "validate");
   return IngressResult::ToAddr(pkt.dst);
+}
+
+void NetProgram::RegisterTelemetry(telemetry::Registry& reg) {
+  reg.AddCounter("netcache.read_requests",
+                 [this] { return stats_.read_requests; });
+  reg.AddCounter("netcache.read_hits", [this] { return stats_.read_hits; });
+  reg.AddCounter("netcache.read_misses",
+                 [this] { return stats_.read_misses; });
+  reg.AddCounter("netcache.served_by_cache",
+                 [this] { return stats_.served_by_cache; });
+  reg.AddCounter("netcache.invalid_to_server",
+                 [this] { return stats_.invalid_to_server; });
+  reg.AddCounter("netcache.writes_cached",
+                 [this] { return stats_.writes_cached; });
+  reg.AddCounter("netcache.writes_uncached",
+                 [this] { return stats_.writes_uncached; });
+  reg.AddCounter("netcache.validations",
+                 [this] { return stats_.validations; });
+  reg.AddCounter("netcache.uncacheable_values",
+                 [this] { return stats_.uncacheable_values; });
+  reg.AddCounter("netcache.hot_reports",
+                 [this] { return stats_.hot_reports; });
+  reg.AddCounter("netcache.request_recircs",
+                 [this] { return stats_.request_recircs; });
+  reg.AddGauge("netcache.entries", [this] { return lookup_.size(); });
+
+  reg.AddCounter("rmt.s0.nc_lookup.lookups",
+                 [this] { return lookup_.lookups(); });
+  reg.AddCounter("rmt.s0.nc_lookup.hits", [this] { return lookup_.hits(); });
+  auto add_array = [&reg](const rmt::RegisterArrayBase& arr) {
+    reg.AddCounter("rmt.s" + std::to_string(arr.stage()) + "." +
+                       arr.array_name() + ".accesses",
+                   [&arr] { return arr.accesses(); });
+  };
+  add_array(valid_);
+  add_array(vlen_);
+  add_array(popularity_);
+  for (const auto& words : value_words_) add_array(*words);
 }
 
 }  // namespace orbit::nc

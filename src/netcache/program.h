@@ -101,6 +101,10 @@ class NetProgram : public rmt::SwitchProgram {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
 
+  // Registers netcache.* outcome counters and per-table / per-stage
+  // register access counters against `reg`.
+  void RegisterTelemetry(telemetry::Registry& reg);
+
   const NetConfig& config() const { return config_; }
 
  private:

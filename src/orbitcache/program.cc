@@ -2,10 +2,24 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "telemetry/counters.h"
+#include "telemetry/trace.h"
 
 namespace orbit::oc {
 
 using rmt::IngressResult;
+
+namespace {
+// Program-level trace instant for a sampled packet; no-op (one branch)
+// when tracing is off or the packet is unsampled.
+inline void Note(rmt::SwitchDevice* dev, const sim::Packet& pkt,
+                 const char* name, const char* detail = nullptr) {
+  telemetry::Tracer* t = dev->tracer();
+  if (t != nullptr && pkt.trace_id != 0)
+    t->Instant(dev->trace_track(), pkt.trace_id, name, dev->sim().now(),
+               detail);
+}
+}  // namespace
 
 OrbitProgram::OrbitProgram(rmt::SwitchDevice* device, const OrbitConfig& config)
     : device_(device),
@@ -193,6 +207,7 @@ IngressResult OrbitProgram::HandleReadRequest(sim::Packet& pkt) {
   const uint32_t* idxp = lookup_.Lookup(pkt.msg.hkey);
   if (idxp == nullptr) {
     ++stats_.read_misses;
+    Note(device_, pkt, "lookup_miss");
     return IngressResult::ToAddr(pkt.dst);
   }
   const uint32_t idx = *idxp;
@@ -203,6 +218,7 @@ IngressResult OrbitProgram::HandleReadRequest(sim::Packet& pkt) {
   if (valid_.at(idx) == 0) {
     // Pending write: read from the server to avoid a stale value.
     ++stats_.invalid_to_server;
+    Note(device_, pkt, "lookup_hit", "invalid_bypass");
     return IngressResult::ToAddr(pkt.dst);
   }
 
@@ -211,13 +227,16 @@ IngressResult OrbitProgram::HandleReadRequest(sim::Packet& pkt) {
   meta.l4_port = pkt.sport;
   meta.seq = pkt.msg.seq;
   meta.enqueued_at = device_->sim().now();
+  meta.trace_id = pkt.trace_id;
   if (request_table_.TryEnqueue(idx, meta)) {
     // Absorbed: a circulating cache packet will answer it (Fig. 4a).
     ++stats_.absorbed;
+    Note(device_, pkt, "lookup_hit", "absorb");
     return IngressResult::Drop();
   }
   overflow_counter_.get()++;
   ++stats_.overflow_to_server;
+  Note(device_, pkt, "lookup_hit", "overflow");
   return IngressResult::ToAddr(pkt.dst);
 }
 
@@ -229,6 +248,8 @@ IngressResult OrbitProgram::HandleWriteRequest(sim::Packet& pkt) {
   }
   const uint32_t idx = *idxp;
   ++stats_.writes_cached;
+  Note(device_, pkt, "write_cached",
+       config_.write_back ? "write_back" : "write_through");
 
   if (config_.write_back && valid_.at(idx) != 0 &&
       pkt.msg.value.size() <= proto::kMaxPayloadBytes - pkt.msg.key.size()) {
@@ -309,6 +330,7 @@ IngressResult OrbitProgram::HandleServerReply(sim::Packet& pkt) {
     }
     valid_.at(idx) = 1;
     ++stats_.validations;
+    Note(device_, pkt, "validate");
   }
   dirty_.at(idx) = 0;  // the server now holds this value
   version_.at(idx) = pkt.msg.value.version();
@@ -391,6 +413,16 @@ IngressResult OrbitProgram::ServeOrRecirculate(sim::Packet& pkt, uint32_t idx,
     std::optional<RequestMeta> meta = request_table_.TryDequeue(idx);
     if (!meta) return IngressResult::Recirculate();
 
+    // The serving cache packet adopts the absorbed request's identity: the
+    // outgoing reply (and its recirculating clone) now belong to that
+    // request's trace.
+    pkt.trace_id = meta->trace_id;
+    if (telemetry::Tracer* t = device_->tracer();
+        t != nullptr && meta->trace_id != 0) {
+      t->Span(device_->trace_track(), meta->trace_id, "cache_wait",
+              meta->enqueued_at, sw.sim().now() - meta->enqueued_at, "serve");
+    }
+
     const Addr server_src = pkt.src;
     pkt.dst = meta->client_addr;
     pkt.dport = meta->l4_port;
@@ -418,6 +450,7 @@ IngressResult OrbitProgram::ServeOrRecirculate(sim::Packet& pkt, uint32_t idx,
   std::optional<RequestMeta> meta = request_table_.Peek(idx);
   if (!meta) return IngressResult::Recirculate();
 
+  pkt.trace_id = meta->trace_id;
   pkt.dst = meta->client_addr;
   pkt.dport = meta->l4_port;
   pkt.sport = config_.orbit_port;
@@ -431,8 +464,84 @@ IngressResult OrbitProgram::ServeOrRecirculate(sim::Packet& pkt, uint32_t idx,
     request_table_.TryDequeue(idx);
     acked = 0;
     ++stats_.served_by_cache;
+    if (telemetry::Tracer* t = device_->tracer();
+        t != nullptr && meta->trace_id != 0) {
+      t->Span(device_->trace_track(), meta->trace_id, "cache_wait",
+              meta->enqueued_at, sw.sim().now() - meta->enqueued_at, "serve");
+    }
   }
   return CloneToAddrAndRecirc(pkt, meta->client_addr);
+}
+
+void OrbitProgram::RegisterTelemetry(telemetry::Registry& reg) {
+  // Program outcome counters, read straight from Stats.
+  reg.AddCounter("orbit.read_requests",
+                 [this] { return stats_.read_requests; });
+  reg.AddCounter("orbit.read_hits", [this] { return stats_.read_hits; });
+  reg.AddCounter("orbit.read_misses", [this] { return stats_.read_misses; });
+  reg.AddCounter("orbit.absorbed", [this] { return stats_.absorbed; });
+  reg.AddCounter("orbit.overflow_to_server",
+                 [this] { return stats_.overflow_to_server; });
+  reg.AddCounter("orbit.invalid_to_server",
+                 [this] { return stats_.invalid_to_server; });
+  reg.AddCounter("orbit.served_by_cache",
+                 [this] { return stats_.served_by_cache; });
+  reg.AddCounter("orbit.cp_drop.evicted",
+                 [this] { return stats_.cp_drop_evicted; });
+  reg.AddCounter("orbit.cp_drop.invalid",
+                 [this] { return stats_.cp_drop_invalid; });
+  reg.AddCounter("orbit.cp_drop.epoch",
+                 [this] { return stats_.cp_drop_epoch; });
+  reg.AddCounter("orbit.writes_cached",
+                 [this] { return stats_.writes_cached; });
+  reg.AddCounter("orbit.writes_uncached",
+                 [this] { return stats_.writes_uncached; });
+  reg.AddCounter("orbit.validations", [this] { return stats_.validations; });
+  reg.AddCounter("orbit.stale_validations_skipped",
+                 [this] { return stats_.stale_validations_skipped; });
+  reg.AddCounter("orbit.corrections_forwarded",
+                 [this] { return stats_.corrections_forwarded; });
+  reg.AddCounter("orbit.refetches", [this] { return stats_.refetches; });
+  if (config_.write_back) {
+    reg.AddCounter("orbit.wb.returned_replies",
+                   [this] { return stats_.wb_returned_replies; });
+    reg.AddCounter("orbit.wb.flushes", [this] { return stats_.wb_flushes; });
+    reg.AddCounter("orbit.wb.snapshot_flushes",
+                   [this] { return stats_.wb_snapshot_flushes; });
+  }
+  reg.AddGauge("orbit.entries", [this] { return lookup_.size(); });
+
+  // Data-plane structure counters: match-table traffic and per-stage
+  // register pressure.
+  reg.AddCounter("rmt.s0.cache_lookup.lookups",
+                 [this] { return lookup_.lookups(); });
+  reg.AddCounter("rmt.s0.cache_lookup.hits",
+                 [this] { return lookup_.hits(); });
+  auto add_array = [&reg](const rmt::RegisterArrayBase& arr) {
+    reg.AddCounter("rmt.s" + std::to_string(arr.stage()) + "." +
+                       arr.array_name() + ".accesses",
+                   [&arr] { return arr.accesses(); });
+  };
+  add_array(valid_);
+  add_array(epoch_);
+  request_table_.RegisterTelemetry(reg);
+  add_array(popularity_);
+  add_array(hit_counter_);
+  add_array(overflow_counter_);
+  reg.AddCounter("rmt.s6.clone_mcast.lookups",
+                 [this] { return clone_groups_.lookups(); });
+  reg.AddCounter("rmt.s6.clone_mcast.hits",
+                 [this] { return clone_groups_.hits(); });
+  if (config_.multi_packet) {
+    add_array(acked_frags_);
+    add_array(fetched_frags_);
+    add_array(frag_total_);
+  }
+  if (config_.write_back) {
+    add_array(dirty_);
+    add_array(version_);
+    add_array(flush_pending_);
+  }
 }
 
 IngressResult OrbitProgram::CloneToAddrAndRecirc(sim::Packet& pkt, Addr addr) {

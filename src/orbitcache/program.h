@@ -150,6 +150,11 @@ class OrbitProgram : public rmt::SwitchProgram {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
 
+  // Registers orbit.* outcome counters plus per-table / per-stage register
+  // access counters ("rmt.s<stage>.<name>.*") against `reg`. Trace spans
+  // use the tracer attached to the owning device (SwitchDevice::SetTracer).
+  void RegisterTelemetry(telemetry::Registry& reg);
+
  private:
   bool IsOrbit(const sim::Packet& pkt) const {
     return pkt.dport == config_.orbit_port || pkt.sport == config_.orbit_port;

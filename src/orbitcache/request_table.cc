@@ -1,6 +1,7 @@
 #include "orbitcache/request_table.h"
 
 #include "common/check.h"
+#include "telemetry/counters.h"
 
 namespace orbit::oc {
 
@@ -16,7 +17,8 @@ RequestTable::RequestTable(rmt::Resources* res, size_t capacity,
       seq_(res, "req_seq", first_stage + 2, capacity * queue_size),
       l4_port_(res, "req_l4_port", first_stage + 2, capacity * queue_size),
       timestamp_(res, "req_timestamp", first_stage + 2,
-                 capacity * queue_size) {
+                 capacity * queue_size),
+      trace_id_(capacity * queue_size, 0) {
   ORBIT_CHECK(capacity > 0 && queue_size > 0);
 }
 
@@ -36,6 +38,7 @@ bool RequestTable::TryEnqueue(uint32_t idx, const RequestMeta& meta) {
   seq_.at(r) = meta.seq;
   l4_port_.at(r) = meta.l4_port;
   timestamp_.at(r) = meta.enqueued_at;
+  trace_id_[r] = meta.trace_id;
   return true;
 }
 
@@ -53,6 +56,7 @@ std::optional<RequestMeta> RequestTable::TryDequeue(uint32_t idx) {
   meta.seq = seq_.at(r);
   meta.l4_port = l4_port_.at(r);
   meta.enqueued_at = timestamp_.at(r);
+  meta.trace_id = trace_id_[r];
   return meta;
 }
 
@@ -66,6 +70,7 @@ std::optional<RequestMeta> RequestTable::Peek(uint32_t idx) const {
   meta.seq = seq_.at(r);
   meta.l4_port = l4_port_.at(r);
   meta.enqueued_at = timestamp_.at(r);
+  meta.trace_id = trace_id_[r];
   return meta;
 }
 
@@ -79,6 +84,21 @@ void RequestTable::ClearQueue(uint32_t idx) {
   qlen_.at(idx) = 0;
   front_.at(idx) = 0;
   rear_.at(idx) = 0;
+}
+
+void RequestTable::RegisterTelemetry(telemetry::Registry& reg) const {
+  auto add = [&reg](const rmt::RegisterArrayBase& arr) {
+    reg.AddCounter("rmt.s" + std::to_string(arr.stage()) + "." +
+                       arr.array_name() + ".accesses",
+                   [&arr] { return arr.accesses(); });
+  };
+  add(qlen_);
+  add(front_);
+  add(rear_);
+  add(client_addr_);
+  add(seq_);
+  add(l4_port_);
+  add(timestamp_);
 }
 
 }  // namespace orbit::oc

@@ -19,9 +19,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/types.h"
 #include "rmt/register_array.h"
+
+namespace orbit::telemetry {
+class Registry;
+}  // namespace orbit::telemetry
 
 namespace orbit::oc {
 
@@ -30,6 +35,10 @@ struct RequestMeta {
   L4Port l4_port = 0;
   uint32_t seq = 0;
   SimTime enqueued_at = 0;
+  // Telemetry passenger (not part of the modeled data plane): the sampled
+  // request's trace id rides along so the serving cache packet can be
+  // correlated back to the absorbed request. Zero for unsampled requests.
+  uint64_t trace_id = 0;
 };
 
 class RequestTable {
@@ -54,6 +63,9 @@ class RequestTable {
   // Drops all buffered metadata for idx (used on cache-entry replacement).
   void ClearQueue(uint32_t idx);
 
+  // Registers per-array access counters ("rmt.s<stage>.<name>.accesses").
+  void RegisterTelemetry(telemetry::Registry& reg) const;
+
  private:
   size_t ReqIdx(uint32_t idx, uint32_t offset) const {
     return static_cast<size_t>(idx) * queue_size_ + offset;
@@ -71,6 +83,11 @@ class RequestTable {
   rmt::RegisterArray<uint32_t> seq_;
   rmt::RegisterArray<uint16_t> l4_port_;
   rmt::RegisterArray<SimTime> timestamp_;
+  // Telemetry sidecar, deliberately NOT a declared RegisterArray: trace ids
+  // are observability metadata, and declaring storage for them would charge
+  // the Resources ledger (changing rmt_sram metrics) for state the real
+  // data plane does not hold.
+  std::vector<uint64_t> trace_id_;
 };
 
 }  // namespace orbit::oc

@@ -36,10 +36,23 @@ class MatchTableBase {
   size_t capacity() const { return capacity_; }
   uint32_t key_width_bytes() const { return key_width_; }
 
+  // Telemetry: data-plane lookup traffic (control-plane Insert/Erase do
+  // not count). hits() <= lookups() always.
+  uint64_t lookups() const { return lookups_; }
+  uint64_t hits() const { return hits_; }
+
+ protected:
+  void CountLookup(bool hit) const {
+    ++lookups_;
+    if (hit) ++hits_;
+  }
+
  private:
   std::string name_;
   size_t capacity_;
   uint32_t key_width_;
+  mutable uint64_t lookups_ = 0;
+  mutable uint64_t hits_ = 0;
 };
 
 template <typename K, typename V>
@@ -71,10 +84,12 @@ class ExactMatchTable : public MatchTableBase {
   // Data-plane lookup.
   V* Lookup(const K& key) {
     auto it = map_.find(key);
+    CountLookup(it != map_.end());
     return it == map_.end() ? nullptr : &it->second;
   }
   const V* Lookup(const K& key) const {
     auto it = map_.find(key);
+    CountLookup(it != map_.end());
     return it == map_.end() ? nullptr : &it->second;
   }
 

@@ -28,10 +28,19 @@ class RegisterArrayBase {
   size_t size() const { return size_; }
   int stage() const { return stage_; }
 
+  // Telemetry: slot touches (reads and read-modify-writes both land on
+  // at()), exposed per array so the registry can report per-stage register
+  // pressure. Deterministic for a given seed.
+  uint64_t accesses() const { return accesses_; }
+
+ protected:
+  void CountAccess() const { ++accesses_; }
+
  private:
   std::string name_;
   int stage_;
   size_t size_;
+  mutable uint64_t accesses_ = 0;
 };
 
 template <typename T>
@@ -49,11 +58,13 @@ class RegisterArray : public RegisterArrayBase {
   T& at(size_t i) {
     ORBIT_CHECK_MSG(i < slots_.size(), array_name() << ": index " << i
                                                     << " >= " << slots_.size());
+    CountAccess();
     return slots_[i];
   }
   const T& at(size_t i) const {
     ORBIT_CHECK_MSG(i < slots_.size(), array_name() << ": index " << i
                                                     << " >= " << slots_.size());
+    CountAccess();
     return slots_[i];
   }
 

@@ -4,8 +4,24 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "telemetry/counters.h"
+#include "telemetry/trace.h"
 
 namespace orbit::rmt {
+
+namespace {
+const char* ActionName(IngressResult::Action action) {
+  using Action = IngressResult::Action;
+  switch (action) {
+    case Action::kForwardPort: return "forward_port";
+    case Action::kForwardAddr: return "forward_addr";
+    case Action::kDrop: return "drop";
+    case Action::kMulticast: return "multicast";
+    case Action::kRecirculate: return "recirculate";
+  }
+  return "?";
+}
+}  // namespace
 
 SwitchDevice::SwitchDevice(sim::Simulator* sim, sim::Network* net,
                            std::string name, const AsicConfig& config)
@@ -20,6 +36,43 @@ void SwitchDevice::SetProgram(SwitchProgram* program) {
 }
 
 void SwitchDevice::AddRoute(Addr addr, int port) { routes_[addr] = port; }
+
+void SwitchDevice::SetTracer(telemetry::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    track_pipe_ = tracer_->RegisterTrack(name_);
+    track_recirc_ = tracer_->RegisterTrack(name_ + ".recirc");
+  }
+}
+
+void SwitchDevice::RegisterTelemetry(telemetry::Registry& reg) {
+  reg.AddCounter("switch.rx_packets", [this] { return stats_.rx_packets; });
+  reg.AddCounter("switch.tx_packets", [this] { return stats_.tx_packets; });
+  reg.AddCounter("switch.drop.program",
+                 [this] { return stats_.dropped_by_program; });
+  reg.AddCounter("switch.drop.unrouted",
+                 [this] { return stats_.dropped_unrouted; });
+  reg.AddCounter("switch.drop.recirc_overflow",
+                 [this] { return stats_.recirc_drops; });
+  reg.AddCounter("switch.recirc.passes",
+                 [this] { return stats_.recirc_packets; });
+  reg.AddCounter("switch.recirc.flushed",
+                 [this] { return stats_.recirc_flushed; });
+  reg.AddCounter("switch.recirc.bytes",
+                 [this] { return stats_.recirc_bytes; });
+  reg.AddCounter("switch.recirc.busy_ns",
+                 [this] { return stats_.recirc_busy_ns; });
+  reg.AddCounter("switch.pre.clones", [this] { return pre_.clones_made(); });
+  reg.AddGauge("switch.recirc.in_flight", [this] {
+    return static_cast<uint64_t>(std::max<int64_t>(0, stats_.recirc_in_flight));
+  });
+  // Depth of the recirc FIFO expressed as nanoseconds of work queued ahead
+  // of "now" — the same horizon the admission check measures against.
+  reg.AddGauge("switch.recirc.queue_ns", [this] {
+    return static_cast<uint64_t>(
+        std::max<SimTime>(0, recirc_busy_until_ - sim_->now()));
+  });
+}
 
 void SwitchDevice::FlushRecirculation() {
   ++recirc_generation_;
@@ -42,6 +95,9 @@ void SwitchDevice::OnPacket(sim::PacketPtr pkt, int port) {
       // The packet was in the loop when the ASIC rebooted: it no longer
       // exists (the gauge was zeroed by FlushRecirculation).
       ++stats_.recirc_flushed;
+      if (tracer_ != nullptr && pkt->trace_id != 0)
+        tracer_->Instant(track_recirc_, pkt->trace_id, "recirc_flushed",
+                         sim_->now());
       return;
     }
     pkt->from_recirc = true;
@@ -64,6 +120,12 @@ void SwitchDevice::OnPacket(sim::PacketPtr pkt, int port) {
 void SwitchDevice::Apply(const IngressResult& result, sim::PacketPtr pkt,
                          SimTime pipe_delay) {
   using Action = IngressResult::Action;
+  if (tracer_ != nullptr && pkt->trace_id != 0) {
+    // One span per traversal: queue-behind-the-pipe wait plus the fixed
+    // match-action latency, labeled with the action the program chose.
+    tracer_->Span(track_pipe_, pkt->trace_id, "pipeline", sim_->now(),
+                  pipe_delay, ActionName(result.action));
+  }
   switch (result.action) {
     case Action::kDrop:
       ++stats_.dropped_by_program;
@@ -129,6 +191,9 @@ void SwitchDevice::Recirculate(sim::PacketPtr pkt, SimTime pipe_delay) {
       static_cast<double>(backlog_ns) * cfg.recirc_rate_gbps / 8.0);
   if (backlog_bytes + bytes > cfg.recirc_queue_bytes) {
     ++stats_.recirc_drops;
+    if (tracer_ != nullptr && pkt->trace_id != 0)
+      tracer_->Instant(track_recirc_, pkt->trace_id, "recirc_overflow",
+                       sim_->now(), nullptr, bytes);
     return;
   }
   const SimTime start = std::max(ready, recirc_busy_until_);
@@ -139,10 +204,29 @@ void SwitchDevice::Recirculate(sim::PacketPtr pkt, SimTime pipe_delay) {
   recirc_busy_until_ = done;
   ++stats_.recirc_packets;
   ++stats_.recirc_in_flight;
+  stats_.recirc_bytes += bytes;
+  stats_.recirc_busy_ns += static_cast<uint64_t>(tx);
 
   pkt->recirc_count++;
   pkt->recirc_generation = recirc_generation_;
   const SimTime loop = static_cast<SimTime>(cfg.recirc_loop_ns);
+  if (tracer_ != nullptr && pkt->trace_id != 0) {
+    tracer_->Span(track_recirc_, pkt->trace_id, "recirc", sim_->now(),
+                  done + loop - sim_->now(), nullptr, bytes);
+    // A reply entering the loop is a cache packet beginning its orbit: it
+    // will recirculate for the rest of the run. Trace the first pass, then
+    // detach the id so a sampled request doesn't trace forever. Requests
+    // (NetCache's recirculating reads) keep the id across passes.
+    switch (pkt->msg.op) {
+      case proto::Op::kReadRep:
+      case proto::Op::kWriteRep:
+      case proto::Op::kFetchRep:
+        pkt->trace_id = 0;
+        break;
+      default:
+        break;
+    }
+  }
   sim_->Deliver(done + loop, this, kRecircPort, std::move(pkt));
 }
 

@@ -26,6 +26,11 @@
 #include "sim/node.h"
 #include "sim/simulator.h"
 
+namespace orbit::telemetry {
+class Registry;
+class Tracer;
+}  // namespace orbit::telemetry
+
 namespace orbit::rmt {
 
 struct IngressResult {
@@ -105,8 +110,23 @@ class SwitchDevice : public sim::Node {
     uint64_t recirc_drops = 0;        // recirc FIFO overflow
     uint64_t recirc_flushed = 0;      // packets lost to a reboot barrier
     int64_t recirc_in_flight = 0;     // gauge: packets currently orbiting
+    uint64_t recirc_bytes = 0;        // bytes serialized through the loop
+    uint64_t recirc_busy_ns = 0;      // time the recirc port spent sending
   };
   const Stats& stats() const { return stats_; }
+
+  // --- Telemetry (optional; near-zero cost when unset) ---------------------
+  // Attaches a request tracer. The device registers two tracks ("tor" for
+  // pipeline traversals, "tor.recirc" for recirculation passes) and emits
+  // spans only for packets whose trace_id is non-zero.
+  void SetTracer(telemetry::Tracer* tracer);
+  telemetry::Tracer* tracer() const { return tracer_; }
+  // Track for program-level instants (lookup hit/miss etc.) — the pipeline
+  // track, so program events interleave with traversal spans.
+  int trace_track() const { return track_pipe_; }
+  // Registers switch.* counters and gauges against `reg`. Reads existing
+  // Stats fields; nothing is consumed from the Resources ledger.
+  void RegisterTelemetry(telemetry::Registry& reg);
 
  private:
   void Apply(const IngressResult& result, sim::PacketPtr pkt,
@@ -129,6 +149,11 @@ class SwitchDevice : public sim::Node {
   // Recirculation channel state (single internal port).
   SimTime recirc_busy_until_ = 0;
   uint32_t recirc_generation_ = 0;
+
+  // Telemetry sink (not owned; may be null).
+  telemetry::Tracer* tracer_ = nullptr;
+  int track_pipe_ = -1;
+  int track_recirc_ = -1;
 
   Stats stats_;
 };

@@ -31,6 +31,9 @@ void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
   Channel& ch = chans_[from];
   if (config_.loss_rate > 0 && loss_rng_.Bernoulli(config_.loss_rate)) {
     ++ch.stats.lost;
+    if (drop_tap_ != nullptr && *drop_tap_)
+      (*drop_tap_)(*pkt, chans_[1 - from].to, ch.to, DropReason::kInjectedLoss,
+                   sim_->now());
     return;
   }
   const uint32_t bytes = pkt->wire_bytes();
@@ -43,6 +46,9 @@ void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
       static_cast<double>(backlog_ns) * config_.rate_gbps / 8.0);
   if (backlog_bytes + bytes > config_.queue_limit_bytes) {
     ++ch.stats.drops;
+    if (drop_tap_ != nullptr && *drop_tap_)
+      (*drop_tap_)(*pkt, chans_[1 - from].to, ch.to,
+                   DropReason::kQueueOverflow, sim_->now());
     return;  // drop-tail: packet ownership ends here
   }
 

@@ -57,6 +57,9 @@ class Link {
   // Port-mirroring tap (owned by the Network); observes packets that were
   // actually committed to the wire.
   void set_tap(const TapFn* tap) { tap_ = tap; }
+  // Drop tap (owned by the Network); observes packets discarded at this
+  // link — queue overflow and injected loss — which the commit tap misses.
+  void set_drop_tap(const DropTapFn* tap) { drop_tap_ = tap; }
 
  private:
   struct Channel {
@@ -73,6 +76,7 @@ class Link {
   std::array<Channel, 2> chans_;
   Rng loss_rng_;
   const TapFn* tap_ = nullptr;
+  const DropTapFn* drop_tap_ = nullptr;
 };
 
 }  // namespace orbit::sim

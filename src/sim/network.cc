@@ -16,6 +16,7 @@ Network::Attachment Network::Connect(Node* a, Node* b,
       std::make_unique<Link>(sim_, a, at.port_a, b, at.port_b, config));
   at.link = links_.back().get();
   at.link->set_tap(&tap_);
+  at.link->set_drop_tap(&drop_tap_);
   ports_a.push_back(PortSlot{at.link, 0});
   ports_b.push_back(PortSlot{at.link, 1});
   return at;
@@ -36,6 +37,8 @@ int Network::num_ports(Node* node) const {
 }
 
 void Network::SetTap(TapFn tap) { tap_ = std::move(tap); }
+
+void Network::SetDropTap(DropTapFn tap) { drop_tap_ = std::move(tap); }
 
 Link* Network::link_at(Node* node, int port) const {
   auto it = ports_.find(node);

@@ -35,6 +35,11 @@ class Network {
   // created before and after the call. Pass {} to remove.
   void SetTap(TapFn tap);
 
+  // Installs a fabric-wide drop tap: fires for packets discarded at a link
+  // (queue overflow, injected loss) that the commit tap never sees. Same
+  // lifetime rules as SetTap. Pass {} to remove.
+  void SetDropTap(DropTapFn tap);
+
  private:
   struct PortSlot {
     Link* link = nullptr;
@@ -45,6 +50,7 @@ class Network {
   std::vector<std::unique_ptr<Link>> links_;
   std::unordered_map<Node*, std::vector<PortSlot>> ports_;
   TapFn tap_;
+  DropTapFn drop_tap_;
 };
 
 }  // namespace orbit::sim

@@ -35,6 +35,12 @@ struct Packet {
   // barrier are discarded on delivery (a real ASIC reset loses them).
   uint32_t recirc_generation = 0;
 
+  // Telemetry: non-zero marks a sampled request (telemetry::MakeTraceId of
+  // the originating client and seq). Purely observational — forwarding
+  // decisions never read it. Clones inherit it; replies copy it from the
+  // request so one id follows the whole lifecycle.
+  uint64_t trace_id = 0;
+
   uint32_t wire_bytes() const {
     return proto::kEncapBytes + proto::Message::kHeaderBytes +
            msg.payload_bytes();

@@ -6,6 +6,14 @@
 
 namespace orbit::sim {
 
+const char* DropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kQueueOverflow: return "queue_overflow";
+    case DropReason::kInjectedLoss: return "injected_loss";
+  }
+  return "?";
+}
+
 std::string FormatPacket(const Packet& pkt, SimTime at) {
   std::ostringstream os;
   os << at << "ns " << pkt.src << ">" << pkt.dst << " "
@@ -18,19 +26,36 @@ std::string FormatPacket(const Packet& pkt, SimTime at) {
   return os.str();
 }
 
+PacketTrace::Entry PacketTrace::MakeEntry(const Packet& pkt, Node* from,
+                                          Node* to, SimTime at) const {
+  Entry e;
+  e.at = at;
+  e.from = from != nullptr ? from->name() : "?";
+  e.to = to != nullptr ? to->name() : "?";
+  e.op = pkt.msg.op;
+  e.seq = pkt.msg.seq;
+  e.src = pkt.src;
+  e.dst = pkt.dst;
+  e.wire_bytes = pkt.wire_bytes();
+  e.key = pkt.msg.key;
+  return e;
+}
+
 TapFn PacketTrace::AsTap() {
   return [this](const Packet& pkt, Node* from, Node* to, SimTime at) {
     ++total_seen_;
-    Entry e;
-    e.at = at;
-    e.from = from != nullptr ? from->name() : "?";
-    e.to = to != nullptr ? to->name() : "?";
-    e.op = pkt.msg.op;
-    e.seq = pkt.msg.seq;
-    e.src = pkt.src;
-    e.dst = pkt.dst;
-    e.wire_bytes = pkt.wire_bytes();
-    e.key = pkt.msg.key;
+    entries_.push_back(MakeEntry(pkt, from, to, at));
+    if (entries_.size() > max_entries_) entries_.pop_front();
+  };
+}
+
+DropTapFn PacketTrace::AsDropTap() {
+  return [this](const Packet& pkt, Node* from, Node* to, DropReason reason,
+                SimTime at) {
+    ++total_dropped_;
+    Entry e = MakeEntry(pkt, from, to, at);
+    e.dropped = true;
+    e.drop_reason = reason;
     entries_.push_back(std::move(e));
     if (entries_.size() > max_entries_) entries_.pop_front();
   };
@@ -41,7 +66,9 @@ std::string PacketTrace::Dump() const {
   for (const auto& e : entries_) {
     os << e.at << "ns " << e.from << "->" << e.to << " " << proto::OpName(e.op)
        << " seq=" << e.seq << " " << e.src << ">" << e.dst << " key=" << e.key
-       << " (" << e.wire_bytes << "B)\n";
+       << " (" << e.wire_bytes << "B)";
+    if (e.dropped) os << " DROP[" << DropReasonName(e.drop_reason) << "]";
+    os << "\n";
   }
   return os.str();
 }

@@ -21,6 +21,20 @@ class Node;
 using TapFn =
     std::function<void(const Packet& pkt, Node* from, Node* to, SimTime at)>;
 
+// Why a packet died before reaching the wire. The commit tap never sees
+// these packets — losses were invisible to tracing until the drop tap.
+enum class DropReason {
+  kQueueOverflow,  // link egress queue full (drop-tail)
+  kInjectedLoss,   // LinkConfig::loss_rate coin
+};
+const char* DropReasonName(DropReason reason);
+
+// Fires at the moment a packet is discarded instead of committed to a
+// link. `from`/`to` are the link endpoints the packet would have traveled
+// between.
+using DropTapFn = std::function<void(const Packet& pkt, Node* from, Node* to,
+                                     DropReason reason, SimTime at)>;
+
 // One-line human-readable rendering of a packet in flight.
 std::string FormatPacket(const Packet& pkt, SimTime at);
 
@@ -39,25 +53,34 @@ class PacketTrace {
     Addr dst = 0;
     uint32_t wire_bytes = 0;
     Key key;
+    bool dropped = false;
+    DropReason drop_reason = DropReason::kQueueOverflow;
   };
 
   // Binds this trace to a Network: net.SetTap(trace.AsTap());
   TapFn AsTap();
+  // Companion drop recorder: net.SetDropTap(trace.AsDropTap()).
+  DropTapFn AsDropTap();
 
   const std::deque<Entry>& entries() const { return entries_; }
   uint64_t total_seen() const { return total_seen_; }
+  uint64_t total_dropped() const { return total_dropped_; }
   void Clear() {
     entries_.clear();
     total_seen_ = 0;
+    total_dropped_ = 0;
   }
 
   // All recorded lines, newest last.
   std::string Dump() const;
 
  private:
+  Entry MakeEntry(const Packet& pkt, Node* from, Node* to, SimTime at) const;
+
   size_t max_entries_;
   std::deque<Entry> entries_;
   uint64_t total_seen_ = 0;
+  uint64_t total_dropped_ = 0;
 };
 
 }  // namespace orbit::sim

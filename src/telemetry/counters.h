@@ -1,0 +1,96 @@
+// Named counter/gauge registry with deterministic snapshots.
+//
+// Components that already keep internal statistics (SwitchDevice::Stats,
+// OrbitProgram::Stats, per-array access counts, …) register *sources* —
+// closures reading the live value — under stable dotted names
+// ("switch.recirc.packets", "rmt.s0.cache_lookup.hits"). The registry is
+// pull-based: nothing is written per packet, so an unregistered run pays
+// nothing, and a registered run pays only at snapshot time. Snapshots are
+// taken at simulated-time boundaries, so parallel and serial harness runs
+// sample identical values.
+//
+// Counters are monotonic over a run; gauges are point-in-time readings
+// (queue depths, in-flight packets). The distinction matters downstream:
+// time-series consumers difference counters and plot gauges directly.
+//
+// For event sources with no natural owner (link drop taps), OwnCounter
+// allocates registry-owned storage with pointer stability, usable as a
+// bump target from callbacks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "telemetry/trace.h"
+
+namespace orbit::telemetry {
+
+// One sampled view of every registered metric, in registration order.
+struct Snapshot {
+  SimTime at = 0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, uint64_t>> gauges;
+};
+
+class Registry {
+ public:
+  using Source = std::function<uint64_t()>;
+
+  void AddCounter(std::string name, Source read) {
+    counters_.emplace_back(std::move(name), std::move(read));
+  }
+  void AddGauge(std::string name, Source read) {
+    gauges_.emplace_back(std::move(name), std::move(read));
+  }
+
+  // Registry-owned monotonic counter: returns a stable bump target and
+  // registers it under `name`.
+  uint64_t* OwnCounter(std::string name) {
+    owned_.push_back(0);
+    uint64_t* slot = &owned_.back();
+    AddCounter(std::move(name), [slot] { return *slot; });
+    return slot;
+  }
+
+  size_t num_counters() const { return counters_.size(); }
+  size_t num_gauges() const { return gauges_.size(); }
+
+  Snapshot Sample(SimTime at) const {
+    Snapshot snap;
+    snap.at = at;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, read] : counters_)
+      snap.counters.emplace_back(name, read());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, read] : gauges_)
+      snap.gauges.emplace_back(name, read());
+    return snap;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Source>> counters_;
+  std::vector<std::pair<std::string, Source>> gauges_;
+  std::deque<uint64_t> owned_;  // deque: stable addresses for bump targets
+};
+
+// Everything one instrumented testbed run captured; owned by the caller
+// (harness runner slot or test) and filled by RunTestbed.
+struct RunCapture {
+  std::vector<std::string> tracks;    // trace track names, id = index
+  std::vector<TraceEvent> events;     // causally ordered trace events
+  std::vector<Snapshot> snapshots;    // periodic + final registry samples
+
+  bool empty() const { return events.empty() && snapshots.empty(); }
+  void Clear() {
+    tracks.clear();
+    events.clear();
+    snapshots.clear();
+  }
+};
+
+}  // namespace orbit::telemetry

@@ -1,0 +1,32 @@
+// Trace export: Chrome trace-event JSON (Perfetto / chrome://tracing).
+//
+// The writer is deterministic: events appear in recorded order, timestamps
+// are integer-nanosecond sim times printed as exact microsecond decimals,
+// and no wall-clock or environment data is embedded. Multiple captures
+// (one per experiment point) merge into a single trace file as separate
+// processes, labeled via process_name metadata, so a whole sweep opens as
+// one Perfetto session.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/counters.h"
+
+namespace orbit::telemetry {
+
+// One process in the merged trace: a human-readable label (e.g.
+// "fig15_latency_breakdown point=0 rep=0 scheme=OrbitCache") and the
+// events captured for it. pid = position in the vector.
+using LabeledCapture = std::pair<std::string, const RunCapture*>;
+
+// Full Chrome trace-event document ({"displayTimeUnit":…,"traceEvents":[…]}).
+std::string ChromeTraceJson(const std::vector<LabeledCapture>& processes);
+
+// Per-hop latency table for one capture's request summaries: count, and
+// min/mean/max duration per hop name plus the end-to-end "request" row.
+// Rendered by tools/trace_summary and the observability docs examples.
+std::string FormatHopBreakdown(const std::vector<RequestSummary>& summaries);
+
+}  // namespace orbit::telemetry

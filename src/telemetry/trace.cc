@@ -1,0 +1,40 @@
+#include "telemetry/trace.h"
+
+#include <unordered_map>
+
+namespace orbit::telemetry {
+
+std::vector<RequestSummary> SummarizeRequests(
+    const std::vector<TraceEvent>& events) {
+  std::vector<RequestSummary> out;
+  std::unordered_map<uint64_t, size_t> index;
+  for (const TraceEvent& ev : events) {
+    if (ev.trace_id == 0) continue;
+    auto [it, fresh] = index.emplace(ev.trace_id, out.size());
+    if (fresh) {
+      RequestSummary s;
+      s.trace_id = ev.trace_id;
+      out.push_back(std::move(s));
+    }
+    RequestSummary& s = out[it->second];
+    ++s.events;
+    if (std::string_view(ev.name) == "request") {
+      s.total = ev.dur;
+      s.outcome = ev.detail != nullptr ? ev.detail : "";
+      continue;
+    }
+    if (ev.dur <= 0) continue;  // instants carry no attributable time
+    bool merged = false;
+    for (auto& [name, total] : s.hops) {
+      if (name == ev.name) {
+        total += ev.dur;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) s.hops.emplace_back(ev.name, ev.dur);
+  }
+  return out;
+}
+
+}  // namespace orbit::telemetry

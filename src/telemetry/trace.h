@@ -1,0 +1,102 @@
+// Request-lifecycle tracing.
+//
+// A Tracer collects causally-ordered span/instant events for a
+// deterministically sampled subset of requests as they hop through the
+// simulated fabric: client send → switch pipeline pass (lookup hit/miss,
+// absorb, serve) → each recirculation pass → server dequeue/process →
+// reply. Every timestamp is simulated time, so two runs of the same seed
+// produce byte-identical traces regardless of wall clock or thread count.
+//
+// Sampling is structural, not random: a request is traced iff its client
+// sequence number is a multiple of `sample_every`, and its trace id is a
+// pure function of (client address, seq). Components hold a nullable
+// Tracer* and a packet-borne trace id; with tracing disabled both stay
+// null/zero and the per-packet cost is one predictable branch.
+//
+// Events export as Chrome trace-event JSON (telemetry/export.h), viewable
+// in Perfetto / chrome://tracing, and reduce to compact per-request
+// summaries (SummarizeRequests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace orbit::telemetry {
+
+// One trace event. `name`/`detail` must point at static storage (string
+// literals); events are recorded on hot paths and must not allocate.
+struct TraceEvent {
+  SimTime ts = 0;
+  SimTime dur = 0;  // 0 = instant event
+  uint64_t trace_id = 0;
+  int track = 0;             // index into the owning capture's track table
+  const char* name = "";     // span name, e.g. "request", "pipeline"
+  const char* detail = nullptr;  // optional qualifier, e.g. "lookup_hit"
+  uint64_t value = 0;        // optional numeric payload (bytes, depth, …)
+};
+
+// Stable request identity: client address in the high 32 bits, the
+// client-assigned sequence number in the low 32.
+inline uint64_t MakeTraceId(Addr client, uint32_t seq) {
+  return (static_cast<uint64_t>(client) << 32) | seq;
+}
+
+class Tracer {
+ public:
+  // sample_every == 0 disables sampling entirely (Sampled() always false);
+  // callers normally never construct a Tracer in that case.
+  explicit Tracer(uint32_t sample_every) : sample_every_(sample_every) {}
+
+  uint32_t sample_every() const { return sample_every_; }
+  bool Sampled(uint32_t seq) const {
+    return sample_every_ != 0 && seq % sample_every_ == 0;
+  }
+
+  // Registers a named track (one Perfetto row, e.g. "client-1000"); track
+  // ids are dense indices in registration order.
+  int RegisterTrack(std::string name) {
+    tracks_.push_back(std::move(name));
+    return static_cast<int>(tracks_.size()) - 1;
+  }
+
+  void Span(int track, uint64_t trace_id, const char* name, SimTime ts,
+            SimTime dur, const char* detail = nullptr, uint64_t value = 0) {
+    events_.push_back({ts, dur, trace_id, track, name, detail, value});
+  }
+  void Instant(int track, uint64_t trace_id, const char* name, SimTime ts,
+               const char* detail = nullptr, uint64_t value = 0) {
+    events_.push_back({ts, 0, trace_id, track, name, detail, value});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<std::string>& tracks() const { return tracks_; }
+
+  std::vector<TraceEvent> TakeEvents() { return std::move(events_); }
+  std::vector<std::string> TakeTracks() { return std::move(tracks_); }
+
+ private:
+  uint32_t sample_every_;
+  std::vector<std::string> tracks_;
+  std::vector<TraceEvent> events_;
+};
+
+// Per-request roll-up of a trace: total client-observed latency plus the
+// time attributed to each hop kind (summed over repeated hops, e.g.
+// recirculation passes).
+struct RequestSummary {
+  uint64_t trace_id = 0;
+  const char* outcome = "";    // the "request" span's detail, e.g. "read_cached"
+  SimTime total = 0;           // the "request" span duration
+  std::vector<std::pair<std::string, SimTime>> hops;  // name → summed dur
+  uint32_t events = 0;
+};
+
+// Groups events by trace id (insertion order of first appearance) and sums
+// span durations per hop name. Events without a trace id are skipped.
+std::vector<RequestSummary> SummarizeRequests(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace orbit::telemetry

@@ -16,6 +16,8 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "stats/meters.h"
+#include "telemetry/counters.h"
+#include "telemetry/trace.h"
 #include "workload/dynamic.h"
 #include "workload/keyspace.h"
 #include "workload/zipf.h"
@@ -281,6 +283,41 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     }
   }
 
+  // ---- telemetry ----------------------------------------------------------
+  // Built only when a capture sink is attached; otherwise every component
+  // keeps its null tracer and the run is indistinguishable from an
+  // uninstrumented one.
+  std::unique_ptr<telemetry::Tracer> tracer;
+  std::unique_ptr<telemetry::Registry> registry;
+  const bool capture_on = config.telemetry.capture != nullptr;
+  if (capture_on) {
+    if (config.telemetry.trace_sample > 0) {
+      tracer =
+          std::make_unique<telemetry::Tracer>(config.telemetry.trace_sample);
+      sw.SetTracer(tracer.get());
+      for (auto& s : servers) s->SetTracer(tracer.get());
+      for (auto& c : clients) c->SetTracer(tracer.get());
+    }
+    registry = std::make_unique<telemetry::Registry>();
+    sw.RegisterTelemetry(*registry);
+    if (orbit != nullptr) orbit->RegisterTelemetry(*registry);
+    if (netp != nullptr) netp->RegisterTelemetry(*registry);
+    for (size_t i = 0; i < servers.size(); ++i)
+      servers[i]->RegisterTelemetry(*registry,
+                                    "server." + std::to_string(i));
+    for (size_t i = 0; i < clients.size(); ++i)
+      clients[i]->RegisterTelemetry(*registry,
+                                    "client." + std::to_string(i));
+    // Fabric drops, bucketed by reason.
+    uint64_t* drop_ovf = registry->OwnCounter("net.drop.queue_overflow");
+    uint64_t* drop_loss = registry->OwnCounter("net.drop.loss");
+    net.SetDropTap([drop_ovf, drop_loss](const sim::Packet&, sim::Node*,
+                                         sim::Node*, sim::DropReason reason,
+                                         SimTime) {
+      ++*(reason == sim::DropReason::kQueueOverflow ? drop_ovf : drop_loss);
+    });
+  }
+
   // ---- preload ------------------------------------------------------------
   if (config.preload && config.scheme == Scheme::kOrbitCache) {
     std::vector<Key> keys;
@@ -337,6 +374,18 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
       };
       sim.After(config.timeline_bin, *sampler);
     }
+  }
+
+  std::vector<telemetry::Snapshot> telemetry_snapshots;
+  uint64_t telemetry_timer_events = 0;  // observer events, excluded below
+  if (registry != nullptr && config.telemetry.snapshot_interval > 0) {
+    auto snapper = std::make_shared<std::function<void()>>();
+    *snapper = [&, snapper] {
+      ++telemetry_timer_events;
+      telemetry_snapshots.push_back(registry->Sample(sim.now()));
+      sim.After(config.telemetry.snapshot_interval, *snapper);
+    };
+    sim.After(config.telemetry.snapshot_interval, *snapper);
   }
 
   if (config.hot_in) {
@@ -442,7 +491,10 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
   res.rmt_sram_bytes_used = sw.resources().sram_bytes_used();
   res.rmt_sram_fraction = sw.resources().sram_fraction_used();
   res.rmt_alus_used = sw.resources().alus_used();
-  res.events_processed = sim.events_processed();
+  // The snapshot timer is the one simulator event telemetry adds; exclude
+  // it so the reported count — and therefore the record JSONL — is
+  // identical with instrumentation on or off.
+  res.events_processed = sim.events_processed() - telemetry_timer_events;
 
   if (config.timeline_bin > 0) {
     res.throughput_timeline = throughput_timeline.bins();
@@ -460,6 +512,24 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
                              ? overflow_ovf_timeline.bin(i)
                              : 0;
       res.overflow_ratio_timeline[i] = hits > 0 ? ovf / hits : 0.0;
+    }
+  }
+
+  if (capture_on) {
+    telemetry::RunCapture* cap = config.telemetry.capture;
+    cap->Clear();
+    if (registry != nullptr) {
+      // Final end-of-run sample — unless the periodic timer already fired
+      // at this exact instant (duplicate timestamps would make one run
+      // look like two snapshots to downstream join/diff tools).
+      if (telemetry_snapshots.empty() ||
+          telemetry_snapshots.back().at != sim.now())
+        telemetry_snapshots.push_back(registry->Sample(sim.now()));
+      cap->snapshots = std::move(telemetry_snapshots);
+    }
+    if (tracer != nullptr) {
+      cap->tracks = tracer->TakeTracks();
+      cap->events = tracer->TakeEvents();
     }
   }
 
@@ -482,6 +552,8 @@ SaturationResult FindSaturation(TestbedConfig config, double loss_tolerance,
   TestbedConfig probe = config;
   probe.client_rate_rps = 0.25 * aggregate;
   probe.duration = std::max<SimTime>(50 * kMillisecond, config.duration / 2);
+  // Only the final (saturating) run should fill the caller's capture.
+  probe.telemetry = TestbedConfig::Telemetry{};
   TestbedResult probe_res = RunTestbed(probe);
   ++out.runs;
 

@@ -19,6 +19,10 @@
 #include "workload/twitter.h"
 #include "workload/value_dist.h"
 
+namespace orbit::telemetry {
+struct RunCapture;
+}  // namespace orbit::telemetry
+
 namespace orbit::testbed {
 
 enum class Scheme { kNoCache, kNetCache, kOrbitCache };
@@ -85,6 +89,20 @@ struct TestbedConfig {
   double client_link_gbps = 100.0;
   double server_link_gbps = 25.0;
   SimTime link_delay = 500;  // ns one way
+
+  // Telemetry (observability only). With `capture` null — the default —
+  // no tracer or registry is built and results are byte-identical to an
+  // uninstrumented build. Excluded from ConfigJson/ConfigFingerprint:
+  // instrumentation must never change a run's identity.
+  struct Telemetry {
+    // Caller-owned sink; setting it enables instrumentation for this run.
+    telemetry::RunCapture* capture = nullptr;
+    // Trace every Nth request per client (0 disables span collection).
+    uint32_t trace_sample = 64;
+    // Counter snapshot period; 0 = only the final end-of-run snapshot.
+    SimTime snapshot_interval = 0;
+  };
+  Telemetry telemetry;
 };
 
 struct TestbedResult {

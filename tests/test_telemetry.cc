@@ -1,0 +1,214 @@
+// Telemetry unit coverage: structural sampling, the counter registry,
+// request roll-ups, the golden Chrome trace-event JSON form (the external
+// contract Perfetto consumes), and the link drop tap feeding drop
+// counters.
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "telemetry/counters.h"
+#include "telemetry/export.h"
+#include "telemetry/trace.h"
+
+namespace orbit::telemetry {
+namespace {
+
+TEST(Tracer, StructuralSampling) {
+  Tracer t(4);
+  EXPECT_TRUE(t.Sampled(0));
+  EXPECT_FALSE(t.Sampled(1));
+  EXPECT_FALSE(t.Sampled(3));
+  EXPECT_TRUE(t.Sampled(4));
+  EXPECT_TRUE(t.Sampled(8));
+
+  Tracer off(0);
+  EXPECT_FALSE(off.Sampled(0));
+  EXPECT_FALSE(off.Sampled(64));
+}
+
+TEST(Tracer, TraceIdEncodesClientAndSeq) {
+  const uint64_t id = MakeTraceId(0x0a000001, 42);
+  EXPECT_EQ(id >> 32, 0x0a000001u);
+  EXPECT_EQ(id & 0xffffffffu, 42u);
+  EXPECT_NE(MakeTraceId(1, 7), MakeTraceId(2, 7));
+  EXPECT_NE(MakeTraceId(1, 7), MakeTraceId(1, 8));
+}
+
+TEST(Tracer, TracksAreDenseIndices) {
+  Tracer t(1);
+  EXPECT_EQ(t.RegisterTrack("tor"), 0);
+  EXPECT_EQ(t.RegisterTrack("client-1"), 1);
+  ASSERT_EQ(t.tracks().size(), 2u);
+  EXPECT_EQ(t.tracks()[1], "client-1");
+}
+
+TEST(SummarizeRequests, GroupsByTraceIdAndSumsHops) {
+  Tracer t(1);
+  const int track = t.RegisterTrack("x");
+  // Request A: root span + two recirc passes that must sum.
+  t.Span(track, 1, "request", 0, 1000, "read_cached");
+  t.Span(track, 1, "recirc", 100, 200);
+  t.Span(track, 1, "recirc", 400, 300);
+  t.Instant(track, 1, "lookup_hit", 50);  // instants carry no duration
+  // Request B interleaved; untraced events are skipped.
+  t.Span(track, 2, "request", 10, 500, "read_server");
+  t.Span(track, 0, "pipeline", 0, 77);
+
+  const auto summaries = SummarizeRequests(t.events());
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].trace_id, 1u);
+  EXPECT_STREQ(summaries[0].outcome, "read_cached");
+  EXPECT_EQ(summaries[0].total, 1000);
+  ASSERT_EQ(summaries[0].hops.size(), 1u);
+  EXPECT_EQ(summaries[0].hops[0].first, "recirc");
+  EXPECT_EQ(summaries[0].hops[0].second, 500);
+  EXPECT_EQ(summaries[0].events, 4u);
+  EXPECT_STREQ(summaries[1].outcome, "read_server");
+}
+
+TEST(FormatHopBreakdown, RendersPerHopRows) {
+  Tracer t(1);
+  const int track = t.RegisterTrack("x");
+  t.Span(track, 1, "request", 0, 2000, "read_cached");
+  t.Span(track, 1, "srv_process", 0, 500);
+  const std::string table = FormatHopBreakdown(SummarizeRequests(t.events()));
+  EXPECT_NE(table.find("request (end-to-end)"), std::string::npos);
+  EXPECT_NE(table.find("srv_process"), std::string::npos);
+  EXPECT_NE(table.find("2.000"), std::string::npos);  // 2000ns = 2.000us
+}
+
+TEST(Registry, SamplesInRegistrationOrder) {
+  Registry reg;
+  uint64_t a = 5;
+  reg.AddCounter("b.second", [] { return uint64_t{2}; });
+  reg.AddCounter("a.first", [&a] { return a; });
+  reg.AddGauge("depth", [] { return uint64_t{7}; });
+  uint64_t* own = reg.OwnCounter("drops");
+  *own += 3;
+
+  Snapshot snap = reg.Sample(123);
+  EXPECT_EQ(snap.at, 123);
+  ASSERT_EQ(snap.counters.size(), 3u);
+  // Registration order, not name order: determinism contract.
+  EXPECT_EQ(snap.counters[0].first, "b.second");
+  EXPECT_EQ(snap.counters[1].first, "a.first");
+  EXPECT_EQ(snap.counters[1].second, 5u);
+  EXPECT_EQ(snap.counters[2].first, "drops");
+  EXPECT_EQ(snap.counters[2].second, 3u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 7u);
+
+  // Sources are live: later samples see updated values.
+  a = 9;
+  *own += 1;
+  snap = reg.Sample(456);
+  EXPECT_EQ(snap.counters[1].second, 9u);
+  EXPECT_EQ(snap.counters[2].second, 4u);
+}
+
+// The exact exported bytes are the external contract (Perfetto reads
+// them); lock the golden form of every event shape in one small capture.
+TEST(ChromeTraceJson, GoldenDocument) {
+  RunCapture cap;
+  cap.tracks = {"tor", "client-1"};
+  cap.events.push_back({1500, 2250, 42, 0, "pipeline", "forward_port", 0});
+  cap.events.push_back({4000, 0, 42, 1, "send", "read", 0});
+  cap.events.push_back({5000, 1000, 42, 0, "recirc", nullptr, 96});
+
+  const std::string json = ChromeTraceJson({{"exp point=0", &cap}});
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+      "\"exp point=0\"}},\n"
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\",\"args\":{"
+      "\"name\":\"tor\"}},\n"
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\",\"args\":{"
+      "\"name\":\"client-1\"}},\n"
+      "{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":1.500,\"dur\":2.250,\"name\":"
+      "\"pipeline:forward_port\",\"cat\":\"telemetry\",\"args\":{\"trace_id\":"
+      "42}},\n"
+      "{\"ph\":\"i\",\"pid\":0,\"tid\":1,\"ts\":4.000,\"s\":\"t\",\"name\":"
+      "\"send:read\",\"cat\":\"telemetry\",\"args\":{\"trace_id\":42}},\n"
+      "{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":5.000,\"dur\":1.000,\"name\":"
+      "\"recirc\",\"cat\":\"telemetry\",\"args\":{\"trace_id\":42,\"value\":"
+      "96}}\n"
+      "]}\n";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(ChromeTraceJson, EmptyCaptureListStillValidDocument) {
+  const std::string json = ChromeTraceJson({});
+  EXPECT_EQ(json, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n\n]}\n");
+}
+
+// ---- drop tap (satellite: sim::Network drop events) ----------------------
+
+class SinkNode : public sim::Node {
+ public:
+  void OnPacket(sim::PacketPtr, int) override {}
+  std::string name() const override { return "sink"; }
+};
+
+TEST(DropTap, QueueOverflowFiresTapWithReason) {
+  sim::Simulator sim;
+  sim::Network net(&sim);
+  SinkNode a, b;
+  sim::LinkConfig link;
+  link.rate_gbps = 0.001;         // slow: packets pile up
+  link.propagation = 100;
+  link.queue_limit_bytes = 200;   // tiny drop-tail queue
+  const auto att = net.Connect(&a, &b, link);
+
+  uint64_t drops = 0;
+  sim::DropReason last = sim::DropReason::kInjectedLoss;
+  net.SetDropTap([&](const sim::Packet&, sim::Node*, sim::Node*,
+                     sim::DropReason reason, SimTime) {
+    ++drops;
+    last = reason;
+  });
+
+  for (int i = 0; i < 20; ++i) {
+    proto::Message msg;
+    msg.op = proto::Op::kReadReq;
+    auto pkt = sim::MakePacket(1, 2, 5008, 5008, std::move(msg));
+    net.Send(&a, att.port_a, std::move(pkt));
+  }
+  sim.RunToCompletion();
+  EXPECT_GT(drops, 0u);
+  EXPECT_EQ(last, sim::DropReason::kQueueOverflow);
+  EXPECT_STREQ(sim::DropReasonName(sim::DropReason::kQueueOverflow),
+               "queue_overflow");
+  EXPECT_STREQ(sim::DropReasonName(sim::DropReason::kInjectedLoss),
+               "injected_loss");
+}
+
+TEST(DropTap, PacketTraceRecordsDrops) {
+  sim::Simulator sim;
+  sim::Network net(&sim);
+  SinkNode a, b;
+  sim::LinkConfig link;
+  link.rate_gbps = 10.0;
+  link.propagation = 100;
+  link.loss_rate = 1.0;  // every packet dies on the coin
+  const auto att = net.Connect(&a, &b, link);
+
+  sim::PacketTrace trace;
+  net.SetTap(trace.AsTap());
+  net.SetDropTap(trace.AsDropTap());
+
+  proto::Message msg;
+  msg.op = proto::Op::kReadReq;
+  net.Send(&a, att.port_a, sim::MakePacket(1, 2, 5008, 5008, std::move(msg)));
+  sim.RunToCompletion();
+
+  EXPECT_EQ(trace.total_dropped(), 1u);
+  ASSERT_EQ(trace.entries().size(), 1u);
+  EXPECT_TRUE(trace.entries().back().dropped);
+  EXPECT_EQ(trace.entries().back().drop_reason, sim::DropReason::kInjectedLoss);
+  EXPECT_NE(trace.Dump().find("DROP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orbit::telemetry

@@ -2,20 +2,28 @@
 //
 //   bench_compare a.jsonl b.jsonl [--tolerance F] [--slack F]
 //                 [--metrics m1,m2,...] [--all-metrics]
+//   bench_compare --counters a.jsonl b.jsonl [--tolerance F] [--slack F]
 //
 // Records are matched by experiment + swept-parameter labels + rep; each
 // selected metric is compared with a relative tolerance plus an absolute
 // slack floor (small absolute wobble on a near-zero metric is not drift).
+// With --counters the inputs are counter-snapshot JSONL files (from
+// --counters-out); snapshots match on (experiment, point, rep, t_ns) and
+// every counter/gauge is compared under the same tolerance rules.
 // Exit 0: match within tolerance. Exit 1: drift, missing records, or
 // asymmetric failures. Exit 2: usage / unreadable input.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "harness/compare.h"
 #include "harness/metrics.h"
+#include "harness/telemetry_io.h"
 
 namespace {
 
@@ -24,11 +32,100 @@ void Usage(const char* prog) {
       stderr,
       "usage: %s A.jsonl B.jsonl [--tolerance F] [--slack F]\n"
       "          [--metrics m1,m2,...] [--all-metrics]\n"
+      "       %s --counters A.jsonl B.jsonl [--tolerance F] [--slack F]\n"
       "  --tolerance F   relative tolerance, default 0.05 (5%%)\n"
       "  --slack F       absolute difference always allowed, default 0.02\n"
       "  --metrics LIST  comma-separated metric names (dotted paths ok)\n"
-      "  --all-metrics   compare every numeric top-level metric\n",
+      "  --all-metrics   compare every numeric top-level metric\n"
+      "  --counters      inputs are counter-snapshot JSONL (--counters-out)\n",
       prog);
+}
+
+std::string SnapshotKey(const orbit::harness::JsonValue& line) {
+  using orbit::harness::JsonValue;
+  std::string key;
+  if (const JsonValue* v = line.Find("experiment")) key += v->AsString();
+  for (const char* field : {"point", "rep", "t_ns"}) {
+    key += '|';
+    if (const JsonValue* v = line.Find(field))
+      key += std::to_string(v->AsInt());
+  }
+  return key;
+}
+
+// Compares two counter-snapshot files under the harness tolerance rules.
+int CompareCounterFiles(const std::string& path_a, const std::string& path_b,
+                        const orbit::harness::CompareOptions& options) {
+  using orbit::harness::JsonValue;
+  std::vector<JsonValue> a, b;
+  const auto load = [](const std::string& path, std::vector<JsonValue>* out) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return false;
+    }
+    std::string text;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    std::string error;
+    if (!orbit::harness::ParseCountersJsonl(text, out, &error)) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!load(path_a, &a) || !load(path_b, &b)) return 2;
+
+  std::map<std::string, const JsonValue*> index_b;
+  for (const auto& line : b) index_b[SnapshotKey(line)] = &line;
+
+  size_t matched = 0, compared = 0, missing = 0, drifted = 0;
+  for (const auto& line : a) {
+    const std::string key = SnapshotKey(line);
+    const auto it = index_b.find(key);
+    if (it == index_b.end()) {
+      std::printf("only in A: %s\n", key.c_str());
+      ++missing;
+      continue;
+    }
+    ++matched;
+    for (const char* section : {"counters", "gauges"}) {
+      const JsonValue* sa = line.Find(section);
+      const JsonValue* sb = it->second->Find(section);
+      if (sa == nullptr || sb == nullptr || !sa->is_object() ||
+          !sb->is_object())
+        continue;
+      for (const auto& [name, va] : sa->object()) {
+        const JsonValue* vb = sb->Find(name);
+        ++compared;
+        if (vb == nullptr) {
+          std::printf("%s %s: missing from B\n", key.c_str(), name.c_str());
+          ++drifted;
+          continue;
+        }
+        const double x = va.AsDouble(), y = vb->AsDouble();
+        const double diff = std::fabs(x - y);
+        const double rel = diff / std::max({std::fabs(x), std::fabs(y), 1e-12});
+        if (diff > options.slack && rel > options.tolerance) {
+          std::printf("%s %s: %.0f vs %.0f (rel %.1f%%)\n", key.c_str(),
+                      name.c_str(), x, y, rel * 100);
+          ++drifted;
+        }
+      }
+    }
+    index_b.erase(it);
+  }
+  for (const auto& [key, line] : index_b) {
+    (void)line;
+    std::printf("only in B: %s\n", key.c_str());
+    ++missing;
+  }
+  std::printf("%zu snapshots matched, %zu values compared, %zu drifted, "
+              "%zu unmatched\n",
+              matched, compared, drifted, missing);
+  return drifted == 0 && missing == 0 ? 0 : 1;
 }
 
 std::vector<std::string> SplitCsv(const std::string& s) {
@@ -49,6 +146,7 @@ std::vector<std::string> SplitCsv(const std::string& s) {
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   orbit::harness::CompareOptions options;
+  bool counters_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> const char* {
@@ -66,6 +164,8 @@ int main(int argc, char** argv) {
       options.metrics = SplitCsv(value("--metrics"));
     } else if (arg == "--all-metrics") {
       options.all_metrics = true;
+    } else if (arg == "--counters") {
+      counters_mode = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -81,6 +181,7 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
     return 2;
   }
+  if (counters_mode) return CompareCounterFiles(paths[0], paths[1], options);
 
   std::string error;
   std::vector<orbit::harness::MetricsRecord> a, b;

@@ -1,0 +1,151 @@
+// Aggregate a Chrome trace produced by --trace-out into per-hop latency
+// breakdown tables.
+//
+//   trace_summary trace.json
+//
+// For every process in the trace (one per experiment point) the tool
+// groups complete ("X") events by trace id, sums durations per hop name,
+// and prints the min/mean/max table FormatHopBreakdown renders — the
+// text form of what Perfetto shows graphically. Exit 0 on success, 2 on
+// unreadable or malformed input.
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/json.h"
+#include "telemetry/export.h"
+#include "telemetry/trace.h"
+
+namespace {
+
+using orbit::harness::JsonValue;
+using orbit::SimTime;
+
+// "12.345" µs (exact three-decimal form the exporter prints) → 12345 ns.
+SimTime MicrosToNs(const JsonValue& v) {
+  return static_cast<SimTime>(std::llround(v.AsDouble() * 1000.0));
+}
+
+struct ProcessAgg {
+  std::string label;
+  // Insertion-ordered per-request summaries, keyed by trace id.
+  std::vector<orbit::telemetry::RequestSummary> summaries;
+  std::map<uint64_t, size_t> index;
+  uint64_t events = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::string(argv[1]) == "--help") {
+    std::fprintf(stderr, "usage: %s trace.json\n", argv[0]);
+    return 2;
+  }
+
+  std::FILE* f = std::fopen(argv[1], "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", argv[1]);
+    return 2;
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  JsonValue doc;
+  std::string error;
+  if (!orbit::harness::ParseJson(text, &doc, &error)) {
+    std::fprintf(stderr, "%s: %s\n", argv[1], error.c_str());
+    return 2;
+  }
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "%s: no traceEvents array\n", argv[1]);
+    return 2;
+  }
+
+  // Keeps split name/detail strings alive: RequestSummary stores const
+  // char* (the in-simulator path records string literals; here the parsed
+  // document plays that role).
+  std::deque<std::string> strings;
+  auto intern = [&strings](const std::string& s) {
+    strings.push_back(s);
+    return strings.back().c_str();
+  };
+
+  std::map<int64_t, ProcessAgg> processes;
+  for (const JsonValue& ev : events->array()) {
+    if (!ev.is_object()) continue;
+    const JsonValue* ph = ev.Find("ph");
+    const JsonValue* pid = ev.Find("pid");
+    const JsonValue* name = ev.Find("name");
+    if (ph == nullptr || pid == nullptr || name == nullptr) continue;
+    ProcessAgg& proc = processes[pid->AsInt()];
+
+    if (ph->AsString() == "M") {
+      if (name->AsString() == "process_name")
+        if (const JsonValue* args = ev.Find("args"))
+          if (const JsonValue* label = args->Find("name"))
+            proc.label = label->AsString();
+      continue;
+    }
+    ++proc.events;
+    if (ph->AsString() != "X") continue;  // only spans carry duration
+    const JsonValue* dur = ev.Find("dur");
+    const JsonValue* args = ev.Find("args");
+    const JsonValue* tid = args != nullptr ? args->Find("trace_id") : nullptr;
+    if (dur == nullptr || tid == nullptr) continue;
+    const uint64_t trace_id = static_cast<uint64_t>(tid->AsInt());
+    if (trace_id == 0) continue;
+
+    // Exported names are "name" or "name:detail"; split them back apart.
+    const std::string& full = name->AsString();
+    const size_t colon = full.find(':');
+    const std::string hop = full.substr(0, colon);
+    const std::string detail =
+        colon == std::string::npos ? "" : full.substr(colon + 1);
+
+    auto [it, fresh] = proc.index.emplace(trace_id, proc.summaries.size());
+    if (fresh) {
+      orbit::telemetry::RequestSummary s;
+      s.trace_id = trace_id;
+      proc.summaries.push_back(std::move(s));
+    }
+    orbit::telemetry::RequestSummary& s = proc.summaries[it->second];
+    ++s.events;
+    if (hop == "request") {
+      s.total = MicrosToNs(*dur);
+      s.outcome = intern(detail);
+      continue;
+    }
+    bool merged = false;
+    for (auto& [hop_name, total] : s.hops) {
+      if (hop_name == hop) {
+        total += MicrosToNs(*dur);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) s.hops.emplace_back(hop, MicrosToNs(*dur));
+  }
+
+  if (processes.empty()) {
+    std::fprintf(stderr, "%s: trace holds no events\n", argv[1]);
+    return 2;
+  }
+  for (const auto& [pid, proc] : processes) {
+    std::printf("=== %s (pid %lld, %llu events, %zu traced requests) ===\n",
+                proc.label.empty() ? "unnamed process" : proc.label.c_str(),
+                static_cast<long long>(pid),
+                static_cast<unsigned long long>(proc.events),
+                proc.summaries.size());
+    std::fputs(orbit::telemetry::FormatHopBreakdown(proc.summaries).c_str(),
+               stdout);
+    std::printf("\n");
+  }
+  return 0;
+}
