@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "proto/message.h"
+#include "testbed/serialize.h"
 #include "workload/twitter.h"
 #include "workload/value_dist.h"
 #include "workload/ycsb.h"
@@ -585,6 +586,121 @@ ExperimentSpec YcsbSuite() {
   return spec;
 }
 
+ExperimentSpec FigFailures() {
+  ExperimentSpec spec;
+  spec.name = "fig_failures";
+  spec.title = "Failures — collapse and recovery under injected faults (§3.9)";
+  spec.base.scheme = testbed::Scheme::kOrbitCache;
+  spec.base.num_clients = 4;
+  spec.base.num_servers = 4;
+  spec.base.server_rate_rps = 100'000;
+  // Above aggregate server capacity: the workload is only sustainable
+  // while the cache absorbs the hot keys, so losing the cache (switch
+  // reset) or a server (crash) collapses delivered throughput until the
+  // controller rebuilds / the server returns.
+  spec.base.client_rate_rps = 450'000;
+  spec.base.client_max_retries = 3;
+  spec.base.client_request_timeout = 5 * kMillisecond;
+  spec.scale_fn = [](testbed::TestbedConfig& cfg, harness::Scale scale) {
+    cfg.warmup = 0;  // the full timeline is the result
+    switch (scale) {
+      case harness::Scale::kFull:
+        cfg.duration = 3 * kSecond;
+        cfg.timeline_bin = 50 * kMillisecond;
+        break;
+      case harness::Scale::kDefault:
+        cfg.duration = 900 * kMillisecond;
+        cfg.timeline_bin = 20 * kMillisecond;
+        break;
+      case harness::Scale::kQuick:
+        cfg.duration = 300 * kMillisecond;
+        cfg.timeline_bin = 10 * kMillisecond;
+        break;
+    }
+  };
+  // Builders run after scaling, so fault times track the scaled window:
+  // the fault lands a third of the way in, leaving a pre-fault baseline
+  // and room to observe recovery.
+  spec.axes = {harness::FaultAxis(
+      {{"switch-reset",
+        [](testbed::TestbedConfig& cfg) {
+          cfg.fault = fault::SwitchResetAt(cfg.duration / 3,
+                                           /*rebuild_delay=*/cfg.duration / 20);
+        }},
+       {"server-crash", [](testbed::TestbedConfig& cfg) {
+          cfg.fault = fault::ServerCrashAt(/*server=*/0, cfg.duration / 3,
+                                           /*restart_at=*/2 * cfg.duration / 3);
+        }}})};
+  spec.run = [](const harness::PointRun& p, harness::SaturationCache&) {
+    const testbed::TestbedResult res = testbed::RunTestbed(p.config);
+    testbed::ResultMetricsOptions opts;
+    opts.include_timelines = true;
+    JsonValue metrics = testbed::ResultMetrics(res, opts);
+    metrics.Set("window_s", static_cast<double>(p.config.duration) / kSecond);
+    metrics.Set("timeline_bin_s",
+                static_cast<double>(p.config.timeline_bin) / kSecond);
+
+    // Recovery analysis on the throughput timeline. Baseline = mean of
+    // the pre-fault bins (skipping bin 0's cold start); recovered = two
+    // consecutive bins back at ≥ 90% of baseline.
+    const SimTime bin = p.config.timeline_bin;
+    const SimTime fault_at = p.config.fault.events.front().at;
+    const size_t fault_bin = static_cast<size_t>(fault_at / bin);
+    const auto& tl = res.throughput_timeline;
+    double baseline = 0;
+    size_t n_base = 0;
+    for (size_t i = 1; i < fault_bin && i < tl.size(); ++i) {
+      baseline += tl[i];
+      ++n_base;
+    }
+    if (n_base > 0) baseline /= static_cast<double>(n_base);
+    double min_tput = baseline;
+    for (size_t i = fault_bin; i < tl.size(); ++i)
+      min_tput = std::min(min_tput, tl[i]);
+    double recovery_ms = -1;  // -1 = did not recover inside the window
+    for (size_t i = fault_bin; i + 1 < tl.size(); ++i) {
+      if (tl[i] >= 0.9 * baseline && tl[i + 1] >= 0.9 * baseline) {
+        recovery_ms = static_cast<double>(static_cast<SimTime>(i + 1) * bin -
+                                          fault_at) /
+                      kMillisecond;
+        break;
+      }
+    }
+    metrics.Set("fault_at_ms", static_cast<double>(fault_at) / kMillisecond);
+    metrics.Set("baseline_mrps", baseline / 1e6);
+    metrics.Set("collapse_frac",
+                baseline > 0 ? 1.0 - min_tput / baseline : 0.0);
+    metrics.Set("recovery_ms", recovery_ms);
+    return metrics;
+  };
+  spec.include_timelines = true;
+  spec.table_metrics = {"rx_mrps", "collapse_frac", "recovery_ms",
+                        "retransmissions", "timeouts", "faults_injected"};
+  spec.epilogue = [](const std::vector<MetricsRecord>& rs) {
+    for (const auto& r : rs) {
+      if (!r.ok()) continue;
+      const JsonValue* tl = r.metrics.Find("throughput_timeline_rps");
+      const double bin_s = r.Metric("timeline_bin_s");
+      if (tl == nullptr || !(bin_s > 0)) continue;
+      const std::string recovery =
+          r.Metric("recovery_ms") < 0
+              ? "none"
+              : std::to_string(static_cast<int>(r.Metric("recovery_ms"))) +
+                    "ms";
+      std::printf("  %s: fault at %.0fms, collapse %.0f%%, recovery %s\n",
+                  r.params.empty() ? "?" : r.params[0].second.c_str(),
+                  r.Metric("fault_at_ms"), 100 * r.Metric("collapse_frac"),
+                  recovery.c_str());
+      std::printf("  %8s %12s\n", "t(ms)", "rx(KRPS)");
+      for (size_t i = 0; i < tl->array().size(); ++i)
+        std::printf("  %8.0f %12.1f\n",
+                    static_cast<double>(i) * bin_s * 1e3,
+                    tl->array()[i].AsDouble() / 1e3);
+    }
+  };
+  return spec;
+}
+
 std::vector<harness::ExperimentSpec> AllExperiments() {
   return {MotivationCacheability(),
           Fig09Skewness(),
@@ -604,7 +720,10 @@ std::vector<harness::ExperimentSpec> AllExperiments() {
           AblationRecircBandwidth(),
           RationaleRequestRecirc(),
           ExtraKeySize(),
-          YcsbSuite()};
+          YcsbSuite(),
+          // Appended last so earlier experiments keep their record slots
+          // in existing baselines.
+          FigFailures()};
 }
 
 }  // namespace orbit::benchexp

@@ -32,6 +32,10 @@ harness::ExperimentSpec AblationRecircBandwidth();
 harness::ExperimentSpec RationaleRequestRecirc();   // §2.2 strawman
 harness::ExperimentSpec ExtraKeySize();
 harness::ExperimentSpec YcsbSuite();
+// §3.9 failure handling: throughput timeline around an injected switch
+// reset (controller rebuild) and a server crash/restart, with recovery
+// metrics derived from the timeline.
+harness::ExperimentSpec FigFailures();
 
 // Registration order is the suite order and the JSONL record order.
 std::vector<harness::ExperimentSpec> AllExperiments();

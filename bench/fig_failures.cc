@@ -1,0 +1,10 @@
+// Failure injection: throughput collapse and recovery around a switch
+// reset (controller cache rebuild) and a server crash/restart (§3.9).
+// Spec definition (fault axis, recovery metric): bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
+
+int main(int argc, char** argv) {
+  return orbit::harness::HarnessMain({orbit::benchexp::FigFailures()}, argc,
+                                     argv);
+}

@@ -1,5 +1,7 @@
 #include "apps/client.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/logging.h"
@@ -27,7 +29,15 @@ void ClientNode::Start() {
   const double mean_gap = static_cast<double>(kSecond) / config_.rate_rps;
   sim_->After(static_cast<SimTime>(rng_.Exponential(mean_gap)),
               [this] { SendNext(); });
-  sim_->After(config_.timeout_sweep_period, [this] { SweepTimeouts(); });
+}
+
+void ClientNode::Stop() {
+  running_ = false;
+  // Requests still on the wire are neither successes nor timeouts; count
+  // them explicitly instead of leaking them. Their armed deadline events
+  // fire into an empty map.
+  stats_.inflight_at_stop += pending_.size();
+  pending_.clear();
 }
 
 void ClientNode::OpenWindow(SimTime at) {
@@ -63,26 +73,13 @@ void ClientNode::SendRequest(const WorkloadSource::Request& req,
     trace_id = telemetry::MakeTraceId(config_.addr, seq);
   Pending pending;
   pending.key = req.key;
+  pending.hkey = req.hkey;
   pending.sent_at = original_sent_at;
   pending.is_write = req.is_write;
   pending.is_correction = correction;
   pending.server = req.server;
+  pending.value_size = req.value_size;
   pending.trace_id = trace_id;
-  pending_[seq] = pending;
-
-  proto::Message msg;
-  msg.op = correction ? proto::Op::kCorrectionReq
-                      : (req.is_write ? proto::Op::kWriteReq
-                                      : proto::Op::kReadReq);
-  msg.seq = seq;
-  msg.hkey = req.hkey;
-  msg.key = req.key;
-  if (req.is_write) {
-    // Versions are assigned by the serialization point — the storage
-    // server for write-through, the switch for write-back — never by
-    // clients (racing writers would regress them).
-    msg.value = kv::Value::Synthetic(req.value_size, 0);
-  }
 
   ++stats_.tx_requests;
   if (req.is_write) {
@@ -91,15 +88,71 @@ void ClientNode::SendRequest(const WorkloadSource::Request& req,
     ++stats_.reads_sent;
   }
 
-  auto pkt = sim::MakePacket(config_.addr, req.server, config_.src_port,
-                             config_.orbit_port, std::move(msg));
-  pkt->sent_at = original_sent_at;
-  pkt->trace_id = trace_id;
   if (tracer_ != nullptr && trace_id != 0)
     tracer_->Instant(track_, trace_id, "send", sim_->now(),
                      correction ? "correction"
                                 : (req.is_write ? "write" : "read"));
+  Transmit(seq, pending);
+  pending_[seq] = std::move(pending);
+  ArmDeadline(seq, /*attempt=*/0);
+}
+
+void ClientNode::Transmit(uint32_t seq, const Pending& pending) {
+  proto::Message msg;
+  msg.op = pending.is_correction
+               ? proto::Op::kCorrectionReq
+               : (pending.is_write ? proto::Op::kWriteReq
+                                   : proto::Op::kReadReq);
+  msg.seq = seq;
+  msg.hkey = pending.hkey;
+  msg.key = pending.key;
+  if (pending.is_write) {
+    // Versions are assigned by the serialization point — the storage
+    // server for write-through, the switch for write-back — never by
+    // clients (racing writers would regress them).
+    msg.value = kv::Value::Synthetic(pending.value_size, 0);
+  }
+
+  auto pkt = sim::MakePacket(config_.addr, pending.server, config_.src_port,
+                             config_.orbit_port, std::move(msg));
+  pkt->sent_at = pending.sent_at;  // first send — retransmits inherit it
+  pkt->trace_id = pending.trace_id;
   net_->Send(this, port_, std::move(pkt));
+}
+
+SimTime ClientNode::TimeoutFor(int attempt) const {
+  // Exponential backoff: the deadline doubles with every retransmission.
+  const int shift = std::min(attempt, 20);
+  return config_.request_timeout << shift;
+}
+
+void ClientNode::ArmDeadline(uint32_t seq, int attempt) {
+  sim_->After(TimeoutFor(attempt),
+              [this, seq, attempt] { OnDeadline(seq, attempt); });
+}
+
+void ClientNode::OnDeadline(uint32_t seq, int attempt) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // answered (or retired at Stop)
+  Pending& pending = it->second;
+  if (pending.attempt != attempt) return;  // superseded by a retransmission
+  if (pending.attempt < config_.max_retries) {
+    ++pending.attempt;
+    ++stats_.retransmissions;
+    if (tracer_ != nullptr && pending.trace_id != 0)
+      tracer_->Instant(track_, pending.trace_id, "retransmit", sim_->now(),
+                       nullptr, static_cast<uint64_t>(pending.attempt));
+    // Same SEQ: a late reply to any attempt completes the request, and
+    // further duplicates count as stray_replies (at-most-once).
+    Transmit(seq, pending);
+    ArmDeadline(seq, pending.attempt);
+    return;
+  }
+  ++stats_.timeouts;
+  if (tracer_ != nullptr && pending.trace_id != 0)
+    tracer_->Span(track_, pending.trace_id, "request", pending.sent_at,
+                  sim_->now() - pending.sent_at, "timeout");
+  pending_.erase(it);
 }
 
 void ClientNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
@@ -136,18 +189,19 @@ void ClientNode::HandleReply(const sim::Packet& pkt) {
     return;
   }
 
-  // Multi-packet reassembly: wait for all fragments (§3.10).
+  // Multi-packet reassembly: wait for all fragments (§3.10). The bitmap
+  // covers the full frag_index range (proto caps frag_total at 255), so
+  // indices never alias and completion requires every distinct fragment.
   if (msg.frag_total > 1) {
-    const uint32_t bit = 1u << (msg.frag_index & 31);
-    if ((pending.frags_seen & bit) != 0) {
+    const unsigned idx = msg.frag_index;
+    uint64_t& word = pending.frag_bitmap[idx >> 6];
+    const uint64_t bit = uint64_t{1} << (idx & 63);
+    if ((word & bit) != 0) {
       ++stats_.duplicate_frags;
       return;
     }
-    pending.frags_seen |= bit;
-    const uint32_t all = msg.frag_total >= 32
-                             ? ~0u
-                             : (1u << msg.frag_total) - 1;
-    if (pending.frags_seen != all) return;
+    word |= bit;
+    if (++pending.frags_received < msg.frag_total) return;
   }
 
   if (config_.check_staleness) {
@@ -191,24 +245,6 @@ void ClientNode::RecordLatency(const sim::Packet& pkt, const Pending& pending) {
   }
 }
 
-void ClientNode::SweepTimeouts() {
-  if (!running_) return;
-  const SimTime cutoff = sim_->now() - config_.request_timeout;
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    if (it->second.sent_at < cutoff) {
-      ++stats_.timeouts;
-      if (tracer_ != nullptr && it->second.trace_id != 0)
-        tracer_->Span(track_, it->second.trace_id, "request",
-                      it->second.sent_at, sim_->now() - it->second.sent_at,
-                      "timeout");
-      it = pending_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  sim_->After(config_.timeout_sweep_period, [this] { SweepTimeouts(); });
-}
-
 void ClientNode::SetTracer(telemetry::Tracer* tracer) {
   tracer_ = tracer;
   if (tracer_ != nullptr)
@@ -221,6 +257,10 @@ void ClientNode::RegisterTelemetry(telemetry::Registry& reg,
                  [this] { return stats_.tx_requests; });
   reg.AddCounter(prefix + ".rx_replies", [this] { return stats_.rx_replies; });
   reg.AddCounter(prefix + ".timeouts", [this] { return stats_.timeouts; });
+  reg.AddCounter(prefix + ".retransmissions",
+                 [this] { return stats_.retransmissions; });
+  reg.AddCounter(prefix + ".inflight_at_stop",
+                 [this] { return stats_.inflight_at_stop; });
   reg.AddCounter(prefix + ".collisions", [this] { return stats_.collisions; });
   reg.AddCounter(prefix + ".stray_replies",
                  [this] { return stats_.stray_replies; });

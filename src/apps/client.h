@@ -17,6 +17,7 @@
 // observed (read or acked write) is a coherence violation.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -57,8 +58,14 @@ struct ClientConfig {
   L4Port orbit_port = 5008;
   L4Port src_port = 9000;
   double rate_rps = 100'000;  // this client's open-loop Tx rate
+  // Every request arms its own deadline event at send time, so the
+  // effective timeout is exact (no sweep quantization). When the deadline
+  // fires the request is retransmitted with the same SEQ — at-most-once
+  // accounting: a late original reply completes the request and the
+  // duplicate lands in stray_replies — until the retry budget is spent,
+  // doubling the timeout on every attempt (exponential backoff, §3.9).
   SimTime request_timeout = 20 * kMillisecond;
-  SimTime timeout_sweep_period = 5 * kMillisecond;
+  int max_retries = 0;  // 0 = timeouts only, no retransmission
   uint64_t seed = 1;
   bool check_staleness = true;
 };
@@ -70,7 +77,10 @@ class ClientNode : public sim::Node {
              std::shared_ptr<WorkloadSource> workload);
 
   void Start();
-  void Stop() { running_ = false; }
+  // Stops generating traffic and retires every in-flight request into
+  // stats().inflight_at_stop (they are neither replies nor timeouts — the
+  // run ended while they were on the wire).
+  void Stop();
 
   void OnPacket(sim::PacketPtr pkt, int port) override;
   std::string name() const override { return "client"; }
@@ -94,7 +104,9 @@ class ClientNode : public sim::Node {
     uint64_t reads_sent = 0;
     uint64_t writes_sent = 0;
     uint64_t collisions = 0;   // CRN-REQs triggered
-    uint64_t timeouts = 0;
+    uint64_t timeouts = 0;     // retry budget exhausted, request given up
+    uint64_t retransmissions = 0;
+    uint64_t inflight_at_stop = 0;  // pending when Stop() was called
     uint64_t stray_replies = 0;
     uint64_t stale_reads = 0;  // coherence violations observed
     uint64_t duplicate_frags = 0;
@@ -112,20 +124,31 @@ class ClientNode : public sim::Node {
  private:
   struct Pending {
     Key key;
-    SimTime sent_at = 0;
+    Hash128 hkey;
+    SimTime sent_at = 0;       // first send — latency is measured from here
     bool is_write = false;
     bool is_correction = false;
     Addr server = kInvalidAddr;
-    uint32_t frags_seen = 0;  // bitmap over frag_index (≤ 32 fragments)
-    uint64_t trace_id = 0;    // non-zero when this request is sampled
+    uint32_t value_size = 0;   // for retransmitting writes
+    int attempt = 0;           // retransmissions so far
+    // Reassembly bitmap over frag_index (proto caps frag_total at 255).
+    std::array<uint64_t, 4> frag_bitmap{};
+    uint32_t frags_received = 0;
+    uint64_t trace_id = 0;     // non-zero when this request is sampled
   };
 
   void SendNext();
   // `inherited_trace_id` keeps a correction retry on its original trace.
   void SendRequest(const WorkloadSource::Request& req, bool correction,
                    SimTime original_sent_at, uint64_t inherited_trace_id = 0);
+  // Puts (or re-puts) the request for `seq` on the wire.
+  void Transmit(uint32_t seq, const Pending& pending);
+  // Schedules the deadline for the given attempt; a reply simply erases
+  // the pending entry and lets the event fire into nothing.
+  void ArmDeadline(uint32_t seq, int attempt);
+  void OnDeadline(uint32_t seq, int attempt);
+  SimTime TimeoutFor(int attempt) const;
   void HandleReply(const sim::Packet& pkt);
-  void SweepTimeouts();
   void RecordLatency(const sim::Packet& pkt, const Pending& pending);
 
   sim::Simulator* sim_;

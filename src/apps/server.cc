@@ -38,8 +38,11 @@ void ServerNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
 
   // Rx rate limiting: a single-server FIFO queue with a fixed service time
   // (the paper's per-emulated-server Rx throughput cap) and a bounded
-  // socket buffer.
-  if (queue_depth_ >= config_.rx_queue_limit) {
+  // socket buffer. Control-plane fetches are priority traffic: rare, tiny,
+  // and load-bearing for recovery (§3.9 — a post-reset rebuild must reach
+  // exactly the overloaded hot-partition servers), so they are exempt from
+  // the admission drop but still pay the service time.
+  if (op != Op::kFetchReq && queue_depth_ >= config_.rx_queue_limit) {
     ++stats_.dropped;
     if (tracer_ != nullptr && pkt->trace_id != 0)
       tracer_->Instant(track_, pkt->trace_id, "rx_drop", sim_->now(),
@@ -151,7 +154,15 @@ void ServerNode::Reply(const sim::Packet& req, proto::Message msg) {
                     name() << ": value of " << size
                            << "B exceeds one packet and multi-packet "
                               "support is disabled");
-    frag_total = static_cast<uint8_t>((size + budget - 1) / budget);
+    // Compute in 32 bits first: frag_index/frag_total are uint8_t on the
+    // wire, so a value needing more than 255 fragments is unrepresentable
+    // and must fail loudly instead of truncating the count.
+    const uint32_t frags = (size + budget - 1) / budget;
+    ORBIT_CHECK_MSG(frags <= 255,
+                    name() << ": value of " << size << "B needs " << frags
+                           << " fragments, above the 255-fragment wire "
+                              "format limit");
+    frag_total = static_cast<uint8_t>(frags);
   }
 
   for (uint8_t i = 0; i < frag_total; ++i) {

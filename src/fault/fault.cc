@@ -1,0 +1,124 @@
+#include "fault/fault.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+#include "telemetry/counters.h"
+
+namespace orbit::fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kServerCrash: return "server_crash";
+    case FaultKind::kServerRestart: return "server_restart";
+    case FaultKind::kSwitchReset: return "switch_reset";
+    case FaultKind::kCtrlDown: return "ctrl_down";
+    case FaultKind::kCtrlUp: return "ctrl_up";
+  }
+  return "?";
+}
+
+FaultSchedule SwitchResetAt(SimTime at, SimTime rebuild_delay) {
+  FaultSchedule s;
+  s.events.push_back({at, FaultKind::kSwitchReset, -1});
+  s.switch_rebuild_delay = rebuild_delay;
+  return s;
+}
+
+FaultSchedule ServerCrashAt(int server, SimTime crash_at, SimTime restart_at) {
+  ORBIT_CHECK(restart_at > crash_at);
+  FaultSchedule s;
+  s.events.push_back({crash_at, FaultKind::kServerCrash, server});
+  s.events.push_back({restart_at, FaultKind::kServerRestart, server});
+  return s;
+}
+
+FaultInjector::FaultInjector(sim::Simulator* sim,
+                             const FaultSchedule& schedule, FaultHooks hooks)
+    : sim_(sim), schedule_(schedule), hooks_(std::move(hooks)) {
+  ORBIT_CHECK(sim != nullptr);
+}
+
+void FaultInjector::Arm() {
+  for (const FaultEvent& ev : schedule_.events) {
+    ORBIT_CHECK_MSG(ev.at >= sim_->now(), "fault scheduled in the past");
+    sim_->At(ev.at, [this, ev] { Fire(ev); });
+  }
+}
+
+void FaultInjector::Note(FaultKind kind, int server) {
+  ++stats_.injected;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(track_, /*trace_id=*/0, FaultKindName(kind), sim_->now(),
+                     /*detail=*/nullptr,
+                     server >= 0 ? static_cast<uint64_t>(server) : 0);
+  }
+}
+
+void FaultInjector::Fire(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kServerCrash:
+      ++stats_.server_crashes;
+      Note(ev.kind, ev.server);
+      if (hooks_.set_server_link_down)
+        hooks_.set_server_link_down(ev.server, true);
+      break;
+    case FaultKind::kServerRestart:
+      ++stats_.server_restarts;
+      Note(ev.kind, ev.server);
+      if (hooks_.set_server_link_down)
+        hooks_.set_server_link_down(ev.server, false);
+      break;
+    case FaultKind::kSwitchReset:
+      ++stats_.switch_resets;
+      Note(ev.kind, -1);
+      if (hooks_.reset_switch) hooks_.reset_switch();
+      // The controller notices the wipe and reinstalls its shadow copy
+      // after the detection + reinstall delay.
+      if (hooks_.rebuild_cache) {
+        sim_->After(schedule_.switch_rebuild_delay, [this] {
+          ++stats_.cache_rebuilds;
+          ++stats_.injected;
+          if (tracer_ != nullptr)
+            tracer_->Instant(track_, /*trace_id=*/0, "cache_rebuild",
+                             sim_->now());
+          hooks_.rebuild_cache();
+        });
+      }
+      break;
+    case FaultKind::kCtrlDown:
+      ++stats_.ctrl_transitions;
+      Note(ev.kind, -1);
+      if (hooks_.set_ctrl_link_down) hooks_.set_ctrl_link_down(true);
+      break;
+    case FaultKind::kCtrlUp:
+      ++stats_.ctrl_transitions;
+      Note(ev.kind, -1);
+      if (hooks_.set_ctrl_link_down) hooks_.set_ctrl_link_down(false);
+      break;
+  }
+}
+
+void FaultInjector::RegisterTelemetry(telemetry::Registry* registry,
+                                      telemetry::Tracer* tracer) {
+  if (registry != nullptr) {
+    registry->AddCounter("fault.injected", [this] { return stats_.injected; });
+    registry->AddCounter("fault.server_crashes",
+                         [this] { return stats_.server_crashes; });
+    registry->AddCounter("fault.server_restarts",
+                         [this] { return stats_.server_restarts; });
+    registry->AddCounter("fault.switch_resets",
+                         [this] { return stats_.switch_resets; });
+    registry->AddCounter("fault.cache_rebuilds",
+                         [this] { return stats_.cache_rebuilds; });
+    registry->AddCounter("fault.ctrl_transitions",
+                         [this] { return stats_.ctrl_transitions; });
+  }
+  if (tracer != nullptr) {
+    tracer_ = tracer;
+    track_ = tracer->RegisterTrack("faults");
+  }
+}
+
+}  // namespace orbit::fault

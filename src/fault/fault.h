@@ -1,0 +1,126 @@
+// Deterministic, sim-time-scripted fault injection (§3.9).
+//
+// A `FaultSchedule` is part of the experiment configuration: a list of
+// (time, kind) events — server crash/restart, switch reset, controller
+// channel loss — plus an optional Gilbert–Elliott burst-loss model layered
+// onto every server link. The schedule is pure data (it serializes into
+// the config fingerprint); `FaultInjector` binds it to a live testbed via
+// a small hook table and schedules one simulator event per fault, so two
+// runs of the same seeded config inject byte-identical faults.
+//
+// Fault taxonomy (docs/FAULTS.md has the full story):
+//   kServerCrash / kServerRestart — the server's access link goes down/up;
+//       in-flight packets in either direction are discarded (the server's
+//       own queue and store survive, modeling a fast process restart).
+//   kSwitchReset — the switch data plane is wiped (register arrays, match
+//       tables, circulating cache packets); after `switch_rebuild_delay`
+//       the controller rebuilds the cache from its shadow copy.
+//   kCtrlDown / kCtrlUp — the switch-CPU channel drops all controller
+//       traffic (fetches, reports, installs) until restored.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/link.h"
+
+namespace orbit::sim {
+class Simulator;
+}
+namespace orbit::telemetry {
+class Registry;
+class Tracer;
+}
+
+namespace orbit::fault {
+
+enum class FaultKind {
+  kServerCrash,
+  kServerRestart,
+  kSwitchReset,
+  kCtrlDown,
+  kCtrlUp,
+};
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  SimTime at = 0;                           // absolute sim time
+  FaultKind kind = FaultKind::kSwitchReset;
+  int server = -1;                          // kServerCrash/kServerRestart only
+};
+
+// Scripted fault timeline; default-constructed = no faults. Part of
+// TestbedConfig, so it feeds the config fingerprint.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+  // Bursty loss on every server link for the whole run (decorrelated per
+  // link by Network::Connect's seed mixing).
+  sim::GilbertElliottConfig server_burst_loss;
+  // Delay between a switch reset and the controller's cache rebuild —
+  // models failure detection plus reinstall time on the switch CPU.
+  SimTime switch_rebuild_delay = 2 * kMillisecond;
+
+  bool empty() const {
+    return events.empty() && !server_burst_loss.enabled();
+  }
+};
+
+// Convenience builders for the common single-fault timelines.
+FaultSchedule SwitchResetAt(SimTime at,
+                            SimTime rebuild_delay = 2 * kMillisecond);
+FaultSchedule ServerCrashAt(int server, SimTime crash_at, SimTime restart_at);
+
+// How the injector acts on the testbed. Hooks left empty make the
+// corresponding fault kind a no-op (e.g. reset_switch on a scheme with no
+// switch-resident state).
+struct FaultHooks {
+  std::function<void(int server, bool down)> set_server_link_down;
+  std::function<void(bool down)> set_ctrl_link_down;
+  std::function<void()> reset_switch;
+  std::function<void()> rebuild_cache;
+};
+
+// Binds a schedule to a live simulation: Arm() turns every FaultEvent into
+// a simulator event that fires the matching hook (a switch reset also
+// schedules the rebuild `switch_rebuild_delay` later). Keeps per-kind
+// injection counts and optionally emits telemetry counters ("fault.*")
+// and trace instants on a "faults" track.
+class FaultInjector {
+ public:
+  struct Stats {
+    uint64_t injected = 0;  // total hook firings (rebuild counts as one)
+    uint64_t server_crashes = 0;
+    uint64_t server_restarts = 0;
+    uint64_t switch_resets = 0;
+    uint64_t cache_rebuilds = 0;
+    uint64_t ctrl_transitions = 0;  // down + up
+  };
+
+  FaultInjector(sim::Simulator* sim, const FaultSchedule& schedule,
+                FaultHooks hooks);
+
+  // Schedules every event; call once, before the run starts.
+  void Arm();
+
+  const Stats& stats() const { return stats_; }
+
+  // Optional observability: counters under "fault.*" and instants on a
+  // dedicated track. Either pointer may be null.
+  void RegisterTelemetry(telemetry::Registry* registry,
+                         telemetry::Tracer* tracer);
+
+ private:
+  void Fire(const FaultEvent& ev);
+  void Note(FaultKind kind, int server);
+
+  sim::Simulator* sim_;
+  FaultSchedule schedule_;
+  FaultHooks hooks_;
+  Stats stats_;
+  telemetry::Tracer* tracer_ = nullptr;
+  int track_ = -1;
+};
+
+}  // namespace orbit::fault

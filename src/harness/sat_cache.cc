@@ -1,8 +1,20 @@
 #include "harness/sat_cache.h"
 
+#include <utility>
+
 #include "testbed/serialize.h"
 
 namespace orbit::harness {
+
+SaturationCache::SaturationCache()
+    : compute_([](const testbed::TestbedConfig& config, double loss_tolerance,
+                  int max_corrections) {
+        return testbed::FindSaturation(config, loss_tolerance,
+                                       max_corrections);
+      }) {}
+
+SaturationCache::SaturationCache(ComputeFn compute)
+    : compute_(std::move(compute)) {}
 
 testbed::SaturationResult SaturationCache::Get(
     const testbed::TestbedConfig& config, double loss_tolerance,
@@ -31,9 +43,16 @@ testbed::SaturationResult SaturationCache::Get(
   }
   if (owner) {
     try {
-      promise.set_value(
-          testbed::FindSaturation(config, loss_tolerance, max_corrections));
+      promise.set_value(compute_(config, loss_tolerance, max_corrections));
     } catch (...) {
+      // Evict before publishing the failure: threads already holding the
+      // future see the exception once, but no later Get can join a
+      // permanently-poisoned entry — it recomputes instead.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        memo_.erase(key);
+        ++failures_;
+      }
       promise.set_exception(std::current_exception());
     }
   }

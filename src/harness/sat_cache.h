@@ -7,8 +7,14 @@
 // shared_future, which keeps parallel runs from racing to compute the same
 // point — and, because the function is deterministic, keeps cached and
 // recomputed values identical, preserving parallel-equals-serial output.
+//
+// Failures are not memoized: when the owner's compute throws (a per-point
+// deadline, say), the memo entry is evicted before the exception
+// propagates, so waiters already attached to that future fail once but any
+// later Get with the same config recomputes from scratch.
 #pragma once
 
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -21,20 +27,32 @@ namespace orbit::harness {
 
 class SaturationCache {
  public:
+  using ComputeFn = std::function<testbed::SaturationResult(
+      const testbed::TestbedConfig&, double, int)>;
+
+  // Computes with testbed::FindSaturation.
+  SaturationCache();
+  // Computes with `compute` — tests inject flaky functions here.
+  explicit SaturationCache(ComputeFn compute);
+
   testbed::SaturationResult Get(const testbed::TestbedConfig& config,
                                 double loss_tolerance, int max_corrections);
 
   size_t entries() const;
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  // Memo entries evicted because their computation threw.
+  uint64_t failures() const { return failures_; }
 
  private:
+  ComputeFn compute_;
   mutable std::mutex mu_;
   std::unordered_map<std::string,
                      std::shared_future<testbed::SaturationResult>>
       memo_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t failures_ = 0;
 };
 
 }  // namespace orbit::harness

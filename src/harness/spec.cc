@@ -68,6 +68,17 @@ ParamAxis SchemeAxis(const std::vector<testbed::Scheme>& schemes) {
   return axis;
 }
 
+ParamAxis FaultAxis(std::vector<FaultScenario> scenarios) {
+  ParamAxis axis;
+  axis.name = "fault";
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    axis.params.push_back({std::move(scenarios[i].label),
+                           static_cast<double>(i),
+                           std::move(scenarios[i].apply)});
+  }
+  return axis;
+}
+
 ParamAxis NumericAxis(
     std::string name, const std::vector<double>& values,
     std::function<void(testbed::TestbedConfig&, double)> apply) {

@@ -70,6 +70,16 @@ ParamAxis SchemeAxis(const std::vector<testbed::Scheme>& schemes);
 ParamAxis NumericAxis(std::string name, const std::vector<double>& values,
                       std::function<void(testbed::TestbedConfig&, double)> apply);
 
+// Axis over named fault scenarios: each entry installs a fault schedule
+// (and any related knobs, e.g. the client retry budget) into the point's
+// config. Builders run after scaling, so they can place fault times
+// relative to the scaled cfg.warmup / cfg.duration window.
+struct FaultScenario {
+  std::string label;  // e.g. "switch-reset", "server-crash"
+  std::function<void(testbed::TestbedConfig&)> apply;
+};
+ParamAxis FaultAxis(std::vector<FaultScenario> scenarios);
+
 // ---- one expanded point -------------------------------------------------
 
 struct ExperimentSpec;

@@ -170,7 +170,12 @@ void Controller::SendFetch(const Key& key, const Hash128& hkey, Addr server) {
   pf.key = key;
   pf.hkey = hkey;
   pf.server = server;
-  pf.deadline = sim_->now() + config_.fetch_timeout;
+  // Exponential backoff (capped at 32x): right after a fault the fabric is
+  // congested with client retries and a server's FIFO can hold tens of
+  // milliseconds of backlog, so a fixed short deadline would burn the whole
+  // attempt budget before a single round trip can complete.
+  pf.deadline =
+      sim_->now() + (config_.fetch_timeout << std::min(pf.attempts, 5));
   ++pf.attempts;
   ++stats_.fetches_sent;
 
@@ -217,6 +222,22 @@ void Controller::RebuildCache() {
     SendFetch(entry.key, entry.hkey,
               server_addrs_[partitioner_->ServerFor(entry.key)]);
   }
+  // Right after a reset the fabric is congested with client retries, so
+  // refetches are likely to drown; without the periodic update timer
+  // nothing would ever retry them and the cache would stay partially
+  // invalid. Sweep on the fetch-timeout cadence until every refetch
+  // settles (success or give-up).
+  if (!pending_fetches_.empty()) ArmRebuildSweep();
+}
+
+void Controller::ArmRebuildSweep() {
+  if (rebuild_sweep_armed_) return;
+  rebuild_sweep_armed_ = true;
+  sim_->After(config_.fetch_timeout, [this] {
+    rebuild_sweep_armed_ = false;
+    CheckFetchTimeouts();
+    if (!pending_fetches_.empty()) ArmRebuildSweep();
+  });
 }
 
 void Controller::RequestRefetch(const Key& key, const Hash128& hkey,

@@ -116,6 +116,7 @@ class Controller : public sim::Node {
   void EvictIdx(uint32_t idx);
   void SendFetch(const Key& key, const Hash128& hkey, Addr server);
   void CheckFetchTimeouts();
+  void ArmRebuildSweep();
   uint32_t AllocIdx();
 
   sim::Simulator* sim_;
@@ -136,6 +137,7 @@ class Controller : public sim::Node {
   uint32_t fetch_seq_ = 1;
   SimTime last_snapshot_ = 0;
   bool started_ = false;
+  bool rebuild_sweep_armed_ = false;
 
   Stats stats_;
 };

@@ -26,10 +26,37 @@ SimTime Link::TxTime(uint32_t bytes) const {
                               config_.rate_gbps));
 }
 
+bool Link::LossCoin() {
+  // Each loss model draws only when enabled, so a link with no loss model
+  // configured never touches the RNG and stays byte-identical regardless
+  // of its seed.
+  bool lost = false;
+  if (config_.burst_loss.enabled()) {
+    const GilbertElliottConfig& ge = config_.burst_loss;
+    // Transition first, then draw loss in the (possibly new) state.
+    const double p_flip = in_bad_state_ ? ge.p_exit_bad : ge.p_enter_bad;
+    if (loss_rng_.Bernoulli(p_flip)) in_bad_state_ = !in_bad_state_;
+    const double p_loss = in_bad_state_ ? ge.loss_bad : ge.loss_good;
+    if (p_loss > 0 && loss_rng_.Bernoulli(p_loss)) lost = true;
+  }
+  if (!lost && config_.loss_rate > 0 &&
+      loss_rng_.Bernoulli(config_.loss_rate)) {
+    lost = true;
+  }
+  return lost;
+}
+
 void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
   ORBIT_CHECK(from == 0 || from == 1);
   Channel& ch = chans_[from];
-  if (config_.loss_rate > 0 && loss_rng_.Bernoulli(config_.loss_rate)) {
+  if (down_) {
+    ++ch.stats.lost;
+    if (drop_tap_ != nullptr && *drop_tap_)
+      (*drop_tap_)(*pkt, chans_[1 - from].to, ch.to, DropReason::kLinkDown,
+                   sim_->now());
+    return;
+  }
+  if (LossCoin()) {
     ++ch.stats.lost;
     if (drop_tap_ != nullptr && *drop_tap_)
       (*drop_tap_)(*pkt, chans_[1 - from].to, ch.to, DropReason::kInjectedLoss,

@@ -22,6 +22,19 @@ namespace orbit::sim {
 class Node;
 class Simulator;
 
+// Two-state Gilbert–Elliott burst-loss model. The channel sits in a
+// "good" or "bad" state; each packet first moves the state with the
+// transition probabilities, then is dropped with the state's loss rate.
+// Disabled (zero RNG draws) unless p_enter_bad > 0, so enabling the
+// fields is the only way results can change.
+struct GilbertElliottConfig {
+  double p_enter_bad = 0.0;  // per-packet P(good -> bad); 0 disables
+  double p_exit_bad = 0.1;   // per-packet P(bad -> good)
+  double loss_good = 0.0;    // per-packet loss while good
+  double loss_bad = 1.0;     // per-packet loss while bad
+  bool enabled() const { return p_enter_bad > 0; }
+};
+
 struct LinkConfig {
   double rate_gbps = 100.0;
   SimTime propagation = 500;           // ns, one way
@@ -30,7 +43,13 @@ struct LinkConfig {
   // handles loss with application-level timeouts (§3.9); tests use this to
   // exercise the controller's fetch retransmission and client timeouts.
   double loss_rate = 0.0;
+  // Base seed for the loss RNG. Network::Connect mixes the link's creation
+  // index into this so lossy links never drop the same-numbered packets in
+  // lockstep; the RNG is only ever drawn when a loss model is enabled, so
+  // lossless results are unaffected by the seed.
   uint64_t loss_seed = 1;
+  // Bursty (correlated) loss; composes with loss_rate (either can drop).
+  GilbertElliottConfig burst_loss;
 };
 
 struct ChannelStats {
@@ -54,6 +73,12 @@ class Link {
   const ChannelStats& stats(int from) const { return chans_[from].stats; }
   const LinkConfig& config() const { return config_; }
 
+  // Fault injection: while down, every packet offered to either direction
+  // is discarded (DropReason::kLinkDown) without touching the loss RNG, so
+  // bringing a link down and back up never perturbs later loss draws.
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
   // Port-mirroring tap (owned by the Network); observes packets that were
   // actually committed to the wire.
   void set_tap(const TapFn* tap) { tap_ = tap; }
@@ -70,11 +95,14 @@ class Link {
   };
 
   SimTime TxTime(uint32_t bytes) const;
+  bool LossCoin();
 
   Simulator* sim_;
   LinkConfig config_;
   std::array<Channel, 2> chans_;
   Rng loss_rng_;
+  bool down_ = false;
+  bool in_bad_state_ = false;
   const TapFn* tap_ = nullptr;
   const DropTapFn* drop_tap_ = nullptr;
 };

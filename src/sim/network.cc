@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "sim/node.h"
 
 namespace orbit::sim {
@@ -12,8 +13,15 @@ Network::Attachment Network::Connect(Node* a, Node* b,
   Attachment at;
   at.port_a = static_cast<int>(ports_a.size());
   at.port_b = static_cast<int>(ports_b.size());
+  // Decorrelate loss across links: mix the link's creation index (a
+  // deterministic identity — topologies are built in a fixed order) into
+  // the configured seed so lossy links never drop the same-numbered
+  // packets in lockstep. Lossless links never draw the RNG, so this is
+  // byte-neutral when no loss model is enabled.
+  LinkConfig cfg = config;
+  cfg.loss_seed = Mix64(config.loss_seed ^ Mix64(links_.size() + 1));
   links_.push_back(
-      std::make_unique<Link>(sim_, a, at.port_a, b, at.port_b, config));
+      std::make_unique<Link>(sim_, a, at.port_a, b, at.port_b, cfg));
   at.link = links_.back().get();
   at.link->set_tap(&tap_);
   at.link->set_drop_tap(&drop_tap_);

@@ -10,6 +10,7 @@ const char* DropReasonName(DropReason reason) {
   switch (reason) {
     case DropReason::kQueueOverflow: return "queue_overflow";
     case DropReason::kInjectedLoss: return "injected_loss";
+    case DropReason::kLinkDown: return "link_down";
   }
   return "?";
 }

@@ -25,7 +25,8 @@ using TapFn =
 // these packets — losses were invisible to tracing until the drop tap.
 enum class DropReason {
   kQueueOverflow,  // link egress queue full (drop-tail)
-  kInjectedLoss,   // LinkConfig::loss_rate coin
+  kInjectedLoss,   // LinkConfig loss_rate / burst_loss coin
+  kLinkDown,       // fault injection took the link down
 };
 const char* DropReasonName(DropReason reason);
 

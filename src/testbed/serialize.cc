@@ -43,6 +43,33 @@ JsonValue ConfigJson(const TestbedConfig& config) {
   out.Set("hot_in", config.hot_in);
   out.Set("hot_in_period", config.hot_in_period);
   out.Set("hot_in_count", config.hot_in_count);
+  out.Set("client_max_retries", config.client_max_retries);
+  out.Set("client_request_timeout", config.client_request_timeout);
+  {
+    // Fault schedule: outcome-affecting, so it must feed the fingerprint.
+    // Serialized compactly — an empty schedule is the common case.
+    JsonValue ft = JsonValue::MakeObject();
+    JsonValue events = JsonValue::MakeArray();
+    for (const auto& ev : config.fault.events) {
+      JsonValue e = JsonValue::MakeObject();
+      e.Set("at", ev.at);
+      e.Set("kind", fault::FaultKindName(ev.kind));
+      if (ev.server >= 0) e.Set("server", ev.server);
+      events.Append(std::move(e));
+    }
+    ft.Set("events", std::move(events));
+    ft.Set("rebuild_delay", config.fault.switch_rebuild_delay);
+    const auto& ge = config.fault.server_burst_loss;
+    if (ge.enabled()) {
+      JsonValue burst = JsonValue::MakeObject();
+      burst.Set("p_enter_bad", ge.p_enter_bad);
+      burst.Set("p_exit_bad", ge.p_exit_bad);
+      burst.Set("loss_good", ge.loss_good);
+      burst.Set("loss_bad", ge.loss_bad);
+      ft.Set("server_burst_loss", std::move(burst));
+    }
+    out.Set("fault", std::move(ft));
+  }
   out.Set("warmup", config.warmup);
   out.Set("duration", config.duration);
   out.Set("seed", std::to_string(config.seed));
@@ -127,6 +154,9 @@ JsonValue ResultMetrics(const TestbedResult& result,
   out.Set("collisions", result.collisions);
   out.Set("stale_reads", result.stale_reads);
   out.Set("timeouts", result.timeouts);
+  out.Set("retransmissions", result.retransmissions);
+  out.Set("inflight_at_stop", result.inflight_at_stop);
+  out.Set("faults_injected", result.faults_injected);
   out.Set("server_drops", result.server_drops);
   out.Set("cache_entries", static_cast<int64_t>(result.cache_entries));
   out.Set("controller_cache_size",

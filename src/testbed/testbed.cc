@@ -6,6 +6,7 @@
 #include "apps/client.h"
 #include "apps/server.h"
 #include "common/check.h"
+#include "fault/fault.h"
 #include "kv/partition.h"
 #include "netcache/controller.h"
 #include "netcache/program.h"
@@ -187,7 +188,9 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
       config.scheme == Scheme::kOrbitCache && config.run_cache_updates;
   std::vector<std::unique_ptr<app::ServerNode>> servers;
   std::vector<Addr> server_addrs;
+  std::vector<sim::Link*> server_links;  // fault-injection handles
   servers.reserve(static_cast<size_t>(config.num_servers));
+  server_links.reserve(static_cast<size_t>(config.num_servers));
   for (int i = 0; i < config.num_servers; ++i) {
     app::ServerConfig scfg;
     scfg.addr = kServerBase + static_cast<Addr>(i);
@@ -204,10 +207,15 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     sim::LinkConfig lc;
     lc.rate_gbps = config.server_link_gbps;
     lc.propagation = config.link_delay;
+    // Scheduled burst loss rides on every server link; Network::Connect
+    // decorrelates the per-link RNG seeds.
+    lc.burst_loss = config.fault.server_burst_loss;
+    lc.loss_seed = config.seed;
     auto node = std::make_unique<app::ServerNode>(&sim, &net, /*port=*/0,
                                                   scfg, size_fn);
     auto at = net.Connect(node.get(), &sw, lc);
     ORBIT_CHECK(at.port_a == 0);
+    server_links.push_back(at.link);
     sw.AddRoute(scfg.addr, at.port_b);
     servers[static_cast<size_t>(i)] = std::move(node);
     // Servers are clone targets too: write-back snapshot flushes fork a
@@ -224,6 +232,8 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     ccfg.orbit_port = kOrbitPort;
     ccfg.src_port = static_cast<L4Port>(9000 + i);
     ccfg.rate_rps = config.client_rate_rps / config.num_clients;
+    ccfg.request_timeout = config.client_request_timeout;
+    ccfg.max_retries = config.client_max_retries;
     ccfg.seed = config.seed * 7919 + static_cast<uint64_t>(i);
     auto node = std::make_unique<app::ClientNode>(&sim, &net, /*port=*/0,
                                                   ccfg, workload);
@@ -242,6 +252,7 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
                               config.seed);
   std::unique_ptr<oc::Controller> orbit_ctrl;
   std::unique_ptr<nc::NetController> net_ctrl;
+  sim::Link* ctrl_link = nullptr;  // fault-injection handle
   if (config.scheme != Scheme::kNoCache) {
     sim::Node* ctrl_node = nullptr;
     sim::LinkConfig lc;
@@ -272,6 +283,7 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     }
     auto at = net.Connect(ctrl_node, &sw, lc);
     ORBIT_CHECK(at.port_a == 0);
+    ctrl_link = at.link;
     sw.AddRoute(kControllerAddr, at.port_b);
     if (orbit != nullptr) {
       orbit->RegisterCloneTarget(kControllerAddr, at.port_b);
@@ -281,6 +293,34 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
         ctrl->RequestRefetch(key, hkey, server);
       });
     }
+  }
+
+  // ---- fault injection ----------------------------------------------------
+  // Built only when the config carries a schedule; the injector turns each
+  // scripted FaultEvent into one simulator event against these hooks.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config.fault.events.empty()) {
+    fault::FaultHooks hooks;
+    hooks.set_server_link_down = [&server_links,
+                                  n = config.num_servers](int s, bool down) {
+      ORBIT_CHECK_MSG(s >= 0 && s < n, "fault targets unknown server " << s);
+      server_links[static_cast<size_t>(s)]->set_down(down);
+    };
+    if (ctrl_link != nullptr)
+      hooks.set_ctrl_link_down = [ctrl_link](bool down) {
+        ctrl_link->set_down(down);
+      };
+    // A switch reset wipes data-plane state; only OrbitCache models the
+    // controller's shadow copy + rebuild (§3.9). NetCache/NoCache keep
+    // the hooks empty (reset is a no-op for a stateless forwarder).
+    if (orbit != nullptr)
+      hooks.reset_switch = [op = orbit.get()] { op->ResetDataPlane(); };
+    if (orbit_ctrl != nullptr)
+      hooks.rebuild_cache = [ctrl = orbit_ctrl.get()] {
+        ctrl->RebuildCache();
+      };
+    injector = std::make_unique<fault::FaultInjector>(&sim, config.fault,
+                                                      std::move(hooks));
   }
 
   // ---- telemetry ----------------------------------------------------------
@@ -311,11 +351,18 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     // Fabric drops, bucketed by reason.
     uint64_t* drop_ovf = registry->OwnCounter("net.drop.queue_overflow");
     uint64_t* drop_loss = registry->OwnCounter("net.drop.loss");
-    net.SetDropTap([drop_ovf, drop_loss](const sim::Packet&, sim::Node*,
-                                         sim::Node*, sim::DropReason reason,
-                                         SimTime) {
-      ++*(reason == sim::DropReason::kQueueOverflow ? drop_ovf : drop_loss);
+    uint64_t* drop_down = registry->OwnCounter("net.drop.link_down");
+    net.SetDropTap([drop_ovf, drop_loss, drop_down](
+                       const sim::Packet&, sim::Node*, sim::Node*,
+                       sim::DropReason reason, SimTime) {
+      switch (reason) {
+        case sim::DropReason::kQueueOverflow: ++*drop_ovf; break;
+        case sim::DropReason::kInjectedLoss: ++*drop_loss; break;
+        case sim::DropReason::kLinkDown: ++*drop_down; break;
+      }
     });
+    if (injector != nullptr)
+      injector->RegisterTelemetry(registry.get(), tracer.get());
   }
 
   // ---- preload ------------------------------------------------------------
@@ -344,6 +391,7 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
   for (auto& c : clients) c->Start();
   if (orbit_ctrl != nullptr) orbit_ctrl->Start();
   if (net_ctrl != nullptr) net_ctrl->Start();
+  if (injector != nullptr) injector->Arm();
 
   stats::TimeSeries throughput_timeline(
       config.timeline_bin > 0 ? config.timeline_bin : kSecond);
@@ -419,6 +467,10 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
   const SimTime end = config.warmup + config.duration;
   sim.RunUntil(end);
   for (auto& c : clients) c->CloseWindow(sim.now());
+  // Stop before collecting so requests still on the wire are retired into
+  // inflight_at_stop (and queued callbacks don't fire into destroyed
+  // nodes; the simulator dies with everything else at scope exit anyway).
+  for (auto& c : clients) c->Stop();
 
   // ---- collect ------------------------------------------------------------
   TestbedResult res;
@@ -437,7 +489,10 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     res.collisions += c->stats().collisions;
     res.stale_reads += c->stats().stale_reads;
     res.timeouts += c->stats().timeouts;
+    res.retransmissions += c->stats().retransmissions;
+    res.inflight_at_stop += c->stats().inflight_at_stop;
   }
+  if (injector != nullptr) res.faults_injected = injector->stats().injected;
   res.rx_rps = static_cast<double>(rx) / secs;
   res.tx_rps = static_cast<double>(tx - snap.client_tx) / secs;
 
@@ -533,9 +588,6 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     }
   }
 
-  // Stop traffic so queued callbacks don't fire into destroyed nodes (the
-  // simulator is destroyed with everything else at scope exit anyway).
-  for (auto& c : clients) c->Stop();
   return res;
 }
 

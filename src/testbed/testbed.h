@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "fault/fault.h"
 #include "rmt/resources.h"
 #include "stats/histogram.h"
 #include "stats/time_series.h"
@@ -76,6 +77,16 @@ struct TestbedConfig {
   SimTime hot_in_period = 10 * kSecond;
   uint64_t hot_in_count = 128;
 
+  // Client retry budget (§3.9): how many times a client retransmits a
+  // request (same SEQ, exponential backoff) before giving up. 0 keeps the
+  // timeout-only behavior of the static figures.
+  int client_max_retries = 0;
+  SimTime client_request_timeout = 20 * kMillisecond;
+
+  // Scripted fault injection (server crash/restart, switch reset,
+  // controller-channel loss, bursty server-link loss). Default: no faults.
+  fault::FaultSchedule fault;
+
   // Timing.
   SimTime warmup = 100 * kMillisecond;
   SimTime duration = 400 * kMillisecond;
@@ -138,8 +149,13 @@ struct TestbedResult {
   // Client-side protocol events (whole run).
   uint64_t collisions = 0;
   uint64_t stale_reads = 0;
-  uint64_t timeouts = 0;
+  uint64_t timeouts = 0;         // retry budget exhausted
+  uint64_t retransmissions = 0;
+  uint64_t inflight_at_stop = 0; // pending when the run ended
   uint64_t server_drops = 0;
+
+  // Fault injection (whole run; 0 when no schedule configured).
+  uint64_t faults_injected = 0;
 
   // Cache state at the end.
   size_t cache_entries = 0;

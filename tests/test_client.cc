@@ -39,9 +39,28 @@ class MockPeer : public sim::Node {
     }
     const Addr dst = pkt->src;
     rep.seq = pkt->msg.seq;
-    auto out = sim::MakePacket(kServerAddr, dst, pkt->dport, pkt->sport,
-                               std::move(rep));
-    net_->Send(this, 0, std::move(out));
+    if (frag_count > 1 && rep.op == proto::Op::kReadRep) {
+      // Multi-packet reply: one packet per fragment, optionally repeating
+      // fragment `dup_frag_index` to exercise duplicate accounting.
+      for (int i = 0; i < frag_count; ++i) {
+        const int copies = i == dup_frag_index ? 2 : 1;
+        for (int c = 0; c < copies; ++c) {
+          proto::Message frag = rep;
+          frag.frag_index = static_cast<uint8_t>(i);
+          frag.frag_total = static_cast<uint8_t>(frag_count);
+          auto out = sim::MakePacket(kServerAddr, dst, pkt->dport, pkt->sport,
+                                     std::move(frag));
+          net_->Send(this, 0, std::move(out));
+        }
+      }
+      return;
+    }
+    for (int c = 0; c < (reply_twice ? 2 : 1); ++c) {
+      proto::Message copy = rep;
+      auto out = sim::MakePacket(kServerAddr, dst, pkt->dport, pkt->sport,
+                                 std::move(copy));
+      net_->Send(this, 0, std::move(out));
+    }
   }
   std::string name() const override { return "mock-peer"; }
 
@@ -51,6 +70,9 @@ class MockPeer : public sim::Node {
   bool collide_next = false;
   bool stale_reads = false;
   bool drop_all = false;
+  bool reply_twice = false;
+  int frag_count = 1;       // >1: split read replies into this many packets
+  int dup_frag_index = -1;  // resend this fragment once more
   proto::Op last_op = proto::Op::kReadReq;
 
  private:
@@ -78,13 +100,13 @@ class OneKeyWorkload : public WorkloadSource {
 
 class ClientTest : public ::testing::Test {
  protected:
-  void Build(double rate, double write_ratio = 0) {
+  void Build(double rate, double write_ratio = 0, int max_retries = 0) {
     ClientConfig cfg;
     cfg.addr = kClientAddr;
     cfg.rate_rps = rate;
     cfg.seed = 3;
     cfg.request_timeout = 5 * kMillisecond;
-    cfg.timeout_sweep_period = kMillisecond;
+    cfg.max_retries = max_retries;
     client_ = std::make_unique<ClientNode>(
         &sim_, &net_, 0, cfg, std::make_shared<OneKeyWorkload>(write_ratio));
     peer_ = std::make_unique<MockPeer>(&sim_, &net_);
@@ -171,6 +193,101 @@ TEST_F(ClientTest, StopHaltsTraffic) {
   const uint64_t tx = client_->stats().tx_requests;
   sim_.RunUntil(20 * kMillisecond);
   EXPECT_EQ(client_->stats().tx_requests, tx);
+}
+
+// Regression (>32-fragment aliasing): a 40-fragment reply must complete
+// exactly once, with every distinct fragment counted — the old 32-bit
+// bitmap aliased indices ≥ 32 and completed early.
+TEST_F(ClientTest, LargeFragmentCountsReassembleExactly) {
+  Build(10'000);
+  peer_->frag_count = 40;
+  sim_.RunUntil(20 * kMillisecond);
+  client_->Stop();  // retire the (at most one) partially-arrived reply
+  EXPECT_GT(client_->stats().tx_requests, 50u);
+  EXPECT_EQ(client_->stats().rx_replies + client_->stats().inflight_at_stop,
+            client_->stats().tx_requests);
+  EXPECT_GT(client_->stats().rx_replies, 50u);
+  EXPECT_EQ(client_->stats().duplicate_frags, 0u);
+  EXPECT_EQ(client_->stats().timeouts, 0u);
+}
+
+TEST_F(ClientTest, DuplicateFragmentsAreCountedNotDoubleCompleted) {
+  Build(10'000);
+  peer_->frag_count = 40;
+  peer_->dup_frag_index = 35;  // index above the old 32-bit bitmap range
+  sim_.RunUntil(20 * kMillisecond);
+  client_->Stop();
+  EXPECT_EQ(client_->stats().rx_replies + client_->stats().inflight_at_stop,
+            client_->stats().tx_requests);
+  EXPECT_GE(client_->stats().duplicate_frags, client_->stats().rx_replies);
+  EXPECT_EQ(client_->stats().stray_replies, 0u);
+}
+
+// The deadline is exact: a request sent at t times out at t + timeout, not
+// at the next multiple of a sweep period.
+TEST_F(ClientTest, TimeoutFiresExactlyAtDeadline) {
+  Build(100'000);
+  peer_->drop_all = true;
+  sim_.RunUntil(5 * kMillisecond);  // no deadline can have passed yet
+  EXPECT_EQ(client_->stats().timeouts, 0u);
+  sim_.RunUntil(5 * kMillisecond + 500 * kMicrosecond);
+  // Everything sent in the first 500us has now timed out (~50 requests at
+  // a 10us mean gap); the old 5ms sweep wouldn't fire until 10ms.
+  EXPECT_GT(client_->stats().timeouts, 10u);
+}
+
+TEST_F(ClientTest, StopRetiresInflightExplicitly) {
+  Build(20'000);
+  peer_->drop_all = true;
+  sim_.RunUntil(3 * kMillisecond);  // inside the 5ms timeout: all pending
+  client_->Stop();
+  EXPECT_EQ(client_->stats().timeouts, 0u);
+  EXPECT_GT(client_->stats().inflight_at_stop, 10u);
+  EXPECT_EQ(client_->stats().inflight_at_stop, client_->stats().tx_requests);
+  // The armed deadline events fire into the cleared map: no late timeouts.
+  sim_.RunUntil(30 * kMillisecond);
+  EXPECT_EQ(client_->stats().timeouts, 0u);
+}
+
+// §3.9: a loss episode shorter than the retry budget costs retransmissions
+// but zero requests.
+TEST_F(ClientTest, RetransmissionRecoversFromLossEpisode) {
+  Build(20'000, /*write_ratio=*/0, /*max_retries=*/2);
+  sim_.RunUntil(2 * kMillisecond);
+  peer_->drop_all = true;
+  sim_.RunUntil(4 * kMillisecond);
+  peer_->drop_all = false;
+  // First retry lands 5ms after first send; run long enough for all of
+  // them (and their backoff doubles) to drain.
+  sim_.RunUntil(40 * kMillisecond);
+  client_->Stop();
+  EXPECT_GT(client_->stats().retransmissions, 10u);
+  EXPECT_EQ(client_->stats().timeouts, 0u);
+  EXPECT_EQ(client_->stats().rx_replies, client_->stats().tx_requests);
+}
+
+TEST_F(ClientTest, RetryBudgetExhaustionBecomesTimeout) {
+  Build(20'000, /*write_ratio=*/0, /*max_retries=*/2);
+  peer_->drop_all = true;  // nothing ever answers
+  // Backoff schedule per request: retries at t+5ms and t+15ms, giving up
+  // at t+35ms — so no request sent after 0 can have timed out by 34ms.
+  sim_.RunUntil(34 * kMillisecond);
+  EXPECT_EQ(client_->stats().timeouts, 0u);
+  EXPECT_GT(client_->stats().retransmissions, 100u);
+  sim_.RunUntil(41 * kMillisecond);
+  EXPECT_GT(client_->stats().timeouts, 10u)
+      << "requests sent in the first 5ms exhausted their budget";
+}
+
+// At-most-once: duplicate replies (e.g. an original answer racing a
+// retransmitted one) complete the request once and count as strays.
+TEST_F(ClientTest, DuplicateRepliesAreStray) {
+  Build(20'000);
+  peer_->reply_twice = true;
+  sim_.RunUntil(10 * kMillisecond);
+  EXPECT_GT(client_->stats().rx_replies, 100u);
+  EXPECT_EQ(client_->stats().stray_replies, client_->stats().rx_replies);
+  EXPECT_EQ(client_->stats().timeouts, 0u);
 }
 
 }  // namespace

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "fault/fault.h"
 #include "harness/metrics.h"
 #include "harness/sat_cache.h"
 
@@ -51,6 +54,53 @@ TEST(RunExperiments, ParallelOutputIsByteIdenticalToSerial) {
   EXPECT_EQ(a.errors, 0);
   EXPECT_EQ(b.errors, 0);
   // The whole point: byte-for-byte identical machine-readable output.
+  EXPECT_EQ(DumpJsonl(a.records), DumpJsonl(b.records));
+}
+
+// Faulted, lossy, retrying runs are the hardest case for parallel-equals-
+// serial: retransmission timing, burst-loss RNG draws, and injected fault
+// events must all be functions of the point config alone.
+ExperimentSpec TinyFaultSpec() {
+  ExperimentSpec spec = TinySimSpec();
+  spec.name = "unit_tiny_fault";
+  spec.base.client_max_retries = 2;
+  spec.base.client_request_timeout = kMillisecond;
+  spec.axes = {
+      SchemeAxis({testbed::Scheme::kOrbitCache}),
+      FaultAxis(
+          {{"switch-reset",
+            [](testbed::TestbedConfig& cfg) {
+              cfg.fault =
+                  fault::SwitchResetAt(5 * kMillisecond, kMillisecond);
+              cfg.fault.server_burst_loss.p_enter_bad = 0.002;
+            }},
+           {"server-crash", [](testbed::TestbedConfig& cfg) {
+              cfg.fault = fault::ServerCrashAt(0, 4 * kMillisecond,
+                                               8 * kMillisecond);
+              cfg.fault.server_burst_loss.p_enter_bad = 0.002;
+            }}})};
+  return spec;
+}
+
+TEST(RunExperiments, FaultedRetryingRunsStayDeterministicAcrossJobs) {
+  const std::vector<ExperimentSpec> specs = {TinyFaultSpec()};
+  RunnerOptions serial;
+  serial.scale = Scale::kQuick;
+  serial.jobs = 1;
+  serial.progress = false;
+  RunnerOptions parallel = serial;
+  parallel.jobs = 8;
+
+  const RunOutcome a = RunExperiments(specs, serial);
+  const RunOutcome b = RunExperiments(specs, parallel);
+  ASSERT_EQ(a.records.size(), 2u);
+  ASSERT_EQ(b.records.size(), 2u);
+  EXPECT_EQ(a.errors, 0);
+  EXPECT_EQ(b.errors, 0);
+  for (const auto& rec : a.records) {
+    EXPECT_EQ(rec.Metric("faults_injected"), 2.0);
+    EXPECT_GT(rec.Metric("retransmissions"), 0.0);
+  }
   EXPECT_EQ(DumpJsonl(a.records), DumpJsonl(b.records));
 }
 
@@ -114,6 +164,33 @@ TEST(RunExperiments, SaturationCacheDeduplicatesIdenticalConfigs) {
   EXPECT_EQ(out.sat_cache_hits, 1u);
   EXPECT_DOUBLE_EQ(out.records[0].Metric("sat_tx_mrps"),
                    out.records[1].Metric("sat_tx_mrps"));
+}
+
+TEST(SaturationCacheTest, FailedComputeIsEvictedAndRetried) {
+  // A compute that throws must not poison the memo: the exception reaches
+  // the first caller, but a later Get with the same config recomputes.
+  int calls = 0;
+  SaturationCache cache(
+      [&calls](const testbed::TestbedConfig&, double, int) {
+        if (++calls == 1) throw std::runtime_error("flaky");
+        testbed::SaturationResult r;
+        r.sat_tx_rps = 123456;
+        r.runs = 1;
+        return r;
+      });
+  testbed::TestbedConfig cfg;
+  EXPECT_THROW(cache.Get(cfg, 0.03, 0), std::runtime_error);
+  EXPECT_EQ(cache.failures(), 1u);
+  const testbed::SaturationResult r = cache.Get(cfg, 0.03, 0);
+  EXPECT_EQ(calls, 2);
+  EXPECT_DOUBLE_EQ(r.sat_tx_rps, 123456);
+  EXPECT_EQ(cache.failures(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  // And the recomputed entry is a normal cache hit afterwards.
+  const uint64_t hits_before = cache.hits();
+  (void)cache.Get(cfg, 0.03, 0);
+  EXPECT_EQ(cache.hits(), hits_before + 1);
+  EXPECT_EQ(calls, 2);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "sim/network.h"
 #include "sim/node.h"
 #include "sim/simulator.h"
@@ -137,6 +139,40 @@ TEST_F(LinkTest, ExtraDelayShiftsDeparture) {
   sim_.RunToCompletion();
   ASSERT_EQ(b_.arrivals.size(), 1u);
   EXPECT_EQ(b_.arrivals[0].at, 1000 + 82);
+}
+
+TEST_F(LinkTest, SameConfigLossyLinksDropDifferentPackets) {
+  // Network::Connect mixes each link's creation index into the loss seed,
+  // so two links with identical configs (including loss_seed) must not
+  // lose the same-numbered packets in lockstep.
+  LinkConfig cfg;
+  cfg.propagation = 0;
+  cfg.loss_rate = 0.5;
+  cfg.loss_seed = 1;
+  Recorder a2, b2;
+  a2.now_fn = b2.now_fn = [this] { return sim_.now(); };
+  auto l1 = net_.Connect(&a_, &b_, cfg);
+  auto l2 = net_.Connect(&a2, &b2, cfg);
+  const uint32_t kN = 400;
+  for (uint32_t i = 0; i < kN; ++i) {
+    net_.Send(&a_, 0, MakeSized(i, 0));
+    net_.Send(&a2, 0, MakeSized(i, 0));
+  }
+  sim_.RunToCompletion();
+  auto survivors = [](const Recorder& r) {
+    std::set<uint32_t> s;
+    for (const auto& ar : r.arrivals) s.insert(ar.seq);
+    return s;
+  };
+  const std::set<uint32_t> s1 = survivors(b_);
+  const std::set<uint32_t> s2 = survivors(b2);
+  // Both links actually lose packets...
+  EXPECT_EQ(l1.link->stats(0).lost + s1.size(), kN);
+  EXPECT_EQ(l2.link->stats(0).lost + s2.size(), kN);
+  EXPECT_GT(l1.link->stats(0).lost, 0u);
+  EXPECT_GT(l2.link->stats(0).lost, 0u);
+  // ...but never the same pattern.
+  EXPECT_NE(s1, s2) << "per-link seed mixing must decorrelate loss";
 }
 
 TEST_F(LinkTest, NetworkAssignsDistinctPorts) {

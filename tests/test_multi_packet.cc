@@ -108,6 +108,37 @@ TEST(MultiPacket, SinglePacketItemsUnaffectedByExtension) {
   EXPECT_EQ(rig.sw().stats().recirc_in_flight, 1);
 }
 
+TEST(MultiPacket, ValuesBeyond32FragmentsReassembleExactly) {
+  // 70 kB needs more than 32 fragments at any plausible MTU budget — past
+  // the range a single 32-bit reassembly bitmap word can track. Every
+  // fragment index must be distinct and the byte total exact.
+  constexpr uint32_t kBigValue = 70'000;
+  Rig rig(MultiPacketRig(kBigValue));
+  rig.SendRead("big-key-00000000", 1);
+  rig.Settle();
+  std::set<uint32_t> indices;
+  uint32_t bytes = 0;
+  uint32_t frag_total = 0;
+  for (const auto& r : rig.client().replies) {
+    if (r.msg.seq != 1) continue;
+    indices.insert(r.msg.frag_index);
+    bytes += r.msg.value.size();
+    frag_total = r.msg.frag_total;
+  }
+  EXPECT_GT(frag_total, 32u);
+  EXPECT_LE(frag_total, 255u);
+  EXPECT_EQ(indices.size(), frag_total) << "no fragment lost or aliased";
+  EXPECT_EQ(bytes, kBigValue);
+}
+
+TEST(MultiPacket, FragmentCountBeyondProtocolLimitIsAnError) {
+  // frag_total travels as a uint8_t; a value needing >255 fragments must
+  // fail loudly at the server instead of silently truncating the count.
+  Rig rig(MultiPacketRig(600'000));
+  rig.SendRead("big-key-00000000", 1);
+  EXPECT_THROW(rig.Settle(), CheckFailure);
+}
+
 TEST(MultiPacket, WithoutExtensionOversizedValueIsAnError) {
   RigConfig cfg;
   cfg.orbit.capacity = 8;
