@@ -120,7 +120,7 @@ ExperimentSpec Fig09Skewness() {
   spec.axes = {SchemeAxis(kAllSchemes),
                NumericAxis("zipf_theta", {0.0, 0.90, 0.95, 0.99},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.zipf_theta = v;
+                             cfg.workload.zipf_theta = v;
                            })};
   spec.table_metrics = {"rx_mrps", "balancing_efficiency"};
   spec.epilogue = [](const std::vector<MetricsRecord>& rs) {
@@ -195,7 +195,7 @@ ExperimentSpec Fig12WriteRatio() {
   spec.axes = {SchemeAxis(kAllSchemes),
                NumericAxis("write_ratio", {0.0, 0.1, 0.25, 0.5, 0.75, 1.0},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.write_ratio = v;
+                             cfg.workload.write_ratio = v;
                            })};
   spec.table_metrics = {"rx_mrps"};
   return spec;
@@ -208,11 +208,11 @@ ExperimentSpec Fig13Scalability() {
   ExperimentSpec spec;
   spec.name = "fig13_scalability";
   spec.title = "Fig. 13 — scalability (zipf-0.99, 50K RPS/server)";
-  spec.base.server_rate_rps = 50'000;
+  spec.base.topo.server_rate_rps = 50'000;
   spec.axes = {SchemeAxis(kAllSchemes),
                NumericAxis("num_servers", {8, 16, 32, 64},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.num_servers = static_cast<int>(v);
+                             cfg.topo.num_servers = static_cast<int>(v);
                            })};
   spec.table_metrics = {"rx_mrps", "balancing_efficiency"};
   return spec;
@@ -232,7 +232,7 @@ ExperimentSpec Fig14Production() {
     const wl::TwitterProfile* p = &profiles[i];
     workloads.params.push_back(
         {p->id, static_cast<double>(i),
-         [p](testbed::TestbedConfig& cfg) { cfg.twitter = p; }});
+         [p](testbed::TestbedConfig& cfg) { cfg.workload.twitter = p; }});
   }
   spec.axes = {SchemeAxis(kAllSchemes), std::move(workloads)};
   spec.table_metrics = {"rx_mrps"};
@@ -269,10 +269,10 @@ ExperimentSpec Fig16CacheSize() {
   spec.name = "fig16_cache_size";
   spec.title = "Fig. 16 — impact of cache size (OrbitCache)";
   spec.base.scheme = testbed::Scheme::kOrbitCache;
-  spec.base.orbit_capacity = 1024;
+  spec.base.cache.orbit_capacity = 1024;
   spec.axes = {NumericAxis("entries", {8, 16, 32, 64, 128, 256, 512, 1024},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.orbit_cache_size = static_cast<size_t>(v);
+                             cfg.cache.orbit_cache_size = static_cast<size_t>(v);
                            })};
   spec.table_metrics = {"rx_mrps",           "cache_mrps",
                         "server_mrps",       "read_cached.p50_us",
@@ -290,7 +290,7 @@ ExperimentSpec Fig17ItemSize() {
   spec.base.scheme = testbed::Scheme::kOrbitCache;
   spec.axes = {NumericAxis("value_size", {64, 128, 256, 512, 1024, 1416},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.value_dist =
+                             cfg.workload.value_dist =
                                  wl::ValueDist::Fixed(static_cast<uint32_t>(v));
                            })};
   spec.table_metrics = {"rx_mrps", "balancing_efficiency"};
@@ -314,12 +314,12 @@ ExperimentSpec Fig17EffectiveSize() {
   spec.max_corrections = 1;
   spec.axes = {NumericAxis("value_size", {64, 128, 256, 512, 1024, 1416},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.value_dist =
+                             cfg.workload.value_dist =
                                  wl::ValueDist::Fixed(static_cast<uint32_t>(v));
                            }),
                NumericAxis("entries", {16, 32, 64, 128, 256},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.orbit_cache_size = static_cast<size_t>(v);
+                             cfg.cache.orbit_cache_size = static_cast<size_t>(v);
                            })};
   spec.table_metrics = {"rx_mrps"};
   spec.epilogue = [](const std::vector<MetricsRecord>& rs) {
@@ -359,30 +359,30 @@ ExperimentSpec Fig18Dynamic() {
   spec.name = "fig18_dynamic";
   spec.title = "Fig. 18 — hot-in dynamic workload (OrbitCache)";
   spec.base.scheme = testbed::Scheme::kOrbitCache;
-  spec.base.num_clients = 4;
-  spec.base.num_servers = 4;
-  spec.base.server_rate_rps = 100'000;
-  spec.base.client_rate_rps = 450'000;
-  spec.base.hot_in = true;
-  spec.base.hot_in_count = 128;
-  spec.base.run_cache_updates = true;  // the experiment is about updates
-  spec.base.update_period = 500 * kMillisecond;
-  spec.base.report_period = 500 * kMillisecond;
+  spec.base.topo.num_clients = 4;
+  spec.base.topo.num_servers = 4;
+  spec.base.topo.server_rate_rps = 100'000;
+  spec.base.topo.client_rate_rps = 450'000;
+  spec.base.workload.hot_in = true;
+  spec.base.workload.hot_in_count = 128;
+  spec.base.control.run_cache_updates = true;  // the experiment is about updates
+  spec.base.control.update_period = 500 * kMillisecond;
+  spec.base.control.report_period = 500 * kMillisecond;
   spec.scale_fn = [](testbed::TestbedConfig& cfg, harness::Scale scale) {
     cfg.warmup = 0;  // the full timeline is the result
     switch (scale) {
       case harness::Scale::kFull:
-        cfg.hot_in_period = 10 * kSecond;
+        cfg.workload.hot_in_period = 10 * kSecond;
         cfg.duration = 60 * kSecond;
         cfg.timeline_bin = kSecond;
         break;
       case harness::Scale::kDefault:
-        cfg.hot_in_period = 2 * kSecond;
+        cfg.workload.hot_in_period = 2 * kSecond;
         cfg.duration = 12 * kSecond;
         cfg.timeline_bin = 200 * kMillisecond;
         break;
       case harness::Scale::kQuick:
-        cfg.hot_in_period = kSecond;
+        cfg.workload.hot_in_period = kSecond;
         cfg.duration = 6 * kSecond;
         cfg.timeline_bin = 200 * kMillisecond;
         break;
@@ -416,14 +416,14 @@ ExperimentSpec AblationCloning() {
   spec.name = "ablation_cloning";
   spec.title = "Ablation — PRE cloning vs refetch strawman";
   spec.base.scheme = testbed::Scheme::kOrbitCache;
-  spec.base.run_cache_updates = true;  // the refetch path runs via the CPU
+  spec.base.control.run_cache_updates = true;  // the refetch path runs via the CPU
   ParamAxis variant;
   variant.name = "variant";
   variant.params = {
       {"PRE-cloning", 0,
-       [](testbed::TestbedConfig& cfg) { cfg.enable_cloning = true; }},
+       [](testbed::TestbedConfig& cfg) { cfg.cache.enable_cloning = true; }},
       {"refetch-strawman", 1,
-       [](testbed::TestbedConfig& cfg) { cfg.enable_cloning = false; }}};
+       [](testbed::TestbedConfig& cfg) { cfg.cache.enable_cloning = false; }}};
   spec.axes = {std::move(variant)};
   spec.table_metrics = {"rx_mrps", "cache_mrps", "overflow_ratio"};
   return spec;
@@ -438,7 +438,7 @@ ExperimentSpec AblationQueueDepth() {
   spec.base.scheme = testbed::Scheme::kOrbitCache;
   spec.axes = {NumericAxis("queue_depth", {1, 2, 4, 8, 16},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.orbit_queue_size = static_cast<size_t>(v);
+                             cfg.cache.orbit_queue_size = static_cast<size_t>(v);
                            })};
   spec.table_metrics = {"rx_mrps", "overflow_ratio", "read_cached.p99_us"};
   return spec;
@@ -455,13 +455,13 @@ ExperimentSpec AblationWritePolicy() {
   policy.name = "policy";
   policy.params = {
       {"write-through", 0,
-       [](testbed::TestbedConfig& cfg) { cfg.write_back = false; }},
+       [](testbed::TestbedConfig& cfg) { cfg.cache.write_back = false; }},
       {"write-back", 1,
-       [](testbed::TestbedConfig& cfg) { cfg.write_back = true; }}};
+       [](testbed::TestbedConfig& cfg) { cfg.cache.write_back = true; }}};
   spec.axes = {std::move(policy),
                NumericAxis("write_ratio", {0.10, 0.25, 0.50, 1.00},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.write_ratio = v;
+                             cfg.workload.write_ratio = v;
                            })};
   spec.table_metrics = {"rx_mrps"};
   return spec;
@@ -476,7 +476,7 @@ ExperimentSpec AblationRecircBandwidth() {
   spec.base.scheme = testbed::Scheme::kOrbitCache;
   spec.axes = {NumericAxis("recirc_gbps", {10, 25, 50, 100},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.asic.recirc_rate_gbps = v;
+                             cfg.topo.asic.recirc_rate_gbps = v;
                            })};
   spec.table_metrics = {"rx_mrps", "overflow_ratio", "read_cached.p99_us"};
   return spec;
@@ -493,14 +493,14 @@ ExperimentSpec RationaleRequestRecirc() {
   spec.title =
       "§2.2 rationale — request recirculation vs circulating cache packets";
   spec.apply_paper_scale = false;
-  spec.base.num_clients = 4;
-  spec.base.num_servers = 8;
-  spec.base.server_rate_rps = 100'000;
-  spec.base.client_rate_rps = 12'000'000;  // drive the switch, not servers
-  spec.base.num_keys = 32;                 // everything cacheable and cached
-  spec.base.zipf_theta = 0.0;              // spread load across all hot keys
-  spec.base.orbit_cache_size = 32;
-  spec.base.netcache_size = 32;
+  spec.base.topo.num_clients = 4;
+  spec.base.topo.num_servers = 8;
+  spec.base.topo.server_rate_rps = 100'000;
+  spec.base.topo.client_rate_rps = 12'000'000;  // drive the switch, not servers
+  spec.base.workload.num_keys = 32;                 // everything cacheable and cached
+  spec.base.workload.zipf_theta = 0.0;              // spread load across all hot keys
+  spec.base.cache.orbit_cache_size = 32;
+  spec.base.cache.netcache_size = 32;
   spec.base.warmup = 30 * kMillisecond;
   spec.base.duration = 100 * kMillisecond;
   spec.scale_fn = [](testbed::TestbedConfig& cfg, harness::Scale scale) {
@@ -515,7 +515,7 @@ ExperimentSpec RationaleRequestRecirc() {
       {"request-recirc", 0,
        [](testbed::TestbedConfig& cfg) {
          cfg.scheme = testbed::Scheme::kNetCache;
-         cfg.netcache_recirc_read = true;
+         cfg.cache.netcache_recirc_read = true;
        }},
       {"OrbitCache", 1,
        [](testbed::TestbedConfig& cfg) {
@@ -523,7 +523,7 @@ ExperimentSpec RationaleRequestRecirc() {
        }}};
   spec.axes = {NumericAxis("value_size", {64, 256, 1024},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.value_dist =
+                             cfg.workload.value_dist =
                                  wl::ValueDist::Fixed(static_cast<uint32_t>(v));
                            }),
                std::move(variant)};
@@ -545,10 +545,10 @@ ExperimentSpec ExtraKeySize() {
   ExperimentSpec spec;
   spec.name = "extra_key_size";
   spec.title = "Extra — impact of key size (64B values)";
-  spec.base.value_dist = wl::ValueDist::Fixed(64);
+  spec.base.workload.value_dist = wl::ValueDist::Fixed(64);
   spec.axes = {NumericAxis("key_size", {16, 32, 64, 128},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.key_size = static_cast<uint32_t>(v);
+                             cfg.workload.key_size = static_cast<uint32_t>(v);
                            }),
                SchemeAxis({testbed::Scheme::kOrbitCache,
                            testbed::Scheme::kNetCache})};
@@ -573,8 +573,8 @@ ExperimentSpec YcsbSuite() {
     const wl::YcsbProfile* p = &profiles[i];
     mixes.params.push_back({p->id, static_cast<double>(i),
                             [p](testbed::TestbedConfig& cfg) {
-                              cfg.zipf_theta = p->zipf_theta;
-                              cfg.write_ratio = p->write_ratio;
+                              cfg.workload.zipf_theta = p->zipf_theta;
+                              cfg.workload.write_ratio = p->write_ratio;
                             }});
   }
   spec.axes = {SchemeAxis(kAllSchemes), std::move(mixes)};
@@ -591,16 +591,16 @@ ExperimentSpec FigFailures() {
   spec.name = "fig_failures";
   spec.title = "Failures — collapse and recovery under injected faults (§3.9)";
   spec.base.scheme = testbed::Scheme::kOrbitCache;
-  spec.base.num_clients = 4;
-  spec.base.num_servers = 4;
-  spec.base.server_rate_rps = 100'000;
+  spec.base.topo.num_clients = 4;
+  spec.base.topo.num_servers = 4;
+  spec.base.topo.server_rate_rps = 100'000;
   // Above aggregate server capacity: the workload is only sustainable
   // while the cache absorbs the hot keys, so losing the cache (switch
   // reset) or a server (crash) collapses delivered throughput until the
   // controller rebuilds / the server returns.
-  spec.base.client_rate_rps = 450'000;
-  spec.base.client_max_retries = 3;
-  spec.base.client_request_timeout = 5 * kMillisecond;
+  spec.base.topo.client_rate_rps = 450'000;
+  spec.base.client.max_retries = 3;
+  spec.base.client.request_timeout = 5 * kMillisecond;
   spec.scale_fn = [](testbed::TestbedConfig& cfg, harness::Scale scale) {
     cfg.warmup = 0;  // the full timeline is the result
     switch (scale) {

@@ -41,7 +41,7 @@ void BM_LinkDelivery(benchmark::State& state) {
   SinkNode a, b;
   net.Connect(&a, &b, sim::LinkConfig{});
   for (auto _ : state) {
-    auto pkt = std::make_unique<sim::Packet>();
+    auto pkt = sim::NewPacket(0, 0, 0, 0);
     pkt->msg.key = "0123456789abcdef";
     net.Send(&a, 0, std::move(pkt));
     sim.RunToCompletion();
@@ -63,7 +63,7 @@ void BM_SwitchForward(benchmark::State& state) {
   (void)at_a;
   sw.AddRoute(2, at_b.port_b);
   for (auto _ : state) {
-    auto pkt = std::make_unique<sim::Packet>();
+    auto pkt = sim::NewPacket(0, 0, 0, 0);
     pkt->src = 1;
     pkt->dst = 2;
     net.Send(&a, 0, std::move(pkt));

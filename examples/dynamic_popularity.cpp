@@ -11,28 +11,28 @@ int main() {
 
   testbed::TestbedConfig cfg;
   cfg.scheme = testbed::Scheme::kOrbitCache;
-  cfg.num_clients = 2;
-  cfg.num_servers = 4;
+  cfg.topo.num_clients = 2;
+  cfg.topo.num_servers = 4;
   // Finite per-server capacity so the post-swap misses can actually
   // overload the hot partition and the throughput dips become visible.
-  cfg.server_rate_rps = 50'000;
-  cfg.client_rate_rps = 225'000;
-  cfg.num_keys = 200'000;
-  cfg.orbit_cache_size = 64;
-  cfg.hot_in = true;
-  cfg.hot_in_count = 64;
-  cfg.hot_in_period = 2 * kSecond;
-  cfg.run_cache_updates = true;
-  cfg.update_period = 400 * kMillisecond;
-  cfg.report_period = 400 * kMillisecond;
+  cfg.topo.server_rate_rps = 50'000;
+  cfg.topo.client_rate_rps = 225'000;
+  cfg.workload.num_keys = 200'000;
+  cfg.cache.orbit_cache_size = 64;
+  cfg.workload.hot_in = true;
+  cfg.workload.hot_in_count = 64;
+  cfg.workload.hot_in_period = 2 * kSecond;
+  cfg.control.run_cache_updates = true;
+  cfg.control.update_period = 400 * kMillisecond;
+  cfg.control.report_period = 400 * kMillisecond;
   cfg.warmup = 0;
   cfg.duration = 8 * kSecond;
   cfg.timeline_bin = 250 * kMillisecond;
 
   std::printf("hot-in pattern: every %.0fs the %llu hottest and coldest keys "
               "swap popularity\n\n",
-              static_cast<double>(cfg.hot_in_period) / kSecond,
-              static_cast<unsigned long long>(cfg.hot_in_count));
+              static_cast<double>(cfg.workload.hot_in_period) / kSecond,
+              static_cast<unsigned long long>(cfg.workload.hot_in_count));
 
   const testbed::TestbedResult res = testbed::RunTestbed(cfg);
 

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   using namespace orbit;
 
   testbed::TestbedConfig cfg;
-  cfg.num_keys = 1'000'000;
+  cfg.workload.num_keys = 1'000'000;
   cfg.duration = 200 * kMillisecond;
   bool saturate = false;
   uint32_t fixed_value = 0;
@@ -58,31 +58,31 @@ int main(int argc, char** argv) {
       else if (v == "nocache") cfg.scheme = testbed::Scheme::kNoCache;
       else { std::fprintf(stderr, "unknown scheme '%s'\n", v.c_str()); return 1; }
     } else if (FlagValue(argv[i], "--skew", &v)) {
-      cfg.zipf_theta = std::atof(v.c_str());
+      cfg.workload.zipf_theta = std::atof(v.c_str());
     } else if (FlagValue(argv[i], "--keys", &v)) {
-      cfg.num_keys = std::strtoull(v.c_str(), nullptr, 10);
+      cfg.workload.num_keys = std::strtoull(v.c_str(), nullptr, 10);
     } else if (FlagValue(argv[i], "--clients", &v)) {
-      cfg.num_clients = std::atoi(v.c_str());
+      cfg.topo.num_clients = std::atoi(v.c_str());
     } else if (FlagValue(argv[i], "--servers", &v)) {
-      cfg.num_servers = std::atoi(v.c_str());
+      cfg.topo.num_servers = std::atoi(v.c_str());
     } else if (FlagValue(argv[i], "--server-rate", &v)) {
-      cfg.server_rate_rps = std::atof(v.c_str());
+      cfg.topo.server_rate_rps = std::atof(v.c_str());
     } else if (FlagValue(argv[i], "--rate", &v)) {
-      cfg.client_rate_rps = std::atof(v.c_str());
+      cfg.topo.client_rate_rps = std::atof(v.c_str());
     } else if (std::strcmp(argv[i], "--saturate") == 0) {
       saturate = true;
     } else if (FlagValue(argv[i], "--write-ratio", &v)) {
-      cfg.write_ratio = std::atof(v.c_str());
+      cfg.workload.write_ratio = std::atof(v.c_str());
     } else if (FlagValue(argv[i], "--cache-size", &v)) {
-      cfg.orbit_cache_size = std::strtoull(v.c_str(), nullptr, 10);
+      cfg.cache.orbit_cache_size = std::strtoull(v.c_str(), nullptr, 10);
     } else if (FlagValue(argv[i], "--netcache-size", &v)) {
-      cfg.netcache_size = std::strtoull(v.c_str(), nullptr, 10);
+      cfg.cache.netcache_size = std::strtoull(v.c_str(), nullptr, 10);
     } else if (FlagValue(argv[i], "--value", &v)) {
       fixed_value = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (std::strcmp(argv[i], "--write-back") == 0) {
-      cfg.write_back = true;
+      cfg.cache.write_back = true;
     } else if (std::strcmp(argv[i], "--multi-packet") == 0) {
-      cfg.multi_packet = true;
+      cfg.cache.multi_packet = true;
     } else if (FlagValue(argv[i], "--duration-ms", &v)) {
       cfg.duration = std::atoll(v.c_str()) * kMillisecond;
     } else if (FlagValue(argv[i], "--seed", &v)) {
@@ -93,13 +93,13 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (fixed_value > 0) cfg.value_dist = wl::ValueDist::Fixed(fixed_value);
+  if (fixed_value > 0) cfg.workload.value_dist = wl::ValueDist::Fixed(fixed_value);
 
   std::printf("%s | zipf-%.2f over %llu keys | %d servers @ %.0fK RPS | "
               "write ratio %.2f\n",
-              testbed::SchemeName(cfg.scheme), cfg.zipf_theta,
-              static_cast<unsigned long long>(cfg.num_keys), cfg.num_servers,
-              cfg.server_rate_rps / 1e3, cfg.write_ratio);
+              testbed::SchemeName(cfg.scheme), cfg.workload.zipf_theta,
+              static_cast<unsigned long long>(cfg.workload.num_keys), cfg.topo.num_servers,
+              cfg.topo.server_rate_rps / 1e3, cfg.workload.write_ratio);
 
   testbed::TestbedResult res;
   if (saturate) {

@@ -12,19 +12,19 @@ int main() {
 
   testbed::TestbedConfig cfg;
   cfg.scheme = testbed::Scheme::kOrbitCache;
-  cfg.num_clients = 2;
-  cfg.num_servers = 8;
-  cfg.server_rate_rps = 50'000;   // emulated per-server Rx limit
-  cfg.client_rate_rps = 1'000'000;  // aggregate open-loop Tx
-  cfg.num_keys = 1'000'000;
-  cfg.zipf_theta = 0.99;
-  cfg.orbit_cache_size = 64;
+  cfg.topo.num_clients = 2;
+  cfg.topo.num_servers = 8;
+  cfg.topo.server_rate_rps = 50'000;   // emulated per-server Rx limit
+  cfg.topo.client_rate_rps = 1'000'000;  // aggregate open-loop Tx
+  cfg.workload.num_keys = 1'000'000;
+  cfg.workload.zipf_theta = 0.99;
+  cfg.cache.orbit_cache_size = 64;
   cfg.warmup = 50 * kMillisecond;
   cfg.duration = 200 * kMillisecond;
 
   std::printf("OrbitCache quickstart: %d clients, %d servers, zipf-%.2f over %llu keys\n\n",
-              cfg.num_clients, cfg.num_servers, cfg.zipf_theta,
-              static_cast<unsigned long long>(cfg.num_keys));
+              cfg.topo.num_clients, cfg.topo.num_servers, cfg.workload.zipf_theta,
+              static_cast<unsigned long long>(cfg.workload.num_keys));
 
   testbed::TestbedResult res = testbed::RunTestbed(cfg);
 

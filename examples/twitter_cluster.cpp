@@ -30,12 +30,12 @@ int main(int argc, char** argv) {
                       testbed::Scheme::kOrbitCache}) {
     testbed::TestbedConfig cfg;
     cfg.scheme = scheme;
-    cfg.twitter = profile;
-    cfg.num_clients = 4;
-    cfg.num_servers = 16;
-    cfg.num_keys = 1'000'000;
-    cfg.orbit_cache_size = 128;
-    cfg.netcache_size = 10'000;
+    cfg.workload.twitter = profile;
+    cfg.topo.num_clients = 4;
+    cfg.topo.num_servers = 16;
+    cfg.workload.num_keys = 1'000'000;
+    cfg.cache.orbit_cache_size = 128;
+    cfg.cache.netcache_size = 10'000;
     cfg.warmup = 50 * kMillisecond;
     cfg.duration = 150 * kMillisecond;
 

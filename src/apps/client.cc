@@ -27,8 +27,8 @@ void ClientNode::Start() {
   ORBIT_CHECK(!running_);
   running_ = true;
   const double mean_gap = static_cast<double>(kSecond) / config_.rate_rps;
-  sim_->After(static_cast<SimTime>(rng_.Exponential(mean_gap)),
-              [this] { SendNext(); });
+  sim_->AfterTimer(static_cast<SimTime>(rng_.Exponential(mean_gap)), this,
+                   kTickArg);
 }
 
 void ClientNode::Stop() {
@@ -59,9 +59,18 @@ void ClientNode::SendNext() {
   const WorkloadSource::Request req = workload_->Next(rng_);
   SendRequest(req, /*correction=*/false, sim_->now());
   const double mean_gap = static_cast<double>(kSecond) / config_.rate_rps;
-  sim_->After(std::max<SimTime>(1, static_cast<SimTime>(
-                                       rng_.Exponential(mean_gap))),
-              [this] { SendNext(); });
+  sim_->AfterTimer(std::max<SimTime>(1, static_cast<SimTime>(
+                                            rng_.Exponential(mean_gap))),
+                   this, kTickArg);
+}
+
+void ClientNode::OnTimer(uint64_t arg) {
+  if (arg == kTickArg) {
+    SendNext();
+  } else {
+    OnDeadline(static_cast<uint32_t>(arg >> 32),
+               static_cast<int>(arg & 0xffffffffu));
+  }
 }
 
 void ClientNode::SendRequest(const WorkloadSource::Request& req,
@@ -98,7 +107,12 @@ void ClientNode::SendRequest(const WorkloadSource::Request& req,
 }
 
 void ClientNode::Transmit(uint32_t seq, const Pending& pending) {
-  proto::Message msg;
+  // Drawn from the simulator's pool: the recycled packet's key string
+  // keeps its capacity, so the copy-assign below is alloc-free in steady
+  // state (16-byte workload keys overflow libstdc++'s 15-byte SSO).
+  auto pkt = sim::NewPacket(config_.addr, pending.server, config_.src_port,
+                            config_.orbit_port);
+  proto::Message& msg = pkt->msg;
   msg.op = pending.is_correction
                ? proto::Op::kCorrectionReq
                : (pending.is_write ? proto::Op::kWriteReq
@@ -113,8 +127,6 @@ void ClientNode::Transmit(uint32_t seq, const Pending& pending) {
     msg.value = kv::Value::Synthetic(pending.value_size, 0);
   }
 
-  auto pkt = sim::MakePacket(config_.addr, pending.server, config_.src_port,
-                             config_.orbit_port, std::move(msg));
   pkt->sent_at = pending.sent_at;  // first send — retransmits inherit it
   pkt->trace_id = pending.trace_id;
   net_->Send(this, port_, std::move(pkt));
@@ -127,8 +139,7 @@ SimTime ClientNode::TimeoutFor(int attempt) const {
 }
 
 void ClientNode::ArmDeadline(uint32_t seq, int attempt) {
-  sim_->After(TimeoutFor(attempt),
-              [this, seq, attempt] { OnDeadline(seq, attempt); });
+  sim_->AfterTimer(TimeoutFor(attempt), this, DeadlineArg(seq, attempt));
 }
 
 void ClientNode::OnDeadline(uint32_t seq, int attempt) {

@@ -70,7 +70,7 @@ struct ClientConfig {
   bool check_staleness = true;
 };
 
-class ClientNode : public sim::Node {
+class ClientNode : public sim::Node, public sim::TimerHandler {
  public:
   ClientNode(sim::Simulator* sim, sim::Network* net, int port,
              const ClientConfig& config,
@@ -84,6 +84,8 @@ class ClientNode : public sim::Node {
 
   void OnPacket(sim::PacketPtr pkt, int port) override;
   std::string name() const override { return "client"; }
+  // Timer demux: the Tx-tick sentinel or a packed (seq, attempt) deadline.
+  void OnTimer(uint64_t arg) override;
 
   // Opens the measurement window (called by the testbed after warmup).
   void OpenWindow(SimTime at);
@@ -136,6 +138,14 @@ class ClientNode : public sim::Node {
     uint32_t frags_received = 0;
     uint64_t trace_id = 0;     // non-zero when this request is sampled
   };
+
+  // Timer argument encoding: the Tx tick uses a sentinel no deadline can
+  // produce (attempt is bounded by max_retries << 2^32), deadlines pack
+  // (seq, attempt) into one word.
+  static constexpr uint64_t kTickArg = ~uint64_t{0};
+  static constexpr uint64_t DeadlineArg(uint32_t seq, int attempt) {
+    return (uint64_t{seq} << 32) | static_cast<uint32_t>(attempt);
+  }
 
   void SendNext();
   // `inherited_trace_id` keeps a correction retry on its original trace.

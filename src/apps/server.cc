@@ -24,7 +24,16 @@ ServerNode::ServerNode(sim::Simulator* sim, sim::Network* net, int port,
 
 void ServerNode::Start() {
   if (config_.controller_addr == kInvalidAddr) return;
-  sim_->After(config_.report_period, [this] { SendReport(); });
+  sim_->AfterTimer(config_.report_period, this, /*arg=*/0);
+}
+
+void ServerNode::OnTimer(uint64_t arg) {
+  if (arg == 0) {
+    SendReport();
+    return;
+  }
+  --queue_depth_;
+  Process(sim::PacketPtr(reinterpret_cast<sim::Packet*>(arg)));
 }
 
 void ServerNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
@@ -65,11 +74,10 @@ void ServerNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
                     start - sim_->now());
     tracer_->Span(track_, pkt->trace_id, "srv_process", start, service);
   }
-  sim::Packet* raw = pkt.release();
-  sim_->At(busy_until_, [this, raw] {
-    --queue_depth_;
-    Process(sim::PacketPtr(raw));
-  });
+  // The request rides the completion timer as its argument (a Packet* is
+  // never 0, so it cannot collide with the report-tick sentinel).
+  sim_->AtTimer(busy_until_, this,
+                reinterpret_cast<uint64_t>(pkt.release()));
 }
 
 kv::Value ServerNode::GetOrSynthesize(const Key& key) {
@@ -88,14 +96,15 @@ void ServerNode::Process(sim::PacketPtr pkt) {
     case Op::kReadReq:
     case Op::kCorrectionReq: {
       req.op == Op::kReadReq ? ++stats_.reads : ++stats_.corrections;
-      proto::Message rep;
+      proto::Message& rep = scratch_;
       rep.op = Op::kReadRep;
       rep.seq = req.seq;
       rep.hkey = req.hkey;
+      rep.flag = 0;
       rep.epoch = req.epoch;
       rep.key = req.key;
       rep.value = GetOrSynthesize(req.key);
-      Reply(*pkt, std::move(rep));
+      Reply(*pkt);
       return;
     }
     case Op::kWriteReq: {
@@ -107,7 +116,7 @@ void ServerNode::Process(sim::PacketPtr pkt) {
       }
       ++stats_.writes;
       const uint64_t version = store_.Put(req.key, req.value.size());
-      proto::Message rep;
+      proto::Message& rep = scratch_;
       rep.op = Op::kWriteRep;
       rep.seq = req.seq;
       rep.hkey = req.hkey;
@@ -120,19 +129,20 @@ void ServerNode::Process(sim::PacketPtr pkt) {
       rep.value = (req.flag & proto::kFlagCachedWrite) != 0
                       ? kv::Value::Synthetic(req.value.size(), version)
                       : kv::Value::Synthetic(0, version);
-      Reply(*pkt, std::move(rep));
+      Reply(*pkt);
       return;
     }
     case Op::kFetchReq: {
       ++stats_.fetches;
-      proto::Message rep;
+      proto::Message& rep = scratch_;
       rep.op = Op::kFetchRep;
       rep.seq = req.seq;
       rep.hkey = req.hkey;
+      rep.flag = 0;
       rep.epoch = req.epoch;
       rep.key = req.key;
       rep.value = GetOrSynthesize(req.key);
-      Reply(*pkt, std::move(rep));
+      Reply(*pkt);
       return;
     }
     default:
@@ -140,7 +150,8 @@ void ServerNode::Process(sim::PacketPtr pkt) {
   }
 }
 
-void ServerNode::Reply(const sim::Packet& req, proto::Message msg) {
+void ServerNode::Reply(const sim::Packet& req) {
+  proto::Message& msg = scratch_;
   msg.srv_id = config_.srv_id;
   msg.cached = 0;
   msg.latency = req.msg.latency;
@@ -166,16 +177,16 @@ void ServerNode::Reply(const sim::Packet& req, proto::Message msg) {
   }
 
   for (uint8_t i = 0; i < frag_total; ++i) {
-    proto::Message frag = msg;
-    frag.frag_index = i;
-    frag.frag_total = frag_total;
+    auto rep = sim::NewPacket(config_.addr, req.src, config_.orbit_port,
+                              req.sport);
+    rep->msg = msg;  // key copy-assign reuses the recycled packet's capacity
+    rep->msg.frag_index = i;
+    rep->msg.frag_total = frag_total;
     if (frag_total > 1) {
       const uint32_t off = i * budget;
-      frag.value = kv::Value::Synthetic(std::min(budget, size - off),
-                                        msg.value.version());
+      rep->msg.value = kv::Value::Synthetic(std::min(budget, size - off),
+                                            msg.value.version());
     }
-    auto rep = sim::MakePacket(config_.addr, req.src, config_.orbit_port,
-                               req.sport, std::move(frag));
     rep->sent_at = sim_->now();
     rep->trace_id = req.trace_id;  // the reply continues the request's trace
     ++stats_.replies;
@@ -185,20 +196,18 @@ void ServerNode::Reply(const sim::Packet& req, proto::Message msg) {
 
 void ServerNode::SendReport() {
   for (const auto& entry : top_k_.Snapshot()) {
-    proto::Message msg;
-    msg.op = proto::Op::kTopKReport;
-    msg.key = entry.key;
+    auto pkt = sim::NewPacket(config_.addr, config_.controller_addr,
+                              config_.ctrl_port, config_.ctrl_port);
+    pkt->msg.op = proto::Op::kTopKReport;
+    pkt->msg.key = entry.key;
     // The per-key count rides in the value's version field (metadata only,
     // no payload bytes on the wire beyond the key).
-    msg.value = kv::Value::Synthetic(0, entry.count);
-    auto pkt = sim::MakePacket(config_.addr, config_.controller_addr,
-                               config_.ctrl_port, config_.ctrl_port,
-                               std::move(msg));
+    pkt->msg.value = kv::Value::Synthetic(0, entry.count);
     pkt->tcp = true;  // reports use TCP in the paper (§3.9)
     net_->Send(this, port_, std::move(pkt));
   }
   top_k_.Reset();
-  sim_->After(config_.report_period, [this] { SendReport(); });
+  sim_->AfterTimer(config_.report_period, this, /*arg=*/0);
 }
 
 void ServerNode::SetTracer(telemetry::Tracer* tracer) {

@@ -15,6 +15,7 @@
 
 #include "common/types.h"
 #include "kv/kv_store.h"
+#include "proto/message.h"
 #include "sim/network.h"
 #include "sim/node.h"
 #include "sim/simulator.h"
@@ -49,7 +50,7 @@ struct ServerConfig {
   size_t report_k = 16;
 };
 
-class ServerNode : public sim::Node {
+class ServerNode : public sim::Node, public sim::TimerHandler {
  public:
   using ValueSizeFn = std::function<uint32_t(const Key&)>;
 
@@ -63,6 +64,9 @@ class ServerNode : public sim::Node {
   std::string name() const override {
     return "server-" + std::to_string(config_.srv_id);
   }
+  // Timer demux: 0 = top-k report tick, otherwise the argument is the
+  // released Packet* of a service completion.
+  void OnTimer(uint64_t arg) override;
 
   struct Stats {
     uint64_t requests = 0;   // data requests accepted for processing
@@ -86,7 +90,9 @@ class ServerNode : public sim::Node {
 
  private:
   void Process(sim::PacketPtr pkt);
-  void Reply(const sim::Packet& req, proto::Message msg);
+  // Sends scratch_ (the reply message Process() just filled) back to the
+  // requester, fragmenting oversized values (§3.10).
+  void Reply(const sim::Packet& req);
   void SendReport();
   kv::Value GetOrSynthesize(const Key& key);
 
@@ -101,6 +107,9 @@ class ServerNode : public sim::Node {
 
   SimTime busy_until_ = 0;
   size_t queue_depth_ = 0;
+  // Reply-message scratch reused across requests so the key string keeps
+  // its capacity (every case in Process() assigns every field it reads).
+  proto::Message scratch_;
 
   telemetry::Tracer* tracer_ = nullptr;
   int track_ = -1;

@@ -1,116 +1,95 @@
 #include "harness/cli.h"
 
-#include <charconv>
+#include <cstdint>
 #include <cstdio>
-#include <cstring>
 
+#include "harness/flags.h"
 #include "harness/telemetry_io.h"
 
 namespace orbit::harness {
 
 namespace {
 
-bool ParseUint64(const char* s, uint64_t* out) {
-  const char* end = s + std::strlen(s);
-  const auto res = std::from_chars(s, end, *out);
-  return res.ec == std::errc() && res.ptr == end;
-}
-
-bool ParseInt(const char* s, int* out) {
-  const char* end = s + std::strlen(s);
-  const auto res = std::from_chars(s, end, *out);
-  return res.ec == std::errc() && res.ptr == end;
-}
-
-bool ParseDouble(const char* s, double* out) {
-  const char* end = s + std::strlen(s);
-  const auto res = std::from_chars(s, end, *out);
-  return res.ec == std::errc() && res.ptr == end;
+// One flag table shared by parsing and --help so the two cannot drift.
+Flags MakeFlags() {
+  Flags flags;
+  flags.AddBool("quick", "CI smoke scale (100K keys, 20/60 ms windows)");
+  flags.AddBool("full", "paper scale (10M keys, 100/500 ms windows)");
+  flags.AddUint64("seed", 42, "N",
+                  "base seed (default 42); repetitions derive from it");
+  flags.AddInt("jobs", 1, "N",
+               "run up to N sweep points in parallel (default 1);\n"
+               "output is byte-identical at any job count");
+  flags.AddDouble("timeout", 0, "SEC",
+                  "per-point wall-clock budget; an expired point is\n"
+                  "recorded as an error, the suite continues");
+  flags.AddString("out", "", "PATH",
+                  "write one JSON metrics record per point to PATH");
+  flags.AddString("trace-out", "", "PATH",
+                  "capture request-lifecycle spans and write one merged\n"
+                  "Chrome trace (open in Perfetto / chrome://tracing)");
+  flags.AddUint64("trace-sample", 64, "N",
+                  "trace every Nth request per client (default 64)");
+  flags.AddString("counters-out", "", "PATH",
+                  "write switch/app counter snapshots as JSONL series");
+  flags.AddDouble("snapshot-interval", 0, "MS",
+                  "sim-time period between counter snapshots (default\n"
+                  "0 = one final snapshot per point)");
+  flags.AddBool("no-progress", "silence the per-point progress lines");
+  flags.AddBool("list", "list experiment names and exit");
+  flags.AddBool("help", "this message").Alias("-h");
+  return flags;
 }
 
 }  // namespace
 
 CliOptions ParseCli(int argc, char** argv) {
   CliOptions opts;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    auto next_value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        opts.error = std::string(flag) + " requires a value";
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(arg, "--full") == 0) {
-      opts.runner.scale = Scale::kFull;
-    } else if (std::strcmp(arg, "--quick") == 0) {
-      opts.runner.scale = Scale::kQuick;
-    } else if (std::strcmp(arg, "--seed") == 0) {
-      const char* v = next_value("--seed");
-      if (v == nullptr) break;
-      if (!ParseUint64(v, &opts.runner.base_seed)) {
-        opts.error = std::string("bad --seed value: ") + v;
-        break;
-      }
-    } else if (std::strcmp(arg, "--jobs") == 0) {
-      const char* v = next_value("--jobs");
-      if (v == nullptr) break;
-      if (!ParseInt(v, &opts.runner.jobs) || opts.runner.jobs < 1) {
-        opts.error = std::string("bad --jobs value: ") + v;
-        break;
-      }
-    } else if (std::strcmp(arg, "--timeout") == 0) {
-      const char* v = next_value("--timeout");
-      if (v == nullptr) break;
-      if (!ParseDouble(v, &opts.runner.point_timeout_sec) ||
-          opts.runner.point_timeout_sec < 0) {
-        opts.error = std::string("bad --timeout value: ") + v;
-        break;
-      }
-    } else if (std::strcmp(arg, "--out") == 0) {
-      const char* v = next_value("--out");
-      if (v == nullptr) break;
-      opts.out_path = v;
-    } else if (std::strcmp(arg, "--trace-out") == 0) {
-      const char* v = next_value("--trace-out");
-      if (v == nullptr) break;
-      opts.trace_out_path = v;
-    } else if (std::strcmp(arg, "--trace-sample") == 0) {
-      const char* v = next_value("--trace-sample");
-      if (v == nullptr) break;
-      uint64_t n = 0;
-      if (!ParseUint64(v, &n) || n > UINT32_MAX) {
-        opts.error = std::string("bad --trace-sample value: ") + v;
-        break;
-      }
-      opts.runner.trace_sample = static_cast<uint32_t>(n);
-    } else if (std::strcmp(arg, "--counters-out") == 0) {
-      const char* v = next_value("--counters-out");
-      if (v == nullptr) break;
-      opts.counters_out_path = v;
-    } else if (std::strcmp(arg, "--snapshot-interval") == 0) {
-      const char* v = next_value("--snapshot-interval");
-      if (v == nullptr) break;
-      double ms = 0;
-      if (!ParseDouble(v, &ms) || ms < 0) {
-        opts.error = std::string("bad --snapshot-interval value: ") + v;
-        break;
-      }
-      opts.runner.snapshot_interval =
-          static_cast<SimTime>(ms * kMillisecond);
-    } else if (std::strcmp(arg, "--no-progress") == 0) {
-      opts.runner.progress = false;
-    } else if (std::strcmp(arg, "--list") == 0) {
-      opts.list = true;
-    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      opts.help = true;
-    } else if (arg[0] == '-') {
-      opts.error = std::string("unknown flag: ") + arg;
-      break;
-    } else {
-      opts.filters.emplace_back(arg);
-    }
+  Flags flags = MakeFlags();
+  if (!flags.Parse(argc, argv)) {
+    opts.error = flags.error();
+    return opts;
   }
+
+  // --quick / --full: the later mention wins, matching the historical
+  // last-assignment behavior.
+  if (flags.LastIndex("full") > flags.LastIndex("quick"))
+    opts.runner.scale = Scale::kFull;
+  else if (flags.Seen("quick"))
+    opts.runner.scale = Scale::kQuick;
+
+  opts.runner.base_seed = flags.GetUint64("seed");
+  opts.runner.jobs = flags.GetInt("jobs");
+  if (opts.runner.jobs < 1) {
+    opts.error = "bad --jobs value: " + flags.Raw("jobs");
+    return opts;
+  }
+  opts.runner.point_timeout_sec = flags.GetDouble("timeout");
+  if (opts.runner.point_timeout_sec < 0) {
+    opts.error = "bad --timeout value: " + flags.Raw("timeout");
+    return opts;
+  }
+  const uint64_t trace_sample = flags.GetUint64("trace-sample");
+  if (trace_sample > UINT32_MAX) {
+    opts.error = "bad --trace-sample value: " + flags.Raw("trace-sample");
+    return opts;
+  }
+  opts.runner.trace_sample = static_cast<uint32_t>(trace_sample);
+  const double snapshot_ms = flags.GetDouble("snapshot-interval");
+  if (snapshot_ms < 0) {
+    opts.error = "bad --snapshot-interval value: " +
+                 flags.Raw("snapshot-interval");
+    return opts;
+  }
+  opts.runner.snapshot_interval =
+      static_cast<SimTime>(snapshot_ms * kMillisecond);
+  opts.runner.progress = !flags.GetBool("no-progress");
+  opts.out_path = flags.GetString("out");
+  opts.trace_out_path = flags.GetString("trace-out");
+  opts.counters_out_path = flags.GetString("counters-out");
+  opts.list = flags.GetBool("list");
+  opts.help = flags.GetBool("help");
+  opts.filters = flags.positionals();
   return opts;
 }
 
@@ -121,29 +100,11 @@ void PrintHelp(const char* prog, const std::vector<ExperimentSpec>& specs) {
       "       [--trace-out trace.json] [--trace-sample N]\n"
       "       [--counters-out counters.jsonl] [--snapshot-interval MS]\n"
       "\n"
-      "  NAME...        run only experiments whose name contains NAME\n"
-      "  --quick        CI smoke scale (100K keys, 20/60 ms windows)\n"
-      "  --full         paper scale (10M keys, 100/500 ms windows)\n"
-      "  --seed N       base seed (default 42); repetitions derive from it\n"
-      "  --jobs N       run up to N sweep points in parallel (default 1);\n"
-      "                 output is byte-identical at any job count\n"
-      "  --timeout SEC  per-point wall-clock budget; an expired point is\n"
-      "                 recorded as an error, the suite continues\n"
-      "  --out PATH     write one JSON metrics record per point to PATH\n"
-      "  --trace-out PATH\n"
-      "                 capture request-lifecycle spans and write one merged\n"
-      "                 Chrome trace (open in Perfetto / chrome://tracing)\n"
-      "  --trace-sample N\n"
-      "                 trace every Nth request per client (default 64)\n"
-      "  --counters-out PATH\n"
-      "                 write switch/app counter snapshots as JSONL series\n"
-      "  --snapshot-interval MS\n"
-      "                 sim-time period between counter snapshots (default\n"
-      "                 0 = one final snapshot per point)\n"
-      "  --list         list experiment names and exit\n"
+      "  NAME...            run only experiments whose name contains NAME\n"
+      "%s"
       "\n"
       "experiments and swept parameters:\n",
-      prog);
+      prog, MakeFlags().Usage().c_str());
   for (const auto& spec : specs) {
     std::printf("  %-24s %s\n", spec.name.c_str(), spec.title.c_str());
     for (const auto& axis : spec.axes) {

@@ -1,0 +1,200 @@
+#include "harness/flags.h"
+
+#include <charconv>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace orbit::harness {
+
+namespace {
+
+template <typename T>
+bool ParseNumber(const std::string& s, T* out) {
+  const char* begin = s.c_str();
+  const char* end = begin + s.size();
+  const auto res = std::from_chars(begin, end, *out);
+  return res.ec == std::errc() && res.ptr == end;
+}
+
+}  // namespace
+
+Flags::Flag& Flags::Register(const std::string& name, Type type,
+                             const std::string& value_name,
+                             const std::string& help) {
+  ORBIT_CHECK_MSG(Find("--" + name) == nullptr,
+                  "duplicate flag registration: --" << name);
+  Flag f;
+  f.name = name;
+  f.type = type;
+  f.value_name = value_name;
+  f.help = help;
+  flags_.push_back(std::move(f));
+  return flags_.back();
+}
+
+Flags& Flags::AddBool(const std::string& name, const std::string& help) {
+  Register(name, Type::kBool, "", help);
+  return *this;
+}
+
+Flags& Flags::AddInt(const std::string& name, int def,
+                     const std::string& value_name, const std::string& help) {
+  Register(name, Type::kInt, value_name, help).int_v = def;
+  return *this;
+}
+
+Flags& Flags::AddUint64(const std::string& name, uint64_t def,
+                        const std::string& value_name,
+                        const std::string& help) {
+  Register(name, Type::kUint64, value_name, help).u64_v = def;
+  return *this;
+}
+
+Flags& Flags::AddDouble(const std::string& name, double def,
+                        const std::string& value_name,
+                        const std::string& help) {
+  Register(name, Type::kDouble, value_name, help).double_v = def;
+  return *this;
+}
+
+Flags& Flags::AddString(const std::string& name, const std::string& def,
+                        const std::string& value_name,
+                        const std::string& help) {
+  Register(name, Type::kString, value_name, help).string_v = def;
+  return *this;
+}
+
+Flags& Flags::Alias(const std::string& spelling) {
+  ORBIT_CHECK_MSG(!flags_.empty(), "Alias() before any registration");
+  flags_.back().aliases.push_back(spelling);
+  return *this;
+}
+
+Flags::Flag* Flags::Find(const std::string& spelling) {
+  for (Flag& f : flags_) {
+    if (spelling == "--" + f.name) return &f;
+    for (const std::string& a : f.aliases)
+      if (spelling == a) return &f;
+  }
+  return nullptr;
+}
+
+bool Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.empty() || arg[0] != '-' || arg == "-") {
+      positionals_.push_back(arg);
+      continue;
+    }
+    Flag* f = Find(arg);
+    if (f == nullptr) {
+      error_ = "unknown flag: " + arg;
+      return false;
+    }
+    f->last_index = i;
+    if (f->type == Type::kBool) {
+      f->bool_v = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      error_ = "--" + f->name + " requires a value";
+      return false;
+    }
+    f->raw = argv[++i];
+    bool ok = false;
+    switch (f->type) {
+      case Type::kInt:
+        ok = ParseNumber(f->raw, &f->int_v);
+        break;
+      case Type::kUint64:
+        ok = ParseNumber(f->raw, &f->u64_v);
+        break;
+      case Type::kDouble:
+        ok = ParseNumber(f->raw, &f->double_v);
+        break;
+      case Type::kString:
+        f->string_v = f->raw;
+        ok = true;
+        break;
+      case Type::kBool:
+        break;  // handled above
+    }
+    if (!ok) {
+      error_ = "bad --" + f->name + " value: " + f->raw;
+      return false;
+    }
+  }
+  return true;
+}
+
+const Flags::Flag& Flags::Require(const std::string& name, Type type) const {
+  for (const Flag& f : flags_) {
+    if (f.name != name) continue;
+    ORBIT_CHECK_MSG(f.type == type, "flag --" << name
+                                              << " accessed with wrong type");
+    return f;
+  }
+  ORBIT_CHECK_MSG(false, "unregistered flag: --" << name);
+  __builtin_unreachable();
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  return Require(name, Type::kBool).bool_v;
+}
+
+int Flags::GetInt(const std::string& name) const {
+  return Require(name, Type::kInt).int_v;
+}
+
+uint64_t Flags::GetUint64(const std::string& name) const {
+  return Require(name, Type::kUint64).u64_v;
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  return Require(name, Type::kDouble).double_v;
+}
+
+const std::string& Flags::GetString(const std::string& name) const {
+  return Require(name, Type::kString).string_v;
+}
+
+bool Flags::Seen(const std::string& name) const {
+  return LastIndex(name) >= 0;
+}
+
+int Flags::LastIndex(const std::string& name) const {
+  for (const Flag& f : flags_)
+    if (f.name == name) return f.last_index;
+  ORBIT_CHECK_MSG(false, "unregistered flag: --" << name);
+  return -1;
+}
+
+const std::string& Flags::Raw(const std::string& name) const {
+  for (const Flag& f : flags_)
+    if (f.name == name) return f.raw;
+  ORBIT_CHECK_MSG(false, "unregistered flag: --" << name);
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+std::string Flags::Usage() const {
+  std::string out;
+  for (const Flag& f : flags_) {
+    std::string head = "  --" + f.name;
+    if (!f.value_name.empty()) head += " " + f.value_name;
+    // Short entries get the help on the same line; long ones wrap.
+    if (head.size() <= 20) head.resize(21, ' ');
+    else head += "\n                     ";
+    out += head;
+    // Indent continuation lines of multi-line help to the same column.
+    for (const char c : f.help) {
+      out += c;
+      if (c == '\n') out += "                     ";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace orbit::harness

@@ -1,0 +1,96 @@
+// Declarative command-line flags shared by the bench binaries and tools.
+//
+// Each binary registers its flags once (name, default, value placeholder,
+// help line), calls Parse(), and reads values back through typed accessors:
+//
+//   harness::Flags flags;
+//   flags.AddBool("quick", "CI smoke scale");
+//   flags.AddInt("jobs", 1, "N", "run up to N sweep points in parallel");
+//   if (!flags.Parse(argc, argv)) { ... flags.error() ... }
+//   int jobs = flags.GetInt("jobs");
+//
+// Parsing rules match the historical hand-rolled loops: flags start with
+// "--" (plus any registered short aliases such as -h), every non-bool flag
+// consumes the following argv entry, unknown flags and malformed values
+// set error(), and everything else collects into positionals().
+// Usage() generates the flag section of --help from the registrations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orbit::harness {
+
+class Flags {
+ public:
+  // Registration. `name` is the long name without dashes; `value_name` is
+  // the placeholder printed in help ("N", "PATH", "SEC"...). Returns *this
+  // so registrations chain.
+  Flags& AddBool(const std::string& name, const std::string& help);
+  Flags& AddInt(const std::string& name, int def, const std::string& value_name,
+                const std::string& help);
+  Flags& AddUint64(const std::string& name, uint64_t def,
+                   const std::string& value_name, const std::string& help);
+  Flags& AddDouble(const std::string& name, double def,
+                   const std::string& value_name, const std::string& help);
+  Flags& AddString(const std::string& name, const std::string& def,
+                   const std::string& value_name, const std::string& help);
+  // Extra spelling for the most recent registration (e.g. "-h" for --help).
+  Flags& Alias(const std::string& spelling);
+
+  // Parses argv. Returns false (and sets error()) on an unknown flag, a
+  // missing value, or a value that does not parse as the registered type.
+  bool Parse(int argc, char** argv);
+
+  // Typed accessors; the flag must have been registered with that type.
+  bool GetBool(const std::string& name) const;
+  int GetInt(const std::string& name) const;
+  uint64_t GetUint64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  // True when the flag appeared on the command line.
+  bool Seen(const std::string& name) const;
+  // argv index of the flag's last occurrence (-1 when unseen) — lets a
+  // caller resolve "last one wins" between mutually exclusive flags.
+  int LastIndex(const std::string& name) const;
+  // The unparsed text of the flag's last value (for error messages).
+  const std::string& Raw(const std::string& name) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  const std::string& error() const { return error_; }
+
+  // The generated flag section of --help: one "  --name VALUE  help" line
+  // per registration, in registration order, multi-line help indented.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kBool, kInt, kUint64, kDouble, kString };
+  struct Flag {
+    std::string name;
+    Type type = Type::kBool;
+    std::string value_name;
+    std::string help;
+    std::vector<std::string> aliases;
+    // Values (only the one matching `type` is meaningful).
+    bool bool_v = false;
+    int int_v = 0;
+    uint64_t u64_v = 0;
+    double double_v = 0;
+    std::string string_v;
+    std::string raw;
+    int last_index = -1;
+  };
+
+  Flag& Register(const std::string& name, Type type,
+                 const std::string& value_name, const std::string& help);
+  Flag* Find(const std::string& spelling);
+  const Flag& Require(const std::string& name, Type type) const;
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positionals_;
+  std::string error_;
+};
+
+}  // namespace orbit::harness

@@ -32,17 +32,17 @@ ScaleProfile PaperScaleProfile(Scale scale) {
 
 testbed::TestbedConfig PaperBaseConfig() {
   testbed::TestbedConfig cfg;
-  cfg.num_clients = 4;
-  cfg.num_servers = 32;
-  cfg.server_rate_rps = 100'000;
-  cfg.client_rate_rps = 8'000'000;
-  cfg.zipf_theta = 0.99;
-  cfg.value_dist = wl::ValueDist::PaperDefault();
-  cfg.orbit_cache_size = 128;
-  cfg.netcache_size = 10'000;
+  cfg.topo.num_clients = 4;
+  cfg.topo.num_servers = 32;
+  cfg.topo.server_rate_rps = 100'000;
+  cfg.topo.client_rate_rps = 8'000'000;
+  cfg.workload.zipf_theta = 0.99;
+  cfg.workload.value_dist = wl::ValueDist::PaperDefault();
+  cfg.cache.orbit_cache_size = 128;
+  cfg.cache.netcache_size = 10'000;
   cfg.seed = 42;
   const ScaleProfile full = PaperScaleProfile(Scale::kFull);
-  cfg.num_keys = full.num_keys;
+  cfg.workload.num_keys = full.num_keys;
   cfg.warmup = full.warmup;
   cfg.duration = full.duration;
   return cfg;
@@ -51,7 +51,7 @@ testbed::TestbedConfig PaperBaseConfig() {
 testbed::TestbedConfig ScaledPaperConfig(Scale scale) {
   testbed::TestbedConfig cfg = PaperBaseConfig();
   const ScaleProfile p = PaperScaleProfile(scale);
-  cfg.num_keys = p.num_keys;
+  cfg.workload.num_keys = p.num_keys;
   cfg.warmup = p.warmup;
   cfg.duration = p.duration;
   return cfg;
@@ -125,7 +125,7 @@ std::vector<PointRun> ExpandGrid(const ExperimentSpec& spec, Scale scale,
   testbed::TestbedConfig scaled = spec.base;
   if (spec.apply_paper_scale) {
     const ScaleProfile p = PaperScaleProfile(scale);
-    scaled.num_keys = p.num_keys;
+    scaled.workload.num_keys = p.num_keys;
     scaled.warmup = p.warmup;
     scaled.duration = p.duration;
   }
@@ -177,7 +177,7 @@ RunFn SaturationRun() {
       // RunTestbed is deterministic and telemetry is results-neutral, so
       // this reproduces sat.result exactly while filling the capture.
       testbed::TestbedConfig instrumented = p.config;
-      instrumented.client_rate_rps = sat.sat_tx_rps;
+      instrumented.topo.client_rate_rps = sat.sat_tx_rps;
       (void)testbed::RunTestbed(instrumented);
     }
     testbed::ResultMetricsOptions opts;
@@ -220,7 +220,7 @@ RunFn FractionOfSaturationRun(std::string fraction_axis) {
     const testbed::SaturationResult sat =
         cache.Get(base, p.spec->loss_tolerance, p.spec->max_corrections);
     testbed::TestbedConfig cfg = p.config;
-    cfg.client_rate_rps = fraction * sat.sat_tx_rps;
+    cfg.topo.client_rate_rps = fraction * sat.sat_tx_rps;
     const testbed::TestbedResult res = testbed::RunTestbed(cfg);
     testbed::ResultMetricsOptions opts;
     opts.include_timelines = p.spec->include_timelines;

@@ -44,8 +44,10 @@ void NetController::Preload(const std::vector<Key>& keys) {
 void NetController::Start() {
   ORBIT_CHECK(!started_);
   started_ = true;
-  sim_->After(config_.update_period, [this] { Tick(); });
+  sim_->AfterTimer(config_.update_period, this);
 }
+
+void NetController::OnTimer(uint64_t /*arg*/) { Tick(); }
 
 void NetController::Tick() {
   ++stats_.updates;
@@ -53,7 +55,7 @@ void NetController::Tick() {
   ReconcileSelfEvictions();
   UpdateCacheEntries();
   program_->ResetSketch();
-  sim_->After(config_.update_period, [this] { Tick(); });
+  sim_->AfterTimer(config_.update_period, this);
 }
 
 void NetController::ReconcileSelfEvictions() {

@@ -28,7 +28,7 @@ struct NetControllerConfig {
   L4Port orbit_port = 5008;
 };
 
-class NetController : public sim::Node {
+class NetController : public sim::Node, public sim::TimerHandler {
  public:
   NetController(sim::Simulator* sim, sim::Network* net, NetProgram* program,
                 const kv::Partitioner* partitioner,
@@ -42,6 +42,7 @@ class NetController : public sim::Node {
 
   void OnPacket(sim::PacketPtr pkt, int port) override;
   std::string name() const override { return "nc-controller"; }
+  void OnTimer(uint64_t arg) override;  // periodic update tick
 
   size_t num_cached() const { return by_key_.size(); }
   bool IsCached(const Key& key) const { return by_key_.count(key) > 0; }

@@ -42,7 +42,17 @@ void Controller::Preload(const std::vector<Key>& keys) {
 void Controller::Start() {
   ORBIT_CHECK(!started_);
   started_ = true;
-  sim_->After(config_.update_period, [this] { Tick(); });
+  sim_->AfterTimer(config_.update_period, this, kTickArg);
+}
+
+void Controller::OnTimer(uint64_t arg) {
+  if (arg == kTickArg) {
+    Tick();
+    return;
+  }
+  rebuild_sweep_armed_ = false;
+  CheckFetchTimeouts();
+  if (!pending_fetches_.empty()) ArmRebuildSweep();
 }
 
 void Controller::Tick() {
@@ -56,7 +66,7 @@ void Controller::Tick() {
     stats_.snapshot_entries_flushed += program_->RequestSnapshot();
   }
   reported_.clear();
-  sim_->After(config_.update_period, [this] { Tick(); });
+  sim_->AfterTimer(config_.update_period, this, kTickArg);
 }
 
 void Controller::UpdateCacheEntries() {
@@ -233,11 +243,7 @@ void Controller::RebuildCache() {
 void Controller::ArmRebuildSweep() {
   if (rebuild_sweep_armed_) return;
   rebuild_sweep_armed_ = true;
-  sim_->After(config_.fetch_timeout, [this] {
-    rebuild_sweep_armed_ = false;
-    CheckFetchTimeouts();
-    if (!pending_fetches_.empty()) ArmRebuildSweep();
-  });
+  sim_->AfterTimer(config_.fetch_timeout, this, kRebuildSweepArg);
 }
 
 void Controller::RequestRefetch(const Key& key, const Hash128& hkey,

@@ -50,7 +50,7 @@ struct ControllerConfig {
   L4Port ctrl_port = 7000;  // top-k reports land here
 };
 
-class Controller : public sim::Node {
+class Controller : public sim::Node, public sim::TimerHandler {
  public:
   Controller(sim::Simulator* sim, sim::Network* net, OrbitProgram* program,
              const kv::Partitioner* partitioner,
@@ -66,6 +66,8 @@ class Controller : public sim::Node {
 
   void OnPacket(sim::PacketPtr pkt, int port) override;
   std::string name() const override { return "controller"; }
+  // Timer demux: the periodic update tick or the rebuild-sweep deadline.
+  void OnTimer(uint64_t arg) override;
 
   // No-cloning ablation hook: schedule a refetch of `key` from `server`.
   void RequestRefetch(const Key& key, const Hash128& hkey, Addr server);
@@ -108,6 +110,9 @@ class Controller : public sim::Node {
     int attempts = 0;
     SimTime deadline = 0;
   };
+
+  static constexpr uint64_t kTickArg = 0;
+  static constexpr uint64_t kRebuildSweepArg = 1;
 
   void Tick();
   void UpdateCacheEntries();

@@ -1,13 +1,29 @@
-// The simulator's event heap.
+// The simulator's event queue.
 //
-// Two event shapes cover the whole system:
+// Three event shapes cover the whole system:
 //   * packet deliveries (the hot path: millions per run) carry their target
-//     node/port inline, avoiding std::function allocations, and
-//   * generic callbacks for everything else (timers, controller periods).
+//     node/port inline,
+//   * intrusive timers (client Tx ticks, retransmit deadlines, controller
+//     periods, server service completions) carry a handler pointer plus a
+//     64-bit argument — no std::function, no allocation, and
+//   * generic callbacks for the remaining cold paths (tests, fault scripts).
 //
-// Events at equal timestamps fire in insertion order (a monotonically
-// increasing sequence number breaks ties), which makes runs fully
-// deterministic.
+// Ordering: events run in timestamp order, and events at equal timestamps
+// fire in insertion order. The structure behind that guarantee is a 4-ary
+// min-heap of small (time, bucket) entries over FIFO buckets of events:
+//
+//   * every push appends the event to a bucket — consecutive same-time
+//     pushes share one bucket, so a burst of equal-time events costs one
+//     heap operation total and drains as a FIFO run;
+//   * buckets are stamped with a creation sequence, and the heap orders by
+//     (time, creation). Any later same-time event lands in a younger
+//     bucket, so cross-bucket order is still insertion order;
+//   * the heap only ever sifts 24-byte entries — the fat Event structs
+//     (packet pointer, std::function storage) are written once into their
+//     bucket and moved once on pop, never during reheapification.
+//
+// Bucket storage and event vectors are recycled through freelists, so the
+// steady state allocates nothing.
 #pragma once
 
 #include <cstdint>
@@ -21,39 +37,78 @@ namespace orbit::sim {
 
 class Node;
 
+// Intrusive zero-allocation timer target. Implementors multiplex on the
+// 64-bit argument (a kind tag, a packed (seq, attempt), a pointer...).
+// Handlers must outlive their armed timers or never run afterwards (the
+// simulator drops unfired events at destruction without invoking them).
+class TimerHandler {
+ public:
+  virtual void OnTimer(uint64_t arg) = 0;
+
+ protected:
+  ~TimerHandler() = default;
+};
+
 struct Event {
   SimTime time = 0;
-  uint64_t seq = 0;
   // Delivery payload (hot path) — used when node != nullptr.
   Node* node = nullptr;
   int port = -1;
   PacketPtr pkt;
-  // Generic callback — used when node == nullptr.
+  // Intrusive timer — used when node == nullptr && timer != nullptr.
+  TimerHandler* timer = nullptr;
+  uint64_t arg = 0;
+  // Generic callback — used when node == nullptr && timer == nullptr.
   std::function<void()> fn;
 };
 
 class EventQueue {
  public:
   void PushDelivery(SimTime t, Node* node, int port, PacketPtr pkt);
+  void PushTimer(SimTime t, TimerHandler* timer, uint64_t arg);
   void PushCallback(SimTime t, std::function<void()> fn);
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
-  SimTime next_time() const { return heap_.front().time; }
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  // Earliest pending timestamp. Precondition: !empty().
+  SimTime next_time() const;
 
-  // Removes and returns the earliest event.
+  // Removes and returns the earliest event. Precondition: !empty().
   Event Pop();
 
  private:
-  void Push(Event e);
+  struct Bucket {
+    std::vector<Event> events;
+    uint32_t head = 0;  // next index to pop
+  };
+  // Heap entries order by (time, bseq): bseq is the bucket's creation
+  // stamp, which makes cross-bucket equal-time order match insertion
+  // order without a per-event sequence compare.
+  struct Entry {
+    SimTime time = 0;
+    uint64_t bseq = 0;
+    uint32_t bucket = 0;
+  };
+
+  Event& Append(SimTime t);
   void SiftUp(size_t i);
   void SiftDown(size_t i);
-  static bool Before(const Event& a, const Event& b) {
-    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  static bool Before(const Entry& a, const Entry& b) {
+    return a.time < b.time || (a.time == b.time && a.bseq < b.bseq);
   }
 
-  std::vector<Event> heap_;
-  uint64_t next_seq_ = 0;
+  std::vector<Entry> heap_;      // 4-ary implicit min-heap
+  std::vector<Bucket> buckets_;
+  std::vector<uint32_t> free_buckets_;
+  size_t size_ = 0;
+  uint64_t next_bucket_seq_ = 0;
+  // One-entry open-bucket cache: the most recently created or appended-to
+  // bucket. Consecutive pushes at the same timestamp (clone storms, bursty
+  // deliveries) append without touching the heap. Invalidated when that
+  // bucket drains.
+  bool cache_valid_ = false;
+  SimTime cache_time_ = 0;
+  uint32_t cache_bucket_ = 0;
 };
 
 }  // namespace orbit::sim

@@ -5,14 +5,29 @@
 // moved through the simulator; cloning (the PRE path) copies the struct
 // while the lazy value payload stays shared — exactly the descriptor-copy
 // semantics the paper attributes to the Tofino packet replication engine.
+//
+// Allocation discipline: packets are drawn from a per-Simulator
+// PacketPool (a freelist over stable slab storage, mirroring the fixed
+// descriptor pool a real ASIC's replication engine works from). PacketPtr
+// keeps unique-ownership move semantics, but its deleter returns the
+// packet to its owning pool instead of freeing it, so the steady-state
+// hot path performs zero heap allocations per packet. Recycled packets
+// keep their internal buffers (the key string's capacity survives), which
+// removes the per-packet string allocation as well. Code running without
+// an installed pool (unit tests building bare packets) transparently
+// falls back to the heap.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/types.h"
 #include "proto/message.h"
 
 namespace orbit::sim {
+
+class PacketPool;
 
 struct Packet {
   Addr src = kInvalidAddr;
@@ -45,9 +60,83 @@ struct Packet {
     return proto::kEncapBytes + proto::Message::kHeaderBytes +
            msg.payload_bytes();
   }
+
+  // Restores every field to its default while keeping internal buffer
+  // capacity (the recycled key string), so a reused packet is
+  // indistinguishable from a freshly constructed one.
+  void Reset();
+  // Field-wise copy that preserves the destination's pool binding; the
+  // value payload's backing bytes (if materialized) are shared.
+  void CopyFrom(const Packet& other);
+
+  PacketPool* pool() const { return pool_; }
+
+ private:
+  friend class PacketPool;
+  friend struct PacketDeleter;
+  PacketPool* pool_ = nullptr;  // null = heap-allocated fallback
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+// Returns heap packets with `delete`, pooled packets to their pool.
+struct PacketDeleter {
+  void operator()(Packet* pkt) const noexcept;
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+// Freelist-backed packet descriptor pool. Slab storage (deque-of-chunks)
+// keeps addresses stable for the packet's whole lifetime; destroying the
+// pool reclaims every packet it ever produced, including ones still
+// referenced by undelivered simulator events.
+class PacketPool {
+ public:
+  PacketPool() = default;
+  ~PacketPool();
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  // A reset packet owned by this pool (recycled when possible).
+  PacketPtr Acquire();
+  void Release(Packet* pkt);
+
+  // The calling thread's active pool (set by Simulator); null when no
+  // simulator is live on this thread.
+  static PacketPool* Current();
+
+  struct Stats {
+    uint64_t allocated = 0;  // fresh slab slots ever handed out
+    uint64_t recycled = 0;   // acquisitions served from the freelist
+    uint64_t released = 0;   // packets returned to the freelist
+  };
+  const Stats& stats() const { return stats_; }
+  size_t free_count() const { return free_.size(); }
+
+  // RAII thread-local installation (nestable: restores the previous pool).
+  class ScopedInstall {
+   public:
+    explicit ScopedInstall(PacketPool* pool);
+    ~ScopedInstall();
+    ScopedInstall(const ScopedInstall&) = delete;
+    ScopedInstall& operator=(const ScopedInstall&) = delete;
+
+   private:
+    PacketPool* prev_;
+  };
+
+ private:
+  static constexpr size_t kChunkPackets = 256;
+
+  std::vector<std::unique_ptr<Packet[]>> chunks_;
+  size_t chunk_used_ = kChunkPackets;  // slots consumed in the last chunk
+  std::vector<Packet*> free_;
+  Stats stats_;
+};
+
+// A blank packet with only the addressing filled in, drawn from the
+// thread's current pool (heap fallback without one). Hot-path senders use
+// this and assign message fields in place, which lets a recycled packet's
+// key buffer absorb the copy without allocating.
+PacketPtr NewPacket(Addr src, Addr dst, L4Port sport, L4Port dport);
 
 // PRE-style clone: value copy of all fields; the value payload's backing
 // bytes (if materialized) are shared, not duplicated.

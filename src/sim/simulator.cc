@@ -48,6 +48,18 @@ void Simulator::After(SimTime delay, std::function<void()> fn) {
   queue_.PushCallback(now_ + delay, std::move(fn));
 }
 
+void Simulator::AtTimer(SimTime t, TimerHandler* timer, uint64_t arg) {
+  ORBIT_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < " << now_);
+  ORBIT_CHECK(timer != nullptr);
+  queue_.PushTimer(t, timer, arg);
+}
+
+void Simulator::AfterTimer(SimTime delay, TimerHandler* timer, uint64_t arg) {
+  ORBIT_CHECK(delay >= 0);
+  ORBIT_CHECK(timer != nullptr);
+  queue_.PushTimer(now_ + delay, timer, arg);
+}
+
 void Simulator::Deliver(SimTime t, Node* node, int port, PacketPtr pkt) {
   ORBIT_CHECK(t >= now_);
   queue_.PushDelivery(t, node, port, std::move(pkt));
@@ -61,6 +73,8 @@ bool Simulator::Step() {
   ++events_processed_;
   if (e.node != nullptr) {
     e.node->OnPacket(std::move(e.pkt), e.port);
+  } else if (e.timer != nullptr) {
+    e.timer->OnTimer(e.arg);
   } else {
     e.fn();
   }

@@ -7,6 +7,7 @@
 
 #include "common/types.h"
 #include "sim/event_queue.h"
+#include "sim/packet.h"
 
 namespace orbit::sim {
 
@@ -46,6 +47,10 @@ class Simulator {
   void At(SimTime t, std::function<void()> fn);
   // Schedules `fn` after a non-negative delay.
   void After(SimTime delay, std::function<void()> fn);
+  // Intrusive-timer variants (zero allocation; the hot path for periodic
+  // ticks, per-request deadlines, and service completions).
+  void AtTimer(SimTime t, TimerHandler* timer, uint64_t arg = 0);
+  void AfterTimer(SimTime delay, TimerHandler* timer, uint64_t arg = 0);
   // Fast-path packet delivery event.
   void Deliver(SimTime t, Node* node, int port, PacketPtr pkt);
 
@@ -59,12 +64,43 @@ class Simulator {
   uint64_t events_processed() const { return events_processed_; }
   size_t pending_events() const { return queue_.size(); }
 
+  // This simulator's packet pool. Constructing a Simulator installs the
+  // pool as the calling thread's current pool (NewPacket/ClonePacket draw
+  // from it); destruction restores the previous one. The pool outlives the
+  // event queue, so packets still sitting in undelivered events are
+  // reclaimed with everything else at scope exit.
+  PacketPool& packet_pool() { return pool_; }
+
  private:
   void CheckDeadline() const;
 
+  // Declaration order is destruction order in reverse: the queue (holding
+  // PacketPtrs) must die before the pool that owns their storage.
+  PacketPool pool_;
+  PacketPool::ScopedInstall pool_install_{&pool_};
   SimTime now_ = 0;
   uint64_t events_processed_ = 0;
   EventQueue queue_;
+};
+
+// A self-rearming periodic timer: wraps the callback in one allocation for
+// the whole run instead of one std::function per firing. Construct, then
+// Start() arms the first fire at now + period.
+class PeriodicTask : public TimerHandler {
+ public:
+  PeriodicTask(Simulator* sim, SimTime period, std::function<void()> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+
+  void Start() { sim_->AfterTimer(period_, this); }
+  void OnTimer(uint64_t /*arg*/) override {
+    fn_();
+    sim_->AfterTimer(period_, this);
+  }
+
+ private:
+  Simulator* sim_;
+  SimTime period_;
+  std::function<void()> fn_;
 };
 
 }  // namespace orbit::sim

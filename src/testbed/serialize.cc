@@ -9,42 +9,42 @@ using harness::JsonValue;
 JsonValue ConfigJson(const TestbedConfig& config) {
   JsonValue out = JsonValue::MakeObject();
   out.Set("scheme", SchemeName(config.scheme));
-  out.Set("num_clients", config.num_clients);
-  out.Set("num_servers", config.num_servers);
-  out.Set("server_rate_rps", config.server_rate_rps);
-  out.Set("client_rate_rps", config.client_rate_rps);
-  out.Set("num_keys", config.num_keys);
-  out.Set("key_size", static_cast<int64_t>(config.key_size));
-  out.Set("zipf_theta", config.zipf_theta);
+  out.Set("num_clients", config.topo.num_clients);
+  out.Set("num_servers", config.topo.num_servers);
+  out.Set("server_rate_rps", config.topo.server_rate_rps);
+  out.Set("client_rate_rps", config.topo.client_rate_rps);
+  out.Set("num_keys", config.workload.num_keys);
+  out.Set("key_size", static_cast<int64_t>(config.workload.key_size));
+  out.Set("zipf_theta", config.workload.zipf_theta);
   {
     JsonValue vd = JsonValue::MakeObject();
-    vd.Set("min", static_cast<int64_t>(config.value_dist.min_size()));
-    vd.Set("max", static_cast<int64_t>(config.value_dist.max_size()));
-    vd.Set("mean", config.value_dist.mean_size());
+    vd.Set("min", static_cast<int64_t>(config.workload.value_dist.min_size()));
+    vd.Set("max", static_cast<int64_t>(config.workload.value_dist.max_size()));
+    vd.Set("mean", config.workload.value_dist.mean_size());
     out.Set("value_dist", std::move(vd));
   }
-  out.Set("write_ratio", config.write_ratio);
-  out.Set("twitter", config.twitter != nullptr ? JsonValue(config.twitter->id)
+  out.Set("write_ratio", config.workload.write_ratio);
+  out.Set("twitter", config.workload.twitter != nullptr ? JsonValue(config.workload.twitter->id)
                                                : JsonValue());
-  out.Set("preload", config.preload);
-  out.Set("orbit_cache_size", static_cast<int64_t>(config.orbit_cache_size));
-  out.Set("orbit_capacity", static_cast<int64_t>(config.orbit_capacity));
-  out.Set("orbit_queue_size", static_cast<int64_t>(config.orbit_queue_size));
-  out.Set("netcache_size", static_cast<int64_t>(config.netcache_size));
-  out.Set("netcache_recirc_read", config.netcache_recirc_read);
-  out.Set("epoch_guard", config.epoch_guard);
-  out.Set("enable_cloning", config.enable_cloning);
-  out.Set("write_back", config.write_back);
-  out.Set("multi_packet", config.multi_packet);
-  out.Set("dynamic_sizing", config.dynamic_sizing);
-  out.Set("run_cache_updates", config.run_cache_updates);
-  out.Set("update_period", config.update_period);
-  out.Set("report_period", config.report_period);
-  out.Set("hot_in", config.hot_in);
-  out.Set("hot_in_period", config.hot_in_period);
-  out.Set("hot_in_count", config.hot_in_count);
-  out.Set("client_max_retries", config.client_max_retries);
-  out.Set("client_request_timeout", config.client_request_timeout);
+  out.Set("preload", config.cache.preload);
+  out.Set("orbit_cache_size", static_cast<int64_t>(config.cache.orbit_cache_size));
+  out.Set("orbit_capacity", static_cast<int64_t>(config.cache.orbit_capacity));
+  out.Set("orbit_queue_size", static_cast<int64_t>(config.cache.orbit_queue_size));
+  out.Set("netcache_size", static_cast<int64_t>(config.cache.netcache_size));
+  out.Set("netcache_recirc_read", config.cache.netcache_recirc_read);
+  out.Set("epoch_guard", config.cache.epoch_guard);
+  out.Set("enable_cloning", config.cache.enable_cloning);
+  out.Set("write_back", config.cache.write_back);
+  out.Set("multi_packet", config.cache.multi_packet);
+  out.Set("dynamic_sizing", config.cache.dynamic_sizing);
+  out.Set("run_cache_updates", config.control.run_cache_updates);
+  out.Set("update_period", config.control.update_period);
+  out.Set("report_period", config.control.report_period);
+  out.Set("hot_in", config.workload.hot_in);
+  out.Set("hot_in_period", config.workload.hot_in_period);
+  out.Set("hot_in_count", config.workload.hot_in_count);
+  out.Set("client_max_retries", config.client.max_retries);
+  out.Set("client_request_timeout", config.client.request_timeout);
   {
     // Fault schedule: outcome-affecting, so it must feed the fingerprint.
     // Serialized compactly — an empty schedule is the common case.
@@ -76,27 +76,27 @@ JsonValue ConfigJson(const TestbedConfig& config) {
   out.Set("timeline_bin", config.timeline_bin);
   {
     JsonValue asic = JsonValue::MakeObject();
-    asic.Set("num_stages", config.asic.num_stages);
+    asic.Set("num_stages", config.topo.asic.num_stages);
     asic.Set("max_match_key_bytes",
-             static_cast<int64_t>(config.asic.max_match_key_bytes));
+             static_cast<int64_t>(config.topo.asic.max_match_key_bytes));
     asic.Set("alu_bytes_per_stage",
-             static_cast<int64_t>(config.asic.alu_bytes_per_stage));
+             static_cast<int64_t>(config.topo.asic.alu_bytes_per_stage));
     asic.Set("sram_bytes_per_stage",
-             static_cast<int64_t>(config.asic.sram_bytes_per_stage));
-    asic.Set("alus_per_stage", config.asic.alus_per_stage);
-    asic.Set("tables_per_stage", config.asic.tables_per_stage);
-    asic.Set("pipeline_latency_ns", config.asic.pipeline_latency_ns);
-    asic.Set("packet_slot_ns", config.asic.packet_slot_ns);
-    asic.Set("port_rate_gbps", config.asic.port_rate_gbps);
-    asic.Set("recirc_rate_gbps", config.asic.recirc_rate_gbps);
-    asic.Set("recirc_loop_ns", config.asic.recirc_loop_ns);
+             static_cast<int64_t>(config.topo.asic.sram_bytes_per_stage));
+    asic.Set("alus_per_stage", config.topo.asic.alus_per_stage);
+    asic.Set("tables_per_stage", config.topo.asic.tables_per_stage);
+    asic.Set("pipeline_latency_ns", config.topo.asic.pipeline_latency_ns);
+    asic.Set("packet_slot_ns", config.topo.asic.packet_slot_ns);
+    asic.Set("port_rate_gbps", config.topo.asic.port_rate_gbps);
+    asic.Set("recirc_rate_gbps", config.topo.asic.recirc_rate_gbps);
+    asic.Set("recirc_loop_ns", config.topo.asic.recirc_loop_ns);
     asic.Set("recirc_queue_bytes",
-             static_cast<int64_t>(config.asic.recirc_queue_bytes));
+             static_cast<int64_t>(config.topo.asic.recirc_queue_bytes));
     out.Set("asic", std::move(asic));
   }
-  out.Set("client_link_gbps", config.client_link_gbps);
-  out.Set("server_link_gbps", config.server_link_gbps);
-  out.Set("link_delay", config.link_delay);
+  out.Set("client_link_gbps", config.topo.client_link_gbps);
+  out.Set("server_link_gbps", config.topo.server_link_gbps);
+  out.Set("link_delay", config.topo.link_delay);
   return out;
 }
 

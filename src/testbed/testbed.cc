@@ -43,14 +43,14 @@ class ZipfWorkload : public app::WorkloadSource {
   ZipfWorkload(const TestbedConfig& config,
                std::function<uint32_t(const Key&)> size_fn,
                std::shared_ptr<wl::DynamicPopularity> dynamic)
-      : keyspace_(config.num_keys, config.key_size, config.seed),
-        zipf_(config.num_keys, config.zipf_theta),
-        partitioner_(static_cast<uint32_t>(config.num_servers), config.seed),
+      : keyspace_(config.workload.num_keys, config.workload.key_size, config.seed),
+        zipf_(config.workload.num_keys, config.workload.zipf_theta),
+        partitioner_(static_cast<uint32_t>(config.topo.num_servers), config.seed),
         size_fn_(std::move(size_fn)),
         dynamic_(std::move(dynamic)),
-        write_ratio_(config.twitter != nullptr ? config.twitter->write_ratio
-                                               : config.write_ratio) {
-    const uint64_t memo = std::min<uint64_t>(kMemoRanks, config.num_keys);
+        write_ratio_(config.workload.twitter != nullptr ? config.workload.twitter->write_ratio
+                                               : config.workload.write_ratio) {
+    const uint64_t memo = std::min<uint64_t>(kMemoRanks, config.workload.num_keys);
     memo_.reserve(memo);
     for (uint64_t r = 0; r < memo; ++r) memo_.push_back(BuildEntry(r));
   }
@@ -99,15 +99,15 @@ const char* SchemeName(Scheme scheme) {
 
 std::function<uint32_t(const Key&)> MakeValueSizeFn(
     const TestbedConfig& config) {
-  if (config.twitter == nullptr) {
-    return [dist = config.value_dist](const Key& key) {
+  if (config.workload.twitter == nullptr) {
+    return [dist = config.workload.value_dist](const Key& key) {
       return dist.SizeFor(key);
     };
   }
   // Fig.-14 mode: the profile's cacheability coin decides which keys
   // NetCache can hold (they get 64B values); the remaining keys are sized
   // so the overall small-value fraction still matches the profile.
-  const wl::TwitterProfile profile = *config.twitter;
+  const wl::TwitterProfile profile = *config.workload.twitter;
   double small_given_uncacheable = 0.0;
   if (profile.cacheable_ratio < 1.0) {
     small_given_uncacheable = (profile.p_small - profile.cacheable_ratio) /
@@ -125,26 +125,83 @@ std::function<uint32_t(const Key&)> MakeValueSizeFn(
 
 bool NetCacheCanCache(const TestbedConfig& config, const Key& key) {
   if (key.size() > 16) return false;
-  if (config.twitter != nullptr)
-    return wl::NetCacheCacheable(*config.twitter, key, config.seed);
-  const uint32_t limit = config.netcache_recirc_read ? 1024 : 64;
+  if (config.workload.twitter != nullptr)
+    return wl::NetCacheCacheable(*config.workload.twitter, key, config.seed);
+  const uint32_t limit = config.cache.netcache_recirc_read ? 1024 : 64;
   return MakeValueSizeFn(config)(key) <= limit;
 }
 
+std::vector<std::string> TestbedConfig::Validate() const {
+  std::vector<std::string> errors;
+  auto err = [&errors](std::string msg) { errors.push_back(std::move(msg)); };
+
+  if (topo.num_clients <= 0)
+    err("topo.num_clients must be >= 1 (got " +
+        std::to_string(topo.num_clients) + ")");
+  if (topo.num_servers <= 0)
+    err("topo.num_servers must be >= 1 (got " +
+        std::to_string(topo.num_servers) + ")");
+  if (topo.client_rate_rps <= 0)
+    err("topo.client_rate_rps must be > 0 — clients are open-loop and need "
+        "a positive aggregate Tx rate");
+  if (topo.server_rate_rps < 0)
+    err("topo.server_rate_rps must be >= 0 (0 = unlimited)");
+
+  if (workload.num_keys == 0) err("workload.num_keys must be >= 1");
+  if (workload.key_size == 0) err("workload.key_size must be >= 1");
+  if (workload.zipf_theta < 0)
+    err("workload.zipf_theta must be >= 0 (0 = uniform)");
+  if (workload.write_ratio < 0 || workload.write_ratio > 1)
+    err("workload.write_ratio must be within [0, 1] (got " +
+        std::to_string(workload.write_ratio) + ")");
+  if (workload.hot_in && workload.hot_in_period <= 0)
+    err("workload.hot_in_period must be > 0 when hot_in is enabled");
+
+  if (cache.orbit_cache_size > cache.orbit_capacity)
+    err("cache.orbit_cache_size (" + std::to_string(cache.orbit_cache_size) +
+        ") exceeds cache.orbit_capacity (" +
+        std::to_string(cache.orbit_capacity) +
+        ") — the preloaded set must fit the data-plane array");
+  if (cache.orbit_queue_size == 0)
+    err("cache.orbit_queue_size must be >= 1 (request-table depth S)");
+
+  if (control.run_cache_updates && control.update_period <= 0)
+    err("control.update_period must be > 0 when run_cache_updates is set");
+  if (control.run_cache_updates && control.report_period <= 0)
+    err("control.report_period must be > 0 when run_cache_updates is set");
+
+  if (client.max_retries < 0) err("client.max_retries must be >= 0");
+  if (client.request_timeout <= 0)
+    err("client.request_timeout must be > 0");
+
+  if (warmup < 0) err("warmup must be >= 0");
+  if (duration <= 0) err("duration must be > 0");
+  if (timeline_bin < 0) err("timeline_bin must be >= 0 (0 = disabled)");
+  if (timeline_bin > duration)
+    err("timeline_bin (" + std::to_string(timeline_bin) +
+        "ns) exceeds duration (" + std::to_string(duration) +
+        "ns) — the timeline would have no complete bin");
+  return errors;
+}
+
 TestbedResult RunTestbed(const TestbedConfig& config) {
-  ORBIT_CHECK(config.num_clients > 0 && config.num_servers > 0);
-  ORBIT_CHECK(config.duration > 0);
+  {
+    const std::vector<std::string> errors = config.Validate();
+    std::string joined;
+    for (const std::string& e : errors) joined += "\n  - " + e;
+    ORBIT_CHECK_MSG(errors.empty(), "invalid TestbedConfig:" << joined);
+  }
 
   sim::Simulator sim;
   sim::Network net(&sim);
 
-  rmt::SwitchDevice sw(&sim, &net, "tor", config.asic);
+  rmt::SwitchDevice sw(&sim, &net, "tor", config.topo.asic);
 
   auto size_fn = MakeValueSizeFn(config);
   std::shared_ptr<wl::DynamicPopularity> dynamic;
-  if (config.hot_in) {
-    dynamic = std::make_shared<wl::DynamicPopularity>(config.num_keys,
-                                                      config.hot_in_count);
+  if (config.workload.hot_in) {
+    dynamic = std::make_shared<wl::DynamicPopularity>(config.workload.num_keys,
+                                                      config.workload.hot_in_count);
   }
   auto workload = std::make_shared<ZipfWorkload>(config, size_fn, dynamic);
 
@@ -155,23 +212,23 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
   switch (config.scheme) {
     case Scheme::kOrbitCache: {
       oc::OrbitConfig oc_cfg;
-      oc_cfg.capacity = config.orbit_capacity;
-      oc_cfg.queue_size = config.orbit_queue_size;
+      oc_cfg.capacity = config.cache.orbit_capacity;
+      oc_cfg.queue_size = config.cache.orbit_queue_size;
       oc_cfg.orbit_port = kOrbitPort;
-      oc_cfg.epoch_guard = config.epoch_guard;
-      oc_cfg.enable_cloning = config.enable_cloning;
-      oc_cfg.write_back = config.write_back;
-      oc_cfg.multi_packet = config.multi_packet;
+      oc_cfg.epoch_guard = config.cache.epoch_guard;
+      oc_cfg.enable_cloning = config.cache.enable_cloning;
+      oc_cfg.write_back = config.cache.write_back;
+      oc_cfg.multi_packet = config.cache.multi_packet;
       orbit = std::make_unique<oc::OrbitProgram>(&sw, oc_cfg);
       sw.SetProgram(orbit.get());
       break;
     }
     case Scheme::kNetCache: {
       nc::NetConfig nc_cfg;
-      nc_cfg.capacity = config.netcache_size;
+      nc_cfg.capacity = config.cache.netcache_size;
       nc_cfg.orbit_port = kOrbitPort;
-      nc_cfg.recirc_read_mode = config.netcache_recirc_read;
-      if (!config.run_cache_updates)
+      nc_cfg.recirc_read_mode = config.cache.netcache_recirc_read;
+      if (!config.control.run_cache_updates)
         nc_cfg.hot_threshold = UINT64_MAX;  // static cache: never report
       netp = std::make_unique<nc::NetProgram>(&sw, nc_cfg);
       sw.SetProgram(netp.get());
@@ -185,28 +242,28 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
 
   // ---- servers ------------------------------------------------------------
   const bool servers_report =
-      config.scheme == Scheme::kOrbitCache && config.run_cache_updates;
+      config.scheme == Scheme::kOrbitCache && config.control.run_cache_updates;
   std::vector<std::unique_ptr<app::ServerNode>> servers;
   std::vector<Addr> server_addrs;
   std::vector<sim::Link*> server_links;  // fault-injection handles
-  servers.reserve(static_cast<size_t>(config.num_servers));
-  server_links.reserve(static_cast<size_t>(config.num_servers));
-  for (int i = 0; i < config.num_servers; ++i) {
+  servers.reserve(static_cast<size_t>(config.topo.num_servers));
+  server_links.reserve(static_cast<size_t>(config.topo.num_servers));
+  for (int i = 0; i < config.topo.num_servers; ++i) {
     app::ServerConfig scfg;
     scfg.addr = kServerBase + static_cast<Addr>(i);
     scfg.srv_id = static_cast<uint8_t>(i);
     scfg.orbit_port = kOrbitPort;
-    scfg.service_rate_rps = config.server_rate_rps;
-    scfg.multi_packet = config.multi_packet;
+    scfg.service_rate_rps = config.topo.server_rate_rps;
+    scfg.multi_packet = config.cache.multi_packet;
     scfg.controller_addr = servers_report ? kControllerAddr : kInvalidAddr;
     scfg.ctrl_port = kCtrlPort;
-    scfg.report_period = config.report_period;
+    scfg.report_period = config.control.report_period;
     server_addrs.push_back(scfg.addr);
     // Port wiring happens below; the node needs its own port index first.
     servers.push_back(nullptr);
     sim::LinkConfig lc;
-    lc.rate_gbps = config.server_link_gbps;
-    lc.propagation = config.link_delay;
+    lc.rate_gbps = config.topo.server_link_gbps;
+    lc.propagation = config.topo.link_delay;
     // Scheduled burst loss rides on every server link; Network::Connect
     // decorrelates the per-link RNG seeds.
     lc.burst_loss = config.fault.server_burst_loss;
@@ -225,21 +282,21 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
 
   // ---- clients ------------------------------------------------------------
   std::vector<std::unique_ptr<app::ClientNode>> clients;
-  clients.reserve(static_cast<size_t>(config.num_clients));
-  for (int i = 0; i < config.num_clients; ++i) {
+  clients.reserve(static_cast<size_t>(config.topo.num_clients));
+  for (int i = 0; i < config.topo.num_clients; ++i) {
     app::ClientConfig ccfg;
     ccfg.addr = kClientBase + static_cast<Addr>(i);
     ccfg.orbit_port = kOrbitPort;
     ccfg.src_port = static_cast<L4Port>(9000 + i);
-    ccfg.rate_rps = config.client_rate_rps / config.num_clients;
-    ccfg.request_timeout = config.client_request_timeout;
-    ccfg.max_retries = config.client_max_retries;
+    ccfg.rate_rps = config.topo.client_rate_rps / config.topo.num_clients;
+    ccfg.request_timeout = config.client.request_timeout;
+    ccfg.max_retries = config.client.max_retries;
     ccfg.seed = config.seed * 7919 + static_cast<uint64_t>(i);
     auto node = std::make_unique<app::ClientNode>(&sim, &net, /*port=*/0,
                                                   ccfg, workload);
     sim::LinkConfig lc;
-    lc.rate_gbps = config.client_link_gbps;
-    lc.propagation = config.link_delay;
+    lc.rate_gbps = config.topo.client_link_gbps;
+    lc.propagation = config.topo.link_delay;
     auto at = net.Connect(node.get(), &sw, lc);
     ORBIT_CHECK(at.port_a == 0);
     sw.AddRoute(ccfg.addr, at.port_b);
@@ -248,7 +305,7 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
   }
 
   // ---- controller ---------------------------------------------------------
-  kv::Partitioner partitioner(static_cast<uint32_t>(config.num_servers),
+  kv::Partitioner partitioner(static_cast<uint32_t>(config.topo.num_servers),
                               config.seed);
   std::unique_ptr<oc::Controller> orbit_ctrl;
   std::unique_ptr<nc::NetController> net_ctrl;
@@ -257,14 +314,14 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     sim::Node* ctrl_node = nullptr;
     sim::LinkConfig lc;
     lc.rate_gbps = 10.0;
-    lc.propagation = config.link_delay;
+    lc.propagation = config.topo.link_delay;
     if (config.scheme == Scheme::kOrbitCache) {
       oc::ControllerConfig ccfg;
-      ccfg.cache_size = config.orbit_cache_size;
-      ccfg.max_cache_size = config.orbit_capacity;
-      ccfg.min_cache_size = std::min<size_t>(32, config.orbit_cache_size);
-      ccfg.dynamic_sizing = config.dynamic_sizing;
-      ccfg.update_period = config.update_period;
+      ccfg.cache_size = config.cache.orbit_cache_size;
+      ccfg.max_cache_size = config.cache.orbit_capacity;
+      ccfg.min_cache_size = std::min<size_t>(32, config.cache.orbit_cache_size);
+      ccfg.dynamic_sizing = config.cache.dynamic_sizing;
+      ccfg.update_period = config.control.update_period;
       ccfg.orbit_port = kOrbitPort;
       ccfg.ctrl_port = kCtrlPort;
       orbit_ctrl = std::make_unique<oc::Controller>(
@@ -273,8 +330,8 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
       ctrl_node = orbit_ctrl.get();
     } else {
       nc::NetControllerConfig ccfg;
-      ccfg.cache_size = config.netcache_size;
-      ccfg.update_period = config.update_period;
+      ccfg.cache_size = config.cache.netcache_size;
+      ccfg.update_period = config.control.update_period;
       ccfg.orbit_port = kOrbitPort;
       net_ctrl = std::make_unique<nc::NetController>(
           &sim, &net, netp.get(), &partitioner, server_addrs,
@@ -302,7 +359,7 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
   if (!config.fault.events.empty()) {
     fault::FaultHooks hooks;
     hooks.set_server_link_down = [&server_links,
-                                  n = config.num_servers](int s, bool down) {
+                                  n = config.topo.num_servers](int s, bool down) {
       ORBIT_CHECK_MSG(s >= 0 && s < n, "fault targets unknown server " << s);
       server_links[static_cast<size_t>(s)]->set_down(down);
     };
@@ -366,19 +423,19 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
   }
 
   // ---- preload ------------------------------------------------------------
-  if (config.preload && config.scheme == Scheme::kOrbitCache) {
+  if (config.cache.preload && config.scheme == Scheme::kOrbitCache) {
     std::vector<Key> keys;
-    keys.reserve(config.orbit_cache_size);
-    for (uint64_t r = 0; r < config.orbit_cache_size && r < config.num_keys;
+    keys.reserve(config.cache.orbit_cache_size);
+    for (uint64_t r = 0; r < config.cache.orbit_cache_size && r < config.workload.num_keys;
          ++r)
       keys.push_back(workload->keyspace().KeyAtRank(r));
     orbit_ctrl->Preload(keys);
   }
-  if (config.preload && config.scheme == Scheme::kNetCache) {
+  if (config.cache.preload && config.scheme == Scheme::kNetCache) {
     // The paper preloads the cacheable subset of the 10K hottest items.
     std::vector<Key> keys;
-    keys.reserve(config.netcache_size);
-    for (uint64_t r = 0; r < config.netcache_size && r < config.num_keys;
+    keys.reserve(config.cache.netcache_size);
+    for (uint64_t r = 0; r < config.cache.netcache_size && r < config.workload.num_keys;
          ++r) {
       Key key = workload->keyspace().KeyAtRank(r);
       if (NetCacheCanCache(config, key)) keys.push_back(std::move(key));
@@ -393,6 +450,13 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
   if (net_ctrl != nullptr) net_ctrl->Start();
   if (injector != nullptr) injector->Arm();
 
+  // Periodic observers. Each is one allocation for the whole run (the
+  // self-rearming PeriodicTask) instead of one std::function per firing;
+  // unfired timers are dropped, not invoked, when `sim` dies at scope exit.
+  std::unique_ptr<sim::PeriodicTask> overflow_sampler;
+  std::unique_ptr<sim::PeriodicTask> telemetry_snapper;
+  std::unique_ptr<sim::PeriodicTask> hot_in_swapper;
+
   stats::TimeSeries throughput_timeline(
       config.timeline_bin > 0 ? config.timeline_bin : kSecond);
   stats::TimeSeries overflow_hits_timeline(
@@ -406,43 +470,38 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
       // "Overflow" here matches the paper's Fig. 18 notion: requests for
       // cached keys that had to go to a server — queue overflows plus
       // reads arriving while the entry's fetch is still pending (invalid).
-      auto sampler = std::make_shared<std::function<void()>>();
       auto last_hits = std::make_shared<uint64_t>(0);
       auto last_ovf = std::make_shared<uint64_t>(0);
-      *sampler = [&, sampler, last_hits, last_ovf] {
-        const auto& s = orbit->stats();
-        const uint64_t ovf = s.overflow_to_server + s.invalid_to_server;
-        overflow_hits_timeline.Add(sim.now() - 1,
-                                   static_cast<double>(s.read_hits - *last_hits));
-        overflow_ovf_timeline.Add(sim.now() - 1,
-                                  static_cast<double>(ovf - *last_ovf));
-        *last_hits = s.read_hits;
-        *last_ovf = ovf;
-        sim.After(config.timeline_bin, *sampler);
-      };
-      sim.After(config.timeline_bin, *sampler);
+      overflow_sampler = std::make_unique<sim::PeriodicTask>(
+          &sim, config.timeline_bin, [&, last_hits, last_ovf] {
+            const auto& s = orbit->stats();
+            const uint64_t ovf = s.overflow_to_server + s.invalid_to_server;
+            overflow_hits_timeline.Add(
+                sim.now() - 1, static_cast<double>(s.read_hits - *last_hits));
+            overflow_ovf_timeline.Add(sim.now() - 1,
+                                      static_cast<double>(ovf - *last_ovf));
+            *last_hits = s.read_hits;
+            *last_ovf = ovf;
+          });
+      overflow_sampler->Start();
     }
   }
 
   std::vector<telemetry::Snapshot> telemetry_snapshots;
   uint64_t telemetry_timer_events = 0;  // observer events, excluded below
   if (registry != nullptr && config.telemetry.snapshot_interval > 0) {
-    auto snapper = std::make_shared<std::function<void()>>();
-    *snapper = [&, snapper] {
-      ++telemetry_timer_events;
-      telemetry_snapshots.push_back(registry->Sample(sim.now()));
-      sim.After(config.telemetry.snapshot_interval, *snapper);
-    };
-    sim.After(config.telemetry.snapshot_interval, *snapper);
+    telemetry_snapper = std::make_unique<sim::PeriodicTask>(
+        &sim, config.telemetry.snapshot_interval, [&] {
+          ++telemetry_timer_events;
+          telemetry_snapshots.push_back(registry->Sample(sim.now()));
+        });
+    telemetry_snapper->Start();
   }
 
-  if (config.hot_in) {
-    auto swapper = std::make_shared<std::function<void()>>();
-    *swapper = [&, swapper] {
-      dynamic->Advance();
-      sim.After(config.hot_in_period, *swapper);
-    };
-    sim.After(config.hot_in_period, *swapper);
+  if (config.workload.hot_in) {
+    hot_in_swapper = std::make_unique<sim::PeriodicTask>(
+        &sim, config.workload.hot_in_period, [&] { dynamic->Advance(); });
+    hot_in_swapper->Start();
   }
 
   // Warmup, then snapshot counters and open measurement windows.
@@ -496,7 +555,7 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
   res.rx_rps = static_cast<double>(rx) / secs;
   res.tx_rps = static_cast<double>(tx - snap.client_tx) / secs;
 
-  stats::LoadTracker loads(static_cast<size_t>(config.num_servers));
+  stats::LoadTracker loads(static_cast<size_t>(config.topo.num_servers));
   for (size_t i = 0; i < servers.size(); ++i) {
     const auto& s1 = servers[i]->stats();
     const auto& s0 = snap.servers[i];
@@ -598,11 +657,11 @@ SaturationResult FindSaturation(TestbedConfig config, double loss_tolerance,
   // Probe well below aggregate capacity so per-server shares are measured
   // in the linear (no-drop) regime.
   const double aggregate =
-      config.server_rate_rps > 0
-          ? config.server_rate_rps * config.num_servers
+      config.topo.server_rate_rps > 0
+          ? config.topo.server_rate_rps * config.topo.num_servers
           : 1e7;
   TestbedConfig probe = config;
-  probe.client_rate_rps = 0.25 * aggregate;
+  probe.topo.client_rate_rps = 0.25 * aggregate;
   probe.duration = std::max<SimTime>(50 * kMillisecond, config.duration / 2);
   // Only the final (saturating) run should fill the caller's capture.
   probe.telemetry = TestbedConfig::Telemetry{};
@@ -616,13 +675,13 @@ SaturationResult FindSaturation(TestbedConfig config, double loss_tolerance,
   const double max_load_rps = static_cast<double>(max_load) / probe_secs;
   // Loads scale linearly with Tx below saturation, so the hottest server
   // hits its service rate at:
-  double tx = max_load_rps > 0 ? config.server_rate_rps * probe_res.tx_rps /
+  double tx = max_load_rps > 0 ? config.topo.server_rate_rps * probe_res.tx_rps /
                                      max_load_rps
-                               : probe.client_rate_rps;
+                               : probe.topo.client_rate_rps;
 
   for (int i = 0;; ++i) {
     TestbedConfig attempt = config;
-    attempt.client_rate_rps = tx;
+    attempt.topo.client_rate_rps = tx;
     out.result = RunTestbed(attempt);
     ++out.runs;
     out.sat_tx_rps = tx;

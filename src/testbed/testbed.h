@@ -29,59 +29,80 @@ namespace orbit::testbed {
 enum class Scheme { kNoCache, kNetCache, kOrbitCache };
 const char* SchemeName(Scheme scheme);
 
+// The run configuration, grouped into sections by concern. JSON/fingerprint
+// serialization stays flat (testbed/serialize.h) so result files are stable
+// across this grouping.
 struct TestbedConfig {
   Scheme scheme = Scheme::kOrbitCache;
 
-  // Topology (§5.1: 4 client nodes, 4 storage nodes emulating 8 servers
-  // each; we attach every emulated server through its own switch port).
-  int num_clients = 4;
-  int num_servers = 32;
-  double server_rate_rps = 100'000;  // per emulated server; 0 = unlimited
-  double client_rate_rps = 6'000'000;  // aggregate open-loop Tx
+  // Topology and fabric (§5.1: 4 client nodes, 4 storage nodes emulating 8
+  // servers each; we attach every emulated server through its own switch
+  // port).
+  struct Topology {
+    int num_clients = 4;
+    int num_servers = 32;
+    double server_rate_rps = 100'000;    // per emulated server; 0 = unlimited
+    double client_rate_rps = 6'000'000;  // aggregate open-loop Tx
+    rmt::AsicConfig asic;
+    double client_link_gbps = 100.0;
+    double server_link_gbps = 25.0;
+    SimTime link_delay = 500;  // ns one way
+  };
+  Topology topo;
 
-  // Workload.
-  uint64_t num_keys = 10'000'000;
-  uint32_t key_size = 16;
-  double zipf_theta = 0.99;  // 0 = uniform
-  wl::ValueDist value_dist = wl::ValueDist::PaperDefault();
-  double write_ratio = 0.0;
-  // Optional Fig.-14 production profile; overrides value sizing with the
-  // profile's cacheability/size model and sets the write ratio.
-  const wl::TwitterProfile* twitter = nullptr;
+  // What the clients ask for.
+  struct Workload {
+    uint64_t num_keys = 10'000'000;
+    uint32_t key_size = 16;
+    double zipf_theta = 0.99;  // 0 = uniform
+    wl::ValueDist value_dist = wl::ValueDist::PaperDefault();
+    double write_ratio = 0.0;
+    // Optional Fig.-14 production profile; overrides value sizing with the
+    // profile's cacheability/size model and sets the write ratio.
+    const wl::TwitterProfile* twitter = nullptr;
+    // Dynamic popularity (Fig. 18's hot-in pattern).
+    bool hot_in = false;
+    SimTime hot_in_period = 10 * kSecond;
+    uint64_t hot_in_count = 128;
+  };
+  Workload workload;
 
-  // Cache configuration.
-  bool preload = true;
-  size_t orbit_cache_size = 128;   // preloaded hottest items (§5.1)
-  size_t orbit_capacity = 1024;    // data-plane array capacity
-  size_t orbit_queue_size = 8;     // request-table depth S
-  size_t netcache_size = 10'000;   // preloaded hottest items for NetCache
-  // §2.2 strawman: NetCache reads values up to 1024B by recirculating the
-  // request once per 64B slice (rationale bench).
-  bool netcache_recirc_read = false;
+  // Cache sizing and scheme options.
+  struct CacheTuning {
+    bool preload = true;
+    size_t orbit_cache_size = 128;  // preloaded hottest items (§5.1)
+    size_t orbit_capacity = 1024;   // data-plane array capacity
+    size_t orbit_queue_size = 8;    // request-table depth S
+    size_t netcache_size = 10'000;  // preloaded hottest items for NetCache
+    // §2.2 strawman: NetCache reads values up to 1024B by recirculating the
+    // request once per 64B slice (rationale bench).
+    bool netcache_recirc_read = false;
+    // OrbitCache options / extensions.
+    bool epoch_guard = true;
+    bool enable_cloning = true;
+    bool write_back = false;
+    bool multi_packet = false;
+    bool dynamic_sizing = false;
+  };
+  CacheTuning cache;
 
-  // OrbitCache options / extensions.
-  bool epoch_guard = true;
-  bool enable_cloning = true;
-  bool write_back = false;
-  bool multi_packet = false;
-  bool dynamic_sizing = false;
-
-  // Control plane cadence. When run_cache_updates is false the preloaded
+  // Control-plane cadence. When run_cache_updates is false the preloaded
   // cache stays fixed (the paper's static experiments).
-  bool run_cache_updates = false;
-  SimTime update_period = 100 * kMillisecond;
-  SimTime report_period = 100 * kMillisecond;
+  struct ControlPlane {
+    bool run_cache_updates = false;
+    SimTime update_period = 100 * kMillisecond;
+    SimTime report_period = 100 * kMillisecond;
+  };
+  ControlPlane control;
 
-  // Dynamic workload (Fig. 18's hot-in pattern).
-  bool hot_in = false;
-  SimTime hot_in_period = 10 * kSecond;
-  uint64_t hot_in_count = 128;
-
-  // Client retry budget (§3.9): how many times a client retransmits a
+  // Client-side retry budget (§3.9): how many times a client retransmits a
   // request (same SEQ, exponential backoff) before giving up. 0 keeps the
   // timeout-only behavior of the static figures.
-  int client_max_retries = 0;
-  SimTime client_request_timeout = 20 * kMillisecond;
+  struct ClientPolicy {
+    int max_retries = 0;
+    SimTime request_timeout = 20 * kMillisecond;
+  };
+  ClientPolicy client;
 
   // Scripted fault injection (server crash/restart, switch reset,
   // controller-channel loss, bursty server-link loss). Default: no faults.
@@ -94,12 +115,6 @@ struct TestbedConfig {
 
   // Timeline sampling (0 disables; Fig. 18 uses 1s bins).
   SimTime timeline_bin = 0;
-
-  // Fabric parameters.
-  rmt::AsicConfig asic;
-  double client_link_gbps = 100.0;
-  double server_link_gbps = 25.0;
-  SimTime link_delay = 500;  // ns one way
 
   // Telemetry (observability only). With `capture` null — the default —
   // no tracer or registry is built and results are byte-identical to an
@@ -114,6 +129,10 @@ struct TestbedConfig {
     SimTime snapshot_interval = 0;
   };
   Telemetry telemetry;
+
+  // Checks cross-field invariants; returns one actionable message per
+  // violation (empty = valid). RunTestbed() refuses invalid configs.
+  std::vector<std::string> Validate() const;
 };
 
 struct TestbedResult {

@@ -12,18 +12,18 @@ TEST(PaperConfig, MatchesSection51) {
   Mode full;
   full.full = true;
   const testbed::TestbedConfig cfg = PaperConfig(full);
-  EXPECT_EQ(cfg.num_clients, 4);              // 4 client nodes
-  EXPECT_EQ(cfg.num_servers, 32);             // 4 nodes x 8 emulated servers
-  EXPECT_DOUBLE_EQ(cfg.server_rate_rps, 100'000);  // Rx limit per server
-  EXPECT_EQ(cfg.num_keys, 10'000'000u);       // 10M key-value pairs
-  EXPECT_DOUBLE_EQ(cfg.zipf_theta, 0.99);     // typical skewness
-  EXPECT_EQ(cfg.key_size, 16u);               // 16B keys "for simplicity"
-  EXPECT_EQ(cfg.orbit_cache_size, 128u);      // near-optimal cache size
-  EXPECT_EQ(cfg.netcache_size, 10'000u);      // 10K hottest preloaded
+  EXPECT_EQ(cfg.topo.num_clients, 4);              // 4 client nodes
+  EXPECT_EQ(cfg.topo.num_servers, 32);             // 4 nodes x 8 emulated servers
+  EXPECT_DOUBLE_EQ(cfg.topo.server_rate_rps, 100'000);  // Rx limit per server
+  EXPECT_EQ(cfg.workload.num_keys, 10'000'000u);       // 10M key-value pairs
+  EXPECT_DOUBLE_EQ(cfg.workload.zipf_theta, 0.99);     // typical skewness
+  EXPECT_EQ(cfg.workload.key_size, 16u);               // 16B keys "for simplicity"
+  EXPECT_EQ(cfg.cache.orbit_cache_size, 128u);      // near-optimal cache size
+  EXPECT_EQ(cfg.cache.netcache_size, 10'000u);      // 10K hottest preloaded
   // 82% 64B / 18% 1024B bimodal values (Cluster018-derived).
-  EXPECT_EQ(cfg.value_dist.min_size(), 64u);
-  EXPECT_EQ(cfg.value_dist.max_size(), 1024u);
-  EXPECT_NEAR(cfg.value_dist.mean_size(), 0.82 * 64 + 0.18 * 1024, 1e-9);
+  EXPECT_EQ(cfg.workload.value_dist.min_size(), 64u);
+  EXPECT_EQ(cfg.workload.value_dist.max_size(), 1024u);
+  EXPECT_NEAR(cfg.workload.value_dist.mean_size(), 0.82 * 64 + 0.18 * 1024, 1e-9);
 }
 
 TEST(PaperConfig, QuickModeOnlyShrinksScale) {
@@ -34,12 +34,12 @@ TEST(PaperConfig, QuickModeOnlyShrinksScale) {
   const testbed::TestbedConfig f = PaperConfig(full);
   // Quick mode may shrink the key space and windows but must not alter
   // the comparison-relevant knobs.
-  EXPECT_LT(q.num_keys, f.num_keys);
+  EXPECT_LT(q.workload.num_keys, f.workload.num_keys);
   EXPECT_LE(q.duration, f.duration);
-  EXPECT_EQ(q.num_servers, f.num_servers);
-  EXPECT_EQ(q.orbit_cache_size, f.orbit_cache_size);
-  EXPECT_EQ(q.netcache_size, f.netcache_size);
-  EXPECT_DOUBLE_EQ(q.zipf_theta, f.zipf_theta);
+  EXPECT_EQ(q.topo.num_servers, f.topo.num_servers);
+  EXPECT_EQ(q.cache.orbit_cache_size, f.cache.orbit_cache_size);
+  EXPECT_EQ(q.cache.netcache_size, f.cache.netcache_size);
+  EXPECT_DOUBLE_EQ(q.workload.zipf_theta, f.workload.zipf_theta);
   EXPECT_EQ(q.seed, f.seed);
 }
 
@@ -74,9 +74,9 @@ TEST(ScaleProfile, OrderedAndDelegated) {
 
   Mode full;
   full.full = true;
-  EXPECT_EQ(PaperConfig(full).num_keys, f.num_keys);
+  EXPECT_EQ(PaperConfig(full).workload.num_keys, f.num_keys);
   EXPECT_EQ(PaperConfig(full).duration, f.duration);
-  EXPECT_EQ(PaperConfig(Mode{}).num_keys, d.num_keys);
+  EXPECT_EQ(PaperConfig(Mode{}).workload.num_keys, d.num_keys);
 }
 
 }  // namespace

@@ -108,13 +108,13 @@ TEST(Coherence, EndToEndTestbedStaysCoherentUnderWriteChurn) {
   // Statistical end-to-end check with many clients and servers.
   testbed::TestbedConfig cfg;
   cfg.scheme = testbed::Scheme::kOrbitCache;
-  cfg.num_clients = 2;
-  cfg.num_servers = 4;
-  cfg.server_rate_rps = 50'000;
-  cfg.client_rate_rps = 200'000;
-  cfg.num_keys = 10'000;
-  cfg.write_ratio = 0.3;
-  cfg.orbit_cache_size = 16;
+  cfg.topo.num_clients = 2;
+  cfg.topo.num_servers = 4;
+  cfg.topo.server_rate_rps = 50'000;
+  cfg.topo.client_rate_rps = 200'000;
+  cfg.workload.num_keys = 10'000;
+  cfg.workload.write_ratio = 0.3;
+  cfg.cache.orbit_cache_size = 16;
   cfg.warmup = 10 * kMillisecond;
   cfg.duration = 100 * kMillisecond;
   const testbed::TestbedResult res = testbed::RunTestbed(cfg);

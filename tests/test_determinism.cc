@@ -11,13 +11,13 @@ namespace {
 TestbedConfig Config(uint64_t seed) {
   TestbedConfig cfg;
   cfg.scheme = Scheme::kOrbitCache;
-  cfg.num_clients = 2;
-  cfg.num_servers = 8;
-  cfg.server_rate_rps = 20'000;
-  cfg.client_rate_rps = 300'000;
-  cfg.num_keys = 50'000;
-  cfg.write_ratio = 0.1;
-  cfg.orbit_cache_size = 32;
+  cfg.topo.num_clients = 2;
+  cfg.topo.num_servers = 8;
+  cfg.topo.server_rate_rps = 20'000;
+  cfg.topo.client_rate_rps = 300'000;
+  cfg.workload.num_keys = 50'000;
+  cfg.workload.write_ratio = 0.1;
+  cfg.cache.orbit_cache_size = 32;
   cfg.warmup = 10 * kMillisecond;
   cfg.duration = 50 * kMillisecond;
   cfg.seed = seed;

@@ -31,7 +31,7 @@ class Sink : public sim::Node {
 };
 
 sim::PacketPtr Pkt(uint32_t seq) {
-  auto pkt = std::make_unique<sim::Packet>();
+  auto pkt = sim::NewPacket(0, 0, 0, 0);
   pkt->msg.seq = seq;
   return pkt;
 }
@@ -225,11 +225,11 @@ TEST(FaultSchedule, BuildersAndEmptiness) {
 
 testbed::TestbedConfig TinyConfig() {
   testbed::TestbedConfig cfg;
-  cfg.num_clients = 2;
-  cfg.num_servers = 4;
-  cfg.num_keys = 2'000;
-  cfg.server_rate_rps = 100'000;
-  cfg.client_rate_rps = 400'000;
+  cfg.topo.num_clients = 2;
+  cfg.topo.num_servers = 4;
+  cfg.workload.num_keys = 2'000;
+  cfg.topo.server_rate_rps = 100'000;
+  cfg.topo.client_rate_rps = 400'000;
   cfg.warmup = 2 * kMillisecond;
   cfg.duration = 10 * kMillisecond;
   return cfg;
@@ -240,10 +240,10 @@ TEST(TestbedFaults, ServerCrashCollapsesThenRecoversWithRetries) {
   cfg.scheme = testbed::Scheme::kNoCache;
   // Mild skew and headroom below saturation: the clean run must be
   // genuinely timeout-free so every retransmission is fault-attributable.
-  cfg.zipf_theta = 0.5;
-  cfg.client_rate_rps = 250'000;
-  cfg.client_max_retries = 2;
-  cfg.client_request_timeout = 2 * kMillisecond;
+  cfg.workload.zipf_theta = 0.5;
+  cfg.topo.client_rate_rps = 250'000;
+  cfg.client.max_retries = 2;
+  cfg.client.request_timeout = 2 * kMillisecond;
   const testbed::TestbedResult clean = testbed::RunTestbed(cfg);
   ASSERT_EQ(clean.faults_injected, 0u);
   ASSERT_EQ(clean.retransmissions, 0u);
@@ -262,9 +262,9 @@ TEST(TestbedFaults, ServerCrashCollapsesThenRecoversWithRetries) {
 TEST(TestbedFaults, SwitchResetIsRebuiltByTheController) {
   testbed::TestbedConfig cfg = TinyConfig();
   cfg.scheme = testbed::Scheme::kOrbitCache;
-  cfg.orbit_cache_size = 32;
-  cfg.client_max_retries = 2;
-  cfg.client_request_timeout = kMillisecond;
+  cfg.cache.orbit_cache_size = 32;
+  cfg.client.max_retries = 2;
+  cfg.client.request_timeout = kMillisecond;
   cfg.fault = SwitchResetAt(5 * kMillisecond, kMillisecond);
   const testbed::TestbedResult res = testbed::RunTestbed(cfg);
   EXPECT_EQ(res.faults_injected, 2u) << "reset + cache rebuild";
@@ -277,9 +277,9 @@ TEST(TestbedFaults, SwitchResetIsRebuiltByTheController) {
 TEST(TestbedFaults, CtrlChannelOutageIsInjected) {
   testbed::TestbedConfig cfg = TinyConfig();
   cfg.scheme = testbed::Scheme::kOrbitCache;
-  cfg.run_cache_updates = true;
-  cfg.update_period = 2 * kMillisecond;
-  cfg.report_period = 2 * kMillisecond;
+  cfg.control.run_cache_updates = true;
+  cfg.control.update_period = 2 * kMillisecond;
+  cfg.control.report_period = 2 * kMillisecond;
   cfg.fault.events.push_back({4 * kMillisecond, FaultKind::kCtrlDown, -1});
   cfg.fault.events.push_back({7 * kMillisecond, FaultKind::kCtrlUp, -1});
   const testbed::TestbedResult res = testbed::RunTestbed(cfg);
@@ -290,13 +290,13 @@ TEST(TestbedFaults, CtrlChannelOutageIsInjected) {
 TEST(TestbedFaults, BurstLossIsAbsorbedByRetransmission) {
   testbed::TestbedConfig cfg = TinyConfig();
   cfg.scheme = testbed::Scheme::kNoCache;
-  cfg.client_request_timeout = kMillisecond;
+  cfg.client.request_timeout = kMillisecond;
   cfg.fault.server_burst_loss.p_enter_bad = 0.02;
   cfg.fault.server_burst_loss.p_exit_bad = 0.3;
 
-  cfg.client_max_retries = 0;
+  cfg.client.max_retries = 0;
   const testbed::TestbedResult no_retry = testbed::RunTestbed(cfg);
-  cfg.client_max_retries = 3;
+  cfg.client.max_retries = 3;
   const testbed::TestbedResult retry = testbed::RunTestbed(cfg);
 
   EXPECT_GT(no_retry.timeouts, 0u) << "burst loss must bite without retries";
@@ -311,9 +311,9 @@ TEST(TestbedFaults, RetryBudgetIsResultsNeutralWithoutLoss) {
   // still unanswered, so enabling retries changes nothing — not even the
   // event count (one deadline event is armed per request either way).
   testbed::TestbedConfig cfg = TinyConfig();
-  cfg.client_max_retries = 0;
+  cfg.client.max_retries = 0;
   const testbed::TestbedResult a = testbed::RunTestbed(cfg);
-  cfg.client_max_retries = 3;
+  cfg.client.max_retries = 3;
   const testbed::TestbedResult b = testbed::RunTestbed(cfg);
   EXPECT_EQ(a.events_processed, b.events_processed);
   EXPECT_DOUBLE_EQ(a.rx_rps, b.rx_rps);

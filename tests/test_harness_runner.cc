@@ -1,7 +1,9 @@
 // The parallel runner's core promise: running sweep points across a
 // thread pool changes wall-clock time only — the JSONL bytes, record
-// order, and every metric are identical to a serial run. Also covers
-// failure isolation and the per-point wall-clock timeout.
+// order, and every metric are identical to a serial run. Each worker's
+// Simulator installs its own thread-local packet pool, so these tests
+// also pin down that pooling cannot leak state across concurrent points.
+// Also covers failure isolation and the per-point wall-clock timeout.
 #include "harness/runner.h"
 
 #include <gtest/gtest.h>
@@ -21,18 +23,18 @@ ExperimentSpec TinySimSpec() {
   ExperimentSpec spec;
   spec.name = "unit_tiny_sim";
   spec.apply_paper_scale = false;
-  spec.base.num_clients = 2;
-  spec.base.num_servers = 4;
-  spec.base.num_keys = 2'000;
-  spec.base.server_rate_rps = 100'000;
-  spec.base.client_rate_rps = 400'000;
+  spec.base.topo.num_clients = 2;
+  spec.base.topo.num_servers = 4;
+  spec.base.workload.num_keys = 2'000;
+  spec.base.topo.server_rate_rps = 100'000;
+  spec.base.topo.client_rate_rps = 400'000;
   spec.base.warmup = 2 * kMillisecond;
   spec.base.duration = 10 * kMillisecond;
   spec.axes = {SchemeAxis({testbed::Scheme::kNoCache,
                            testbed::Scheme::kOrbitCache}),
                NumericAxis("zipf_theta", {0.9, 0.99},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.zipf_theta = v;
+                             cfg.workload.zipf_theta = v;
                            })};
   spec.run = FixedLoadRun();
   return spec;
@@ -63,8 +65,8 @@ TEST(RunExperiments, ParallelOutputIsByteIdenticalToSerial) {
 ExperimentSpec TinyFaultSpec() {
   ExperimentSpec spec = TinySimSpec();
   spec.name = "unit_tiny_fault";
-  spec.base.client_max_retries = 2;
-  spec.base.client_request_timeout = kMillisecond;
+  spec.base.client.max_retries = 2;
+  spec.base.client.request_timeout = kMillisecond;
   spec.axes = {
       SchemeAxis({testbed::Scheme::kOrbitCache}),
       FaultAxis(

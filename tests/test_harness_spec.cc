@@ -16,7 +16,7 @@ ExperimentSpec TwoAxisSpec() {
                            testbed::Scheme::kOrbitCache}),
                NumericAxis("zipf_theta", {0.9, 0.99},
                            [](testbed::TestbedConfig& cfg, double v) {
-                             cfg.zipf_theta = v;
+                             cfg.workload.zipf_theta = v;
                            })};
   return spec;
 }
@@ -35,7 +35,7 @@ TEST(ExpandGrid, RowMajorLastAxisFastest) {
   for (int i = 0; i < 4; ++i) EXPECT_EQ(points[i].point, i);
   // The apply functions actually landed on the config.
   EXPECT_EQ(points[2].config.scheme, testbed::Scheme::kOrbitCache);
-  EXPECT_DOUBLE_EQ(points[1].config.zipf_theta, 0.99);
+  EXPECT_DOUBLE_EQ(points[1].config.workload.zipf_theta, 0.99);
   EXPECT_DOUBLE_EQ(points[1].Value("zipf_theta"), 0.99);
 }
 
@@ -46,13 +46,13 @@ TEST(ExpandGrid, AppliesScaleProfileAndScaleFn) {
   };
   const ScaleProfile quick = PaperScaleProfile(Scale::kQuick);
   const auto points = ExpandGrid(spec, Scale::kQuick, 42);
-  EXPECT_EQ(points[0].config.num_keys, quick.num_keys);
+  EXPECT_EQ(points[0].config.workload.num_keys, quick.num_keys);
   EXPECT_EQ(points[0].config.warmup, quick.warmup);
   EXPECT_EQ(points[0].config.duration, quick.duration / 2);
 
   spec.apply_paper_scale = false;
   const auto raw = ExpandGrid(spec, Scale::kQuick, 42);
-  EXPECT_EQ(raw[0].config.num_keys, spec.base.num_keys);
+  EXPECT_EQ(raw[0].config.workload.num_keys, spec.base.workload.num_keys);
   EXPECT_EQ(raw[0].config.duration, spec.base.duration / 2);
 }
 
@@ -90,11 +90,11 @@ TEST(DeriveSeed, StableAndExperimentScoped) {
 
 TEST(ScaledPaperConfig, FullIsSection51) {
   const testbed::TestbedConfig cfg = ScaledPaperConfig(Scale::kFull);
-  EXPECT_EQ(cfg.num_clients, 4);
-  EXPECT_EQ(cfg.num_servers, 32);
-  EXPECT_EQ(cfg.num_keys, 10'000'000u);
-  EXPECT_DOUBLE_EQ(cfg.zipf_theta, 0.99);
-  EXPECT_EQ(cfg.orbit_cache_size, 128u);
+  EXPECT_EQ(cfg.topo.num_clients, 4);
+  EXPECT_EQ(cfg.topo.num_servers, 32);
+  EXPECT_EQ(cfg.workload.num_keys, 10'000'000u);
+  EXPECT_DOUBLE_EQ(cfg.workload.zipf_theta, 0.99);
+  EXPECT_EQ(cfg.cache.orbit_cache_size, 128u);
   EXPECT_EQ(cfg.seed, 42u);
 }
 

@@ -28,7 +28,7 @@ class Recorder : public Node {
 };
 
 PacketPtr MakeSized(uint32_t seq, uint32_t value_bytes) {
-  auto pkt = std::make_unique<Packet>();
+  auto pkt = NewPacket(0, 0, 0, 0);
   pkt->msg.seq = seq;
   pkt->msg.value = kv::Value::Synthetic(value_bytes, 1);
   return pkt;

@@ -29,7 +29,7 @@ TEST(NoCache, ForwardsEverythingByDestination) {
   sw.AddRoute(2, at_b.port_b);
 
   for (uint32_t seq = 0; seq < 5; ++seq) {
-    auto pkt = std::make_unique<sim::Packet>();
+    auto pkt = sim::NewPacket(0, 0, 0, 0);
     pkt->src = 1;
     pkt->dst = 2;
     pkt->msg.seq = seq;

@@ -59,7 +59,7 @@ class SwitchTest : public ::testing::Test {
   }
 
   sim::PacketPtr Pkt(uint32_t seq, Addr dst = 2) {
-    auto pkt = std::make_unique<sim::Packet>();
+    auto pkt = sim::NewPacket(0, 0, 0, 0);
     pkt->src = 1;
     pkt->dst = dst;
     pkt->msg.seq = seq;

@@ -19,11 +19,11 @@ namespace {
 testbed::TestbedConfig TinyConfig(testbed::Scheme scheme) {
   testbed::TestbedConfig cfg;
   cfg.scheme = scheme;
-  cfg.num_clients = 2;
-  cfg.num_servers = 4;
-  cfg.num_keys = 2'000;
-  cfg.server_rate_rps = 100'000;
-  cfg.client_rate_rps = 400'000;
+  cfg.topo.num_clients = 2;
+  cfg.topo.num_servers = 4;
+  cfg.workload.num_keys = 2'000;
+  cfg.topo.server_rate_rps = 100'000;
+  cfg.topo.client_rate_rps = 400'000;
   cfg.warmup = 2 * kMillisecond;
   cfg.duration = 10 * kMillisecond;
   return cfg;

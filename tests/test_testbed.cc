@@ -3,21 +3,23 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
+
 namespace orbit::testbed {
 namespace {
 
 TestbedConfig SmallConfig(Scheme scheme) {
   TestbedConfig cfg;
   cfg.scheme = scheme;
-  cfg.num_clients = 2;
-  cfg.num_servers = 8;
-  cfg.server_rate_rps = 20'000;
-  cfg.client_rate_rps = 400'000;
-  cfg.num_keys = 100'000;
-  cfg.zipf_theta = 0.99;
-  cfg.orbit_cache_size = 32;
-  cfg.orbit_capacity = 128;
-  cfg.netcache_size = 1000;
+  cfg.topo.num_clients = 2;
+  cfg.topo.num_servers = 8;
+  cfg.topo.server_rate_rps = 20'000;
+  cfg.topo.client_rate_rps = 400'000;
+  cfg.workload.num_keys = 100'000;
+  cfg.workload.zipf_theta = 0.99;
+  cfg.cache.orbit_cache_size = 32;
+  cfg.cache.orbit_capacity = 128;
+  cfg.cache.netcache_size = 1000;
   cfg.warmup = 20 * kMillisecond;
   cfg.duration = 80 * kMillisecond;
   cfg.seed = 7;
@@ -62,8 +64,8 @@ TEST(Testbed, OrbitCacheBeatsNoCacheOnSkewedWorkload) {
 
 TEST(Testbed, UniformWorkloadNeedsNoCache) {
   TestbedConfig cfg = SmallConfig(Scheme::kNoCache);
-  cfg.zipf_theta = 0.0;
-  cfg.client_rate_rps = 100'000;  // below aggregate capacity of 160K
+  cfg.workload.zipf_theta = 0.0;
+  cfg.topo.client_rate_rps = 100'000;  // below aggregate capacity of 160K
   TestbedResult res = RunTestbed(cfg);
   // Uniform load balances itself: every server sees similar traffic.
   EXPECT_GT(res.balancing_efficiency, 0.8);
@@ -71,7 +73,7 @@ TEST(Testbed, UniformWorkloadNeedsNoCache) {
 
 TEST(Testbed, WritesReachServersAndStayCoherent) {
   TestbedConfig cfg = SmallConfig(Scheme::kOrbitCache);
-  cfg.write_ratio = 0.2;
+  cfg.workload.write_ratio = 0.2;
   TestbedResult res = RunTestbed(cfg);
   EXPECT_GT(res.rx_rps, 0);
   EXPECT_EQ(res.stale_reads, 0u) << "invalidation protocol must hold";
@@ -82,9 +84,9 @@ TEST(Testbed, WriteBackOutperformsWriteThroughUnderWrites) {
   // §3.10: write-back keeps serving from the switch regardless of the
   // write ratio, while write-through forfeits its gain to invalidations.
   TestbedConfig wt = SmallConfig(Scheme::kOrbitCache);
-  wt.write_ratio = 0.5;
+  wt.workload.write_ratio = 0.5;
   TestbedConfig wb = wt;
-  wb.write_back = true;
+  wb.cache.write_back = true;
 
   TestbedResult wt_res = FindSaturation(wt).result;
   TestbedResult wb_res = FindSaturation(wb).result;
@@ -99,11 +101,11 @@ TEST(Testbed, MultiPacketItemsEndToEnd) {
   // sustained overload, write replies return so late that newer writes
   // have always superseded them and entries legitimately stay invalid.
   TestbedConfig cfg = SmallConfig(Scheme::kOrbitCache);
-  cfg.multi_packet = true;
-  cfg.value_dist = wl::ValueDist::Fixed(4000);
-  cfg.orbit_cache_size = 8;  // 3 packets per entry: keep the ring modest
-  cfg.write_ratio = 0.05;
-  cfg.client_rate_rps = 120'000;  // below the 160K aggregate capacity
+  cfg.cache.multi_packet = true;
+  cfg.workload.value_dist = wl::ValueDist::Fixed(4000);
+  cfg.cache.orbit_cache_size = 8;  // 3 packets per entry: keep the ring modest
+  cfg.workload.write_ratio = 0.05;
+  cfg.topo.client_rate_rps = 120'000;  // below the 160K aggregate capacity
   TestbedResult res = RunTestbed(cfg);
   EXPECT_GT(res.rx_rps, 100'000.0);
   EXPECT_GT(res.cache_served_rps, 10'000.0)
@@ -117,17 +119,17 @@ TEST(Testbed, MultiPacketItemsEndToEnd) {
 
 TEST(Testbed, DynamicWorkloadRecoversAfterSwap) {
   TestbedConfig cfg = SmallConfig(Scheme::kOrbitCache);
-  cfg.num_servers = 4;
-  cfg.server_rate_rps = 50'000;
-  cfg.client_rate_rps = 180'000;
-  cfg.num_keys = 50'000;
-  cfg.orbit_cache_size = 32;
-  cfg.hot_in = true;
-  cfg.hot_in_count = 32;
-  cfg.hot_in_period = 400 * kMillisecond;
-  cfg.run_cache_updates = true;
-  cfg.update_period = 100 * kMillisecond;
-  cfg.report_period = 100 * kMillisecond;
+  cfg.topo.num_servers = 4;
+  cfg.topo.server_rate_rps = 50'000;
+  cfg.topo.client_rate_rps = 180'000;
+  cfg.workload.num_keys = 50'000;
+  cfg.cache.orbit_cache_size = 32;
+  cfg.workload.hot_in = true;
+  cfg.workload.hot_in_count = 32;
+  cfg.workload.hot_in_period = 400 * kMillisecond;
+  cfg.control.run_cache_updates = true;
+  cfg.control.update_period = 100 * kMillisecond;
+  cfg.control.report_period = 100 * kMillisecond;
   cfg.warmup = 0;
   cfg.duration = 1200 * kMillisecond;
   cfg.timeline_bin = 50 * kMillisecond;
@@ -147,12 +149,65 @@ TEST(Testbed, SaturationSearchFindsTheServerLimit) {
   // With a uniform workload the saturation point must sit near the
   // aggregate server capacity, independent of the probe rate.
   TestbedConfig cfg = SmallConfig(Scheme::kNoCache);
-  cfg.zipf_theta = 0.0;
+  cfg.workload.zipf_theta = 0.0;
   SaturationResult sat = FindSaturation(cfg);
-  const double capacity = cfg.server_rate_rps * cfg.num_servers;
+  const double capacity = cfg.topo.server_rate_rps * cfg.topo.num_servers;
   EXPECT_GT(sat.result.rx_rps, 0.75 * capacity);
   EXPECT_LE(sat.result.rx_rps, 1.05 * capacity);
   EXPECT_GE(sat.runs, 2);
+}
+
+// --- TestbedConfig::Validate -------------------------------------------
+
+bool HasErrorMentioning(const std::vector<std::string>& errors,
+                        const std::string& needle) {
+  for (const auto& e : errors)
+    if (e.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+TEST(TestbedValidate, DefaultAndSmallConfigsAreValid) {
+  EXPECT_TRUE(TestbedConfig{}.Validate().empty());
+  EXPECT_TRUE(SmallConfig(Scheme::kOrbitCache).Validate().empty());
+}
+
+TEST(TestbedValidate, CacheLargerThanCapacityIsActionable) {
+  TestbedConfig cfg;
+  cfg.cache.orbit_cache_size = 2048;
+  cfg.cache.orbit_capacity = 1024;
+  const auto errors = cfg.Validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_TRUE(HasErrorMentioning(errors, "orbit_cache_size"));
+  EXPECT_TRUE(HasErrorMentioning(errors, "2048"))
+      << "the message must quote the offending values";
+  EXPECT_TRUE(HasErrorMentioning(errors, "1024"));
+}
+
+TEST(TestbedValidate, TimelineBinBeyondDurationIsRejected) {
+  TestbedConfig cfg;
+  cfg.duration = 100 * kMillisecond;
+  cfg.timeline_bin = kSecond;
+  EXPECT_TRUE(HasErrorMentioning(cfg.Validate(), "timeline_bin"));
+}
+
+TEST(TestbedValidate, CollectsEveryViolationNotJustTheFirst) {
+  TestbedConfig cfg;
+  cfg.topo.num_clients = 0;
+  cfg.workload.num_keys = 0;
+  cfg.workload.write_ratio = 1.5;
+  cfg.duration = 0;
+  const auto errors = cfg.Validate();
+  EXPECT_GE(errors.size(), 4u);
+  EXPECT_TRUE(HasErrorMentioning(errors, "num_clients"));
+  EXPECT_TRUE(HasErrorMentioning(errors, "num_keys"));
+  EXPECT_TRUE(HasErrorMentioning(errors, "write_ratio"));
+  EXPECT_TRUE(HasErrorMentioning(errors, "duration"));
+}
+
+TEST(TestbedValidate, RunTestbedRefusesInvalidConfigs) {
+  TestbedConfig cfg = SmallConfig(Scheme::kOrbitCache);
+  cfg.cache.orbit_cache_size = cfg.cache.orbit_capacity + 1;
+  EXPECT_THROW(RunTestbed(cfg), CheckFailure);
 }
 
 }  // namespace

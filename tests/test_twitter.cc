@@ -73,7 +73,7 @@ TEST(TwitterTestbedMode, SizeFnPreservesTheSmallValueFraction) {
   // testbed achieves that by conditioning sizes on the cacheability coin.
   for (const auto& profile : wl::Fig14Profiles()) {
     testbed::TestbedConfig cfg;
-    cfg.twitter = &profile;
+    cfg.workload.twitter = &profile;
     auto size_fn = testbed::MakeValueSizeFn(cfg);
     wl::KeySpace ks(50'000, 16, cfg.seed);
     int small = 0, cacheable = 0, cacheable_large = 0;
@@ -104,12 +104,12 @@ TEST(TwitterTestbedMode, SizeFnPreservesTheSmallValueFraction) {
 
 TEST(TwitterTestbedMode, NonTwitterModeUsesValueDist) {
   testbed::TestbedConfig cfg;
-  cfg.value_dist = wl::ValueDist::Fixed(300);
+  cfg.workload.value_dist = wl::ValueDist::Fixed(300);
   auto size_fn = testbed::MakeValueSizeFn(cfg);
   EXPECT_EQ(size_fn("whatever-key-000"), 300u);
   EXPECT_FALSE(testbed::NetCacheCanCache(cfg, "whatever-key-000"))
       << "300B exceeds the 64B register budget";
-  cfg.value_dist = wl::ValueDist::Fixed(64);
+  cfg.workload.value_dist = wl::ValueDist::Fixed(64);
   EXPECT_TRUE(testbed::NetCacheCanCache(cfg, "whatever-key-000"));
   EXPECT_FALSE(
       testbed::NetCacheCanCache(cfg, Key(17, 'k')))

@@ -22,10 +22,26 @@
 #include <vector>
 
 #include "harness/compare.h"
+#include "harness/flags.h"
 #include "harness/metrics.h"
 #include "harness/telemetry_io.h"
 
 namespace {
+
+orbit::harness::Flags MakeFlags() {
+  orbit::harness::Flags flags;
+  flags.AddDouble("tolerance", 0.05, "F",
+                  "relative tolerance, default 0.05 (5%)");
+  flags.AddDouble("slack", 0.02, "F",
+                  "absolute difference always allowed, default 0.02");
+  flags.AddString("metrics", "", "LIST",
+                  "comma-separated metric names (dotted paths ok)");
+  flags.AddBool("all-metrics", "compare every numeric top-level metric");
+  flags.AddBool("counters",
+                "inputs are counter-snapshot JSONL (--counters-out)");
+  flags.AddBool("help", "this message").Alias("-h");
+  return flags;
+}
 
 void Usage(const char* prog) {
   std::fprintf(
@@ -33,12 +49,8 @@ void Usage(const char* prog) {
       "usage: %s A.jsonl B.jsonl [--tolerance F] [--slack F]\n"
       "          [--metrics m1,m2,...] [--all-metrics]\n"
       "       %s --counters A.jsonl B.jsonl [--tolerance F] [--slack F]\n"
-      "  --tolerance F   relative tolerance, default 0.05 (5%%)\n"
-      "  --slack F       absolute difference always allowed, default 0.02\n"
-      "  --metrics LIST  comma-separated metric names (dotted paths ok)\n"
-      "  --all-metrics   compare every numeric top-level metric\n"
-      "  --counters      inputs are counter-snapshot JSONL (--counters-out)\n",
-      prog);
+      "%s",
+      prog, prog, MakeFlags().Usage().c_str());
 }
 
 std::string SnapshotKey(const orbit::harness::JsonValue& line) {
@@ -144,44 +156,28 @@ std::vector<std::string> SplitCsv(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> paths;
-  orbit::harness::CompareOptions options;
-  bool counters_mode = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--tolerance") {
-      options.tolerance = std::atof(value("--tolerance"));
-    } else if (arg == "--slack") {
-      options.slack = std::atof(value("--slack"));
-    } else if (arg == "--metrics") {
-      options.metrics = SplitCsv(value("--metrics"));
-    } else if (arg == "--all-metrics") {
-      options.all_metrics = true;
-    } else if (arg == "--counters") {
-      counters_mode = true;
-    } else if (arg == "--help" || arg == "-h") {
-      Usage(argv[0]);
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg.c_str());
-      Usage(argv[0]);
-      return 2;
-    } else {
-      paths.push_back(arg);
-    }
+  orbit::harness::Flags flags = MakeFlags();
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], flags.error().c_str());
+    Usage(argv[0]);
+    return 2;
   }
+  if (flags.GetBool("help")) {
+    Usage(argv[0]);
+    return 0;
+  }
+  orbit::harness::CompareOptions options;
+  options.tolerance = flags.GetDouble("tolerance");
+  options.slack = flags.GetDouble("slack");
+  options.metrics = SplitCsv(flags.GetString("metrics"));
+  options.all_metrics = flags.GetBool("all-metrics");
+  const std::vector<std::string>& paths = flags.positionals();
   if (paths.size() != 2) {
     Usage(argv[0]);
     return 2;
   }
-  if (counters_mode) return CompareCounterFiles(paths[0], paths[1], options);
+  if (flags.GetBool("counters"))
+    return CompareCounterFiles(paths[0], paths[1], options);
 
   std::string error;
   std::vector<orbit::harness::MetricsRecord> a, b;
