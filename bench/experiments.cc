@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "proto/message.h"
 #include "testbed/serialize.h"
@@ -701,6 +702,71 @@ ExperimentSpec FigFailures() {
   return spec;
 }
 
+ExperimentSpec FigFabric() {
+  ExperimentSpec spec;
+  spec.name = "fig_fabric";
+  spec.title = "Fabric — scale-out throughput vs rack count and skew (§3.9)";
+  // Per-rack building block: 8 storage servers behind one leaf, 2 clients,
+  // and a one-rack offered load just above the rack's aggregate server
+  // capacity (8 × 100K). FabricRackAxis grows servers, clients, and the
+  // offered load proportionally, so every rack count starts its saturation
+  // search from the same per-rack operating point.
+  spec.base.topo.num_servers = 8;
+  spec.base.topo.num_clients = 2;
+  spec.base.topo.server_rate_rps = 100'000;
+  spec.base.topo.client_rate_rps = 1'000'000;
+  spec.base.cache.orbit_cache_size = 128;  // per leaf
+  spec.axes = {SchemeAxis({testbed::Scheme::kNoCache,
+                           testbed::Scheme::kOrbitCache}),
+               harness::FabricRackAxis({2, 4, 8}, /*servers_per_rack=*/8,
+                                       /*clients_per_rack=*/2),
+               harness::NumericAxis("zipf_theta", {0.9, 0.99},
+                                    [](testbed::TestbedConfig& cfg, double v) {
+                                      cfg.workload.zipf_theta = v;
+                                    })};
+  spec.table_metrics = {"sat_tx_mrps", "rx_mrps", "read_p99_us",
+                        "balancing_efficiency"};
+  spec.epilogue = [](const std::vector<MetricsRecord>& rs) {
+    // Scaling factor per (scheme, theta): throughput at the largest rack
+    // count over the smallest. Near-linear scaling means the per-leaf
+    // caches keep absorbing each rack's hot keys as the fabric grows.
+    struct Group {
+      std::string scheme, theta;
+      double min_racks = 0, max_racks = 0, min_rx = 0, max_rx = 0;
+    };
+    std::vector<Group> groups;
+    const auto param = [](const MetricsRecord& r, const char* name) {
+      for (const auto& [k, v] : r.params)
+        if (k == name) return v;
+      return std::string();
+    };
+    for (const auto& r : rs) {
+      if (!r.ok()) continue;
+      const std::string scheme = param(r, "scheme");
+      const std::string theta = param(r, "zipf_theta");
+      const double racks = std::atof(param(r, "racks").c_str());
+      const double rx = r.Metric("rx_mrps");
+      Group* g = nullptr;
+      for (auto& cand : groups)
+        if (cand.scheme == scheme && cand.theta == theta) g = &cand;
+      if (g == nullptr) {
+        groups.push_back({scheme, theta, racks, racks, rx, rx});
+        continue;
+      }
+      if (racks < g->min_racks) { g->min_racks = racks; g->min_rx = rx; }
+      if (racks > g->max_racks) { g->max_racks = racks; g->max_rx = rx; }
+    }
+    for (const auto& g : groups) {
+      if (g.min_rx <= 0 || g.max_racks <= g.min_racks) continue;
+      std::printf("  %s theta=%s: %.0f -> %.0f racks, %.2f -> %.2f MRPS "
+                  "(x%.2f)\n",
+                  g.scheme.c_str(), g.theta.c_str(), g.min_racks, g.max_racks,
+                  g.min_rx, g.max_rx, g.max_rx / g.min_rx);
+    }
+  };
+  return spec;
+}
+
 std::vector<harness::ExperimentSpec> AllExperiments() {
   return {MotivationCacheability(),
           Fig09Skewness(),
@@ -723,7 +789,8 @@ std::vector<harness::ExperimentSpec> AllExperiments() {
           YcsbSuite(),
           // Appended last so earlier experiments keep their record slots
           // in existing baselines.
-          FigFailures()};
+          FigFailures(),
+          FigFabric()};
 }
 
 }  // namespace orbit::benchexp

@@ -36,6 +36,9 @@ harness::ExperimentSpec YcsbSuite();
 // reset (controller rebuild) and a server crash/restart, with recovery
 // metrics derived from the timeline.
 harness::ExperimentSpec FigFailures();
+// Leaf–spine scale-out (src/fabric/): aggregate saturated throughput and
+// p99 latency versus rack count and skew, NoCache vs per-leaf OrbitCache.
+harness::ExperimentSpec FigFabric();
 
 // Registration order is the suite order and the JSONL record order.
 std::vector<harness::ExperimentSpec> AllExperiments();

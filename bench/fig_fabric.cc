@@ -1,0 +1,10 @@
+// Leaf–spine scale-out: aggregate saturated throughput and p99 latency
+// versus rack count and skew, NoCache vs per-leaf OrbitCache (§3.9
+// multi-rack deployment). Spec definition: bench/experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
+
+int main(int argc, char** argv) {
+  return orbit::harness::HarnessMain({orbit::benchexp::FigFabric()}, argc,
+                                     argv);
+}

@@ -1,0 +1,80 @@
+#include "fabric/controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace orbit::fabric {
+
+FabricController::FabricController(
+    sim::Simulator* sim, sim::Network* net, FabricTopology* topo,
+    const kv::Partitioner* partitioner, std::vector<Addr> server_addrs,
+    const std::vector<oc::OrbitProgram*>& orbit_programs,
+    const std::vector<nc::NetProgram*>& net_programs,
+    const FabricControllerSpec& spec)
+    : topo_(topo),
+      partitioner_(partitioner),
+      server_addrs_(std::move(server_addrs)),
+      scheme_(spec.scheme) {
+  const int racks = topo_->num_racks();
+  ORBIT_CHECK_MSG(static_cast<int>(server_addrs_.size()) % racks == 0,
+                  "servers must split evenly across racks");
+  ORBIT_CHECK(scheme_ != testbed::Scheme::kNoCache);
+
+  for (int r = 0; r < racks; ++r) {
+    const Addr addr = controller_addr(r);
+    if (scheme_ == testbed::Scheme::kOrbitCache) {
+      ORBIT_CHECK(orbit_programs[static_cast<size_t>(r)] != nullptr);
+      auto ctrl = std::make_unique<oc::Controller>(
+          sim, net, orbit_programs[static_cast<size_t>(r)], partitioner_,
+          server_addrs_, addr, /*self_port=*/0, spec.oc);
+      const auto at = topo_->AttachHost(ctrl.get(), addr, r, spec.ctrl_link);
+      ORBIT_CHECK(at.port_a == 0);
+      orbit_ctrls_.push_back(std::move(ctrl));
+    } else {
+      ORBIT_CHECK(net_programs[static_cast<size_t>(r)] != nullptr);
+      auto ctrl = std::make_unique<nc::NetController>(
+          sim, net, net_programs[static_cast<size_t>(r)], partitioner_,
+          server_addrs_, addr, /*self_port=*/0, spec.nc);
+      const auto at = topo_->AttachHost(ctrl.get(), addr, r, spec.ctrl_link);
+      ORBIT_CHECK(at.port_a == 0);
+      net_ctrls_.push_back(std::move(ctrl));
+    }
+  }
+}
+
+void FabricController::PreloadTopKeys(
+    const wl::KeySpace& keyspace, size_t per_leaf, uint64_t max_rank,
+    const std::function<bool(const Key&)>& admit) {
+  const size_t racks = static_cast<size_t>(num_racks());
+  std::vector<std::vector<Key>> groups(racks);
+  size_t full = 0;
+  for (uint64_t rank = 0; rank < max_rank && full < racks; ++rank) {
+    Key key = keyspace.KeyAtRank(rank);
+    if (admit && !admit(key)) continue;
+    auto& group = groups[static_cast<size_t>(RackOfKey(key))];
+    if (group.size() >= per_leaf) continue;
+    group.push_back(std::move(key));
+    if (group.size() == per_leaf) ++full;
+  }
+  for (size_t r = 0; r < racks; ++r) {
+    if (groups[r].empty()) continue;
+    if (scheme_ == testbed::Scheme::kOrbitCache)
+      orbit_ctrls_[r]->Preload(groups[r]);
+    else
+      net_ctrls_[r]->Preload(groups[r]);
+  }
+}
+
+void FabricController::Start() {
+  for (auto& c : orbit_ctrls_) c->Start();
+  for (auto& c : net_ctrls_) c->Start();
+}
+
+size_t FabricController::TotalCacheSize() const {
+  size_t total = 0;
+  for (const auto& c : orbit_ctrls_) total += c->current_cache_size();
+  return total;
+}
+
+}  // namespace orbit::fabric

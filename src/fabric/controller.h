@@ -1,0 +1,95 @@
+// Fabric-level control plane: one rack-scoped NetCache/OrbitCache
+// controller per leaf, coordinated by a single object that owns the key →
+// rack partition map.
+//
+// The key space is hash-partitioned over servers (kv::Partitioner, same
+// map the workload uses to address requests); racks own contiguous server
+// blocks, so a key's rack is ServerFor(key) / servers_per_rack and each
+// leaf caches only keys homed in its own rack — exactly one switch on any
+// path holds a given key. Preload walks the global popularity ranks and
+// deals each key to its owning leaf until every leaf's per-switch budget
+// is full, so the fabric-wide hot set is the union of per-rack hot sets
+// (not the global top-k, which would concentrate on one rack under skew).
+// Dynamic updates need no extra coordination: each rack's servers report
+// to their own leaf's controller, and the partition map never changes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fabric/topology.h"
+#include "kv/partition.h"
+#include "netcache/controller.h"
+#include "orbitcache/controller.h"
+#include "testbed/constants.h"
+#include "testbed/testbed.h"
+#include "workload/keyspace.h"
+
+namespace orbit::fabric {
+
+struct FabricControllerSpec {
+  testbed::Scheme scheme = testbed::Scheme::kOrbitCache;
+  oc::ControllerConfig oc;     // per-leaf template (kOrbitCache)
+  nc::NetControllerConfig nc;  // per-leaf template (kNetCache)
+  sim::LinkConfig ctrl_link;   // controller access link, per leaf
+};
+
+class FabricController {
+ public:
+  // `orbit_programs` / `net_programs` hold one program per rack (the one
+  // not matching `spec.scheme` may be empty). Attaches rack r's controller
+  // at address testbed::kControllerBase + r behind leaf r.
+  FabricController(sim::Simulator* sim, sim::Network* net,
+                   FabricTopology* topo, const kv::Partitioner* partitioner,
+                   std::vector<Addr> server_addrs,
+                   const std::vector<oc::OrbitProgram*>& orbit_programs,
+                   const std::vector<nc::NetProgram*>& net_programs,
+                   const FabricControllerSpec& spec);
+
+  int num_racks() const { return topo_->num_racks(); }
+  int servers_per_rack() const {
+    return static_cast<int>(server_addrs_.size()) / num_racks();
+  }
+  Addr controller_addr(int rack) const {
+    return testbed::kControllerBase + static_cast<Addr>(rack);
+  }
+
+  // Partition assignment.
+  int RackOfServer(int global_server) const {
+    return global_server / servers_per_rack();
+  }
+  int RackOfKey(const Key& key) const {
+    return RackOfServer(static_cast<int>(partitioner_->ServerFor(key)));
+  }
+
+  oc::Controller* orbit(int rack) {
+    return orbit_ctrls_[static_cast<size_t>(rack)].get();
+  }
+  nc::NetController* netcache(int rack) {
+    return net_ctrls_[static_cast<size_t>(rack)].get();
+  }
+
+  // Walks popularity ranks 0.. and deals each key passing `admit` (null =
+  // admit all) to its owning leaf until every leaf holds `per_leaf` keys
+  // or `max_rank` ranks were scanned, then preloads each leaf.
+  void PreloadTopKeys(const wl::KeySpace& keyspace, size_t per_leaf,
+                      uint64_t max_rank,
+                      const std::function<bool(const Key&)>& admit);
+
+  // Starts every per-leaf controller's periodic update timer.
+  void Start();
+
+  // Sum of per-leaf dynamic-sizing outcomes (kOrbitCache only).
+  size_t TotalCacheSize() const;
+
+ private:
+  FabricTopology* topo_;
+  const kv::Partitioner* partitioner_;
+  std::vector<Addr> server_addrs_;
+  testbed::Scheme scheme_;
+  std::vector<std::unique_ptr<oc::Controller>> orbit_ctrls_;
+  std::vector<std::unique_ptr<nc::NetController>> net_ctrls_;
+};
+
+}  // namespace orbit::fabric

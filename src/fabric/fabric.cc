@@ -1,0 +1,508 @@
+#include "fabric/fabric.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/client.h"
+#include "apps/server.h"
+#include "common/check.h"
+#include "fabric/controller.h"
+#include "fabric/topology.h"
+#include "kv/partition.h"
+#include "netcache/program.h"
+#include "nocache/program.h"
+#include "orbitcache/program.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "stats/meters.h"
+#include "telemetry/counters.h"
+#include "telemetry/netstats.h"
+#include "telemetry/trace.h"
+#include "testbed/constants.h"
+#include "testbed/workload_source.h"
+#include "workload/dynamic.h"
+
+namespace orbit::fabric {
+
+using testbed::TestbedConfig;
+using testbed::TestbedResult;
+
+TestbedResult RunFabricTestbed(const TestbedConfig& config) {
+  const TestbedConfig::Topology::Fabric& fb = config.topo.fabric;
+  ORBIT_CHECK(fb.enabled());
+  const int racks = fb.num_racks;
+  const int per_rack = config.topo.num_servers / racks;
+
+  sim::Simulator sim;
+  sim::Network net(&sim);
+
+  // ---- switches (leaves + spines + uplink mesh) ---------------------------
+  TopologySpec tspec;
+  tspec.num_racks = racks;
+  tspec.num_spines = fb.num_spines;
+  tspec.asic = config.topo.asic;
+  tspec.uplink.rate_gbps = fb.uplink_gbps;
+  tspec.uplink.propagation = fb.uplink_delay;
+  FabricTopology topo(&sim, &net, tspec);
+
+  auto size_fn = testbed::MakeValueSizeFn(config);
+  std::shared_ptr<wl::DynamicPopularity> dynamic;
+  if (config.workload.hot_in) {
+    dynamic = std::make_shared<wl::DynamicPopularity>(
+        config.workload.num_keys, config.workload.hot_in_count);
+  }
+  auto workload =
+      std::make_shared<testbed::ZipfWorkloadSource>(config, size_fn, dynamic);
+
+  // ---- per-leaf programs --------------------------------------------------
+  std::vector<std::unique_ptr<oc::OrbitProgram>> orbits;
+  std::vector<std::unique_ptr<nc::NetProgram>> netps;
+  std::vector<std::unique_ptr<nocache::ForwardProgram>> fwds;
+  std::vector<oc::OrbitProgram*> orbit_ptrs(static_cast<size_t>(racks),
+                                            nullptr);
+  std::vector<nc::NetProgram*> net_ptrs(static_cast<size_t>(racks), nullptr);
+  for (int r = 0; r < racks; ++r) {
+    switch (config.scheme) {
+      case testbed::Scheme::kOrbitCache: {
+        oc::OrbitConfig oc_cfg;
+        oc_cfg.capacity = config.cache.orbit_capacity;
+        oc_cfg.queue_size = config.cache.orbit_queue_size;
+        oc_cfg.orbit_port = testbed::kOrbitPort;
+        oc_cfg.epoch_guard = config.cache.epoch_guard;
+        oc_cfg.enable_cloning = config.cache.enable_cloning;
+        oc_cfg.write_back = config.cache.write_back;
+        oc_cfg.multi_packet = config.cache.multi_packet;
+        orbits.push_back(
+            std::make_unique<oc::OrbitProgram>(&topo.leaf(r), oc_cfg));
+        orbit_ptrs[static_cast<size_t>(r)] = orbits.back().get();
+        topo.leaf(r).SetProgram(orbits.back().get());
+        break;
+      }
+      case testbed::Scheme::kNetCache: {
+        nc::NetConfig nc_cfg;
+        nc_cfg.capacity = config.cache.netcache_size;
+        nc_cfg.orbit_port = testbed::kOrbitPort;
+        nc_cfg.recirc_read_mode = config.cache.netcache_recirc_read;
+        if (!config.control.run_cache_updates)
+          nc_cfg.hot_threshold = UINT64_MAX;  // static cache: never report
+        netps.push_back(
+            std::make_unique<nc::NetProgram>(&topo.leaf(r), nc_cfg));
+        net_ptrs[static_cast<size_t>(r)] = netps.back().get();
+        topo.leaf(r).SetProgram(netps.back().get());
+        break;
+      }
+      case testbed::Scheme::kNoCache:
+        fwds.push_back(std::make_unique<nocache::ForwardProgram>());
+        topo.leaf(r).SetProgram(fwds.back().get());
+        break;
+    }
+  }
+  // Spines always run plain forwarding: exactly one switch on any path —
+  // the destination's leaf — applies cache logic.
+  std::vector<std::unique_ptr<nocache::ForwardProgram>> spine_fwds;
+  for (int s = 0; s < fb.num_spines; ++s) {
+    spine_fwds.push_back(std::make_unique<nocache::ForwardProgram>());
+    topo.spine(s).SetProgram(spine_fwds.back().get());
+  }
+
+  // Registers `addr` as a PRE clone target on every leaf, toward the local
+  // access port or the uplink carrying traffic to it.
+  auto register_clone_target = [&](Addr addr) {
+    for (int r = 0; r < racks; ++r) {
+      if (orbit_ptrs[static_cast<size_t>(r)] != nullptr)
+        orbit_ptrs[static_cast<size_t>(r)]->RegisterCloneTarget(
+            addr, topo.LeafPortFor(r, addr));
+    }
+  };
+
+  // ---- servers (global index order; rack r owns a contiguous block) -------
+  const bool servers_report =
+      config.scheme == testbed::Scheme::kOrbitCache &&
+      config.control.run_cache_updates;
+  std::vector<std::unique_ptr<app::ServerNode>> servers;
+  std::vector<Addr> server_addrs;
+  servers.reserve(static_cast<size_t>(config.topo.num_servers));
+  for (int i = 0; i < config.topo.num_servers; ++i) {
+    const int rack = i / per_rack;
+    app::ServerConfig scfg;
+    scfg.addr = testbed::kServerBase + static_cast<Addr>(i);
+    scfg.srv_id = static_cast<uint8_t>(i);
+    scfg.orbit_port = testbed::kOrbitPort;
+    scfg.service_rate_rps = config.topo.server_rate_rps;
+    scfg.multi_packet = config.cache.multi_packet;
+    scfg.controller_addr = servers_report
+                               ? testbed::kControllerBase + static_cast<Addr>(rack)
+                               : kInvalidAddr;
+    scfg.ctrl_port = testbed::kCtrlPort;
+    scfg.report_period = config.control.report_period;
+    server_addrs.push_back(scfg.addr);
+    sim::LinkConfig lc;
+    lc.rate_gbps = config.topo.server_link_gbps;
+    lc.propagation = config.topo.link_delay;
+    lc.loss_seed = config.seed;
+    auto node = std::make_unique<app::ServerNode>(&sim, &net, /*port=*/0,
+                                                  scfg, size_fn);
+    const auto at = topo.AttachHost(node.get(), scfg.addr, rack, lc);
+    ORBIT_CHECK(at.port_a == 0);
+    servers.push_back(std::move(node));
+    register_clone_target(scfg.addr);
+  }
+
+  // ---- clients (round-robin across racks: most traffic crosses the spine)
+  std::vector<std::unique_ptr<app::ClientNode>> clients;
+  clients.reserve(static_cast<size_t>(config.topo.num_clients));
+  for (int i = 0; i < config.topo.num_clients; ++i) {
+    app::ClientConfig ccfg;
+    ccfg.addr = testbed::kClientBase + static_cast<Addr>(i);
+    ccfg.orbit_port = testbed::kOrbitPort;
+    ccfg.src_port = static_cast<L4Port>(9000 + i);
+    ccfg.rate_rps = config.topo.client_rate_rps / config.topo.num_clients;
+    ccfg.request_timeout = config.client.request_timeout;
+    ccfg.max_retries = config.client.max_retries;
+    ccfg.seed = config.seed * 7919 + static_cast<uint64_t>(i);
+    auto node = std::make_unique<app::ClientNode>(&sim, &net, /*port=*/0,
+                                                  ccfg, workload);
+    sim::LinkConfig lc;
+    lc.rate_gbps = config.topo.client_link_gbps;
+    lc.propagation = config.topo.link_delay;
+    const auto at = topo.AttachHost(node.get(), ccfg.addr, i % racks, lc);
+    ORBIT_CHECK(at.port_a == 0);
+    register_clone_target(ccfg.addr);
+    clients.push_back(std::move(node));
+  }
+
+  // ---- control plane (one rack-scoped controller per leaf) ---------------
+  kv::Partitioner partitioner(static_cast<uint32_t>(config.topo.num_servers),
+                              config.seed);
+  std::unique_ptr<FabricController> fab_ctrl;
+  if (config.scheme != testbed::Scheme::kNoCache) {
+    FabricControllerSpec cspec;
+    cspec.scheme = config.scheme;
+    cspec.ctrl_link.rate_gbps = 10.0;
+    cspec.ctrl_link.propagation = config.topo.link_delay;
+    cspec.oc.cache_size = config.cache.orbit_cache_size;
+    cspec.oc.max_cache_size = config.cache.orbit_capacity;
+    cspec.oc.min_cache_size =
+        std::min<size_t>(32, config.cache.orbit_cache_size);
+    cspec.oc.dynamic_sizing = config.cache.dynamic_sizing;
+    cspec.oc.update_period = config.control.update_period;
+    cspec.oc.orbit_port = testbed::kOrbitPort;
+    cspec.oc.ctrl_port = testbed::kCtrlPort;
+    cspec.nc.cache_size = config.cache.netcache_size;
+    cspec.nc.update_period = config.control.update_period;
+    cspec.nc.orbit_port = testbed::kOrbitPort;
+    fab_ctrl = std::make_unique<FabricController>(
+        &sim, &net, &topo, &partitioner, server_addrs, orbit_ptrs, net_ptrs,
+        cspec);
+    for (int r = 0; r < racks; ++r) {
+      register_clone_target(fab_ctrl->controller_addr(r));
+      if (orbit_ptrs[static_cast<size_t>(r)] != nullptr) {
+        orbit_ptrs[static_cast<size_t>(r)]->SetRefetchFn(
+            [ctrl = fab_ctrl->orbit(r)](const Key& key, const Hash128& hkey,
+                                        Addr server) {
+              ctrl->RequestRefetch(key, hkey, server);
+            });
+      }
+    }
+  }
+
+  // ---- telemetry ----------------------------------------------------------
+  // Mirrors the single-switch block; switch-scope counters get per-leaf /
+  // per-spine prefixes, and trace tracks are named after the devices, so a
+  // sampled request's packet-borne trace id stitches its leaf→spine→leaf
+  // hops into one causal timeline.
+  std::unique_ptr<telemetry::Tracer> tracer;
+  std::unique_ptr<telemetry::Registry> registry;
+  const bool capture_on = config.telemetry.capture != nullptr;
+  if (capture_on) {
+    if (config.telemetry.trace_sample > 0) {
+      tracer =
+          std::make_unique<telemetry::Tracer>(config.telemetry.trace_sample);
+      for (int r = 0; r < racks; ++r) topo.leaf(r).SetTracer(tracer.get());
+      for (int s = 0; s < fb.num_spines; ++s)
+        topo.spine(s).SetTracer(tracer.get());
+      for (auto& srv : servers) srv->SetTracer(tracer.get());
+      for (auto& c : clients) c->SetTracer(tracer.get());
+    }
+    registry = std::make_unique<telemetry::Registry>();
+    for (int r = 0; r < racks; ++r) {
+      const std::string prefix = "leaf" + std::to_string(r) + ".";
+      topo.leaf(r).RegisterTelemetry(*registry, prefix);
+      if (orbit_ptrs[static_cast<size_t>(r)] != nullptr)
+        orbit_ptrs[static_cast<size_t>(r)]->RegisterTelemetry(*registry,
+                                                              prefix);
+      if (net_ptrs[static_cast<size_t>(r)] != nullptr)
+        net_ptrs[static_cast<size_t>(r)]->RegisterTelemetry(*registry, prefix);
+    }
+    for (int s = 0; s < fb.num_spines; ++s)
+      topo.spine(s).RegisterTelemetry(*registry,
+                                      "spine" + std::to_string(s) + ".");
+    for (size_t i = 0; i < servers.size(); ++i)
+      servers[i]->RegisterTelemetry(*registry,
+                                    "server." + std::to_string(i));
+    for (size_t i = 0; i < clients.size(); ++i)
+      clients[i]->RegisterTelemetry(*registry,
+                                    "client." + std::to_string(i));
+    telemetry::RegisterLinkDropCounters(*registry, net);
+    uint64_t* drop_ovf = registry->OwnCounter("net.drop.queue_overflow");
+    uint64_t* drop_loss = registry->OwnCounter("net.drop.loss");
+    uint64_t* drop_down = registry->OwnCounter("net.drop.link_down");
+    net.SetDropTap([drop_ovf, drop_loss, drop_down](
+                       const sim::Packet&, sim::Node*, sim::Node*,
+                       sim::DropReason reason, SimTime) {
+      switch (reason) {
+        case sim::DropReason::kQueueOverflow: ++*drop_ovf; break;
+        case sim::DropReason::kInjectedLoss: ++*drop_loss; break;
+        case sim::DropReason::kLinkDown: ++*drop_down; break;
+      }
+    });
+  }
+
+  // ---- preload ------------------------------------------------------------
+  // Per-leaf budgets: every leaf holds its rack's hottest items, so the
+  // fabric-wide cache is the union of per-rack hot sets.
+  if (config.cache.preload && fab_ctrl != nullptr) {
+    if (config.scheme == testbed::Scheme::kOrbitCache) {
+      const size_t per_leaf = config.cache.orbit_cache_size;
+      const uint64_t scan = std::min<uint64_t>(
+          config.workload.num_keys,
+          static_cast<uint64_t>(per_leaf) * static_cast<uint64_t>(racks) * 16);
+      fab_ctrl->PreloadTopKeys(workload->keyspace(), per_leaf, scan, nullptr);
+    } else {
+      const size_t per_leaf = config.cache.netcache_size;
+      const uint64_t scan = std::min<uint64_t>(
+          config.workload.num_keys,
+          static_cast<uint64_t>(per_leaf) * static_cast<uint64_t>(racks) * 16);
+      fab_ctrl->PreloadTopKeys(
+          workload->keyspace(), per_leaf, scan,
+          [&config](const Key& key) {
+            return testbed::NetCacheCanCache(config, key);
+          });
+    }
+  }
+
+  // ---- timers & measurement ----------------------------------------------
+  for (auto& s : servers) s->Start();
+  for (auto& c : clients) c->Start();
+  if (fab_ctrl != nullptr) fab_ctrl->Start();
+
+  std::unique_ptr<sim::PeriodicTask> overflow_sampler;
+  std::unique_ptr<sim::PeriodicTask> telemetry_snapper;
+  std::unique_ptr<sim::PeriodicTask> hot_in_swapper;
+
+  stats::TimeSeries throughput_timeline(
+      config.timeline_bin > 0 ? config.timeline_bin : kSecond);
+  stats::TimeSeries overflow_hits_timeline(
+      config.timeline_bin > 0 ? config.timeline_bin : kSecond);
+  stats::TimeSeries overflow_ovf_timeline(
+      config.timeline_bin > 0 ? config.timeline_bin : kSecond);
+  const auto sum_orbit_stats = [&orbits] {
+    oc::OrbitProgram::Stats sum;
+    for (const auto& p : orbits) {
+      const auto& s = p->stats();
+      sum.read_hits += s.read_hits;
+      sum.absorbed += s.absorbed;
+      sum.overflow_to_server += s.overflow_to_server;
+      sum.invalid_to_server += s.invalid_to_server;
+      sum.served_by_cache += s.served_by_cache;
+      sum.wb_returned_replies += s.wb_returned_replies;
+      sum.cp_drop_evicted += s.cp_drop_evicted;
+      sum.cp_drop_invalid += s.cp_drop_invalid;
+      sum.cp_drop_epoch += s.cp_drop_epoch;
+      sum.validations += s.validations;
+    }
+    return sum;
+  };
+  if (config.timeline_bin > 0) {
+    for (auto& c : clients) c->AttachTimeline(&throughput_timeline);
+    if (!orbits.empty()) {
+      auto last_hits = std::make_shared<uint64_t>(0);
+      auto last_ovf = std::make_shared<uint64_t>(0);
+      overflow_sampler = std::make_unique<sim::PeriodicTask>(
+          &sim, config.timeline_bin, [&, last_hits, last_ovf] {
+            const auto s = sum_orbit_stats();
+            const uint64_t ovf = s.overflow_to_server + s.invalid_to_server;
+            overflow_hits_timeline.Add(
+                sim.now() - 1, static_cast<double>(s.read_hits - *last_hits));
+            overflow_ovf_timeline.Add(sim.now() - 1,
+                                      static_cast<double>(ovf - *last_ovf));
+            *last_hits = s.read_hits;
+            *last_ovf = ovf;
+          });
+      overflow_sampler->Start();
+    }
+  }
+
+  std::vector<telemetry::Snapshot> telemetry_snapshots;
+  uint64_t telemetry_timer_events = 0;  // observer events, excluded below
+  if (registry != nullptr && config.telemetry.snapshot_interval > 0) {
+    telemetry_snapper = std::make_unique<sim::PeriodicTask>(
+        &sim, config.telemetry.snapshot_interval, [&] {
+          ++telemetry_timer_events;
+          telemetry_snapshots.push_back(registry->Sample(sim.now()));
+        });
+    telemetry_snapper->Start();
+  }
+
+  if (config.workload.hot_in) {
+    hot_in_swapper = std::make_unique<sim::PeriodicTask>(
+        &sim, config.workload.hot_in_period, [&] { dynamic->Advance(); });
+    hot_in_swapper->Start();
+  }
+
+  // Warmup, then snapshot counters and open measurement windows.
+  struct WarmupSnapshot {
+    oc::OrbitProgram::Stats oc;
+    nc::NetProgram::Stats nc;
+    std::vector<app::ServerNode::Stats> servers;
+    uint64_t client_tx = 0;
+    uint64_t recirc_drops = 0;
+  };
+  const auto sum_net_stats = [&netps] {
+    nc::NetProgram::Stats sum;
+    for (const auto& p : netps) {
+      const auto& s = p->stats();
+      sum.read_hits += s.read_hits;
+      sum.served_by_cache += s.served_by_cache;
+    }
+    return sum;
+  };
+  const auto sum_recirc_drops = [&topo, racks] {
+    uint64_t sum = 0;
+    for (int r = 0; r < racks; ++r) sum += topo.leaf(r).stats().recirc_drops;
+    return sum;
+  };
+  WarmupSnapshot snap;
+  sim.RunUntil(config.warmup);
+  if (!orbits.empty()) snap.oc = sum_orbit_stats();
+  if (!netps.empty()) snap.nc = sum_net_stats();
+  for (auto& s : servers) snap.servers.push_back(s->stats());
+  for (auto& c : clients) {
+    snap.client_tx += c->stats().tx_requests;
+    c->OpenWindow(sim.now());
+  }
+  snap.recirc_drops = sum_recirc_drops();
+
+  const SimTime end = config.warmup + config.duration;
+  sim.RunUntil(end);
+  for (auto& c : clients) c->CloseWindow(sim.now());
+  for (auto& c : clients) c->Stop();
+
+  // ---- collect ------------------------------------------------------------
+  TestbedResult res;
+  const double secs =
+      static_cast<double>(config.duration) / static_cast<double>(kSecond);
+
+  uint64_t rx = 0;
+  uint64_t tx = 0;
+  for (auto& c : clients) {
+    rx += c->rx_meter().count();
+    tx += c->stats().tx_requests;
+    res.read_cached_latency.Merge(c->cached_read_latency());
+    res.read_server_latency.Merge(c->server_read_latency());
+    res.write_latency.Merge(c->write_latency());
+    res.switch_resident.Merge(c->switch_resident());
+    res.collisions += c->stats().collisions;
+    res.stale_reads += c->stats().stale_reads;
+    res.timeouts += c->stats().timeouts;
+    res.retransmissions += c->stats().retransmissions;
+    res.inflight_at_stop += c->stats().inflight_at_stop;
+  }
+  res.rx_rps = static_cast<double>(rx) / secs;
+  res.tx_rps = static_cast<double>(tx - snap.client_tx) / secs;
+
+  stats::LoadTracker loads(static_cast<size_t>(config.topo.num_servers));
+  for (size_t i = 0; i < servers.size(); ++i) {
+    const auto& s1 = servers[i]->stats();
+    const auto& s0 = snap.servers[i];
+    loads.Add(i, s1.requests - s0.requests);
+    res.server_drops += s1.dropped - s0.dropped;
+  }
+  res.server_loads = loads.counts();
+  res.balancing_efficiency = loads.BalancingEfficiency();
+  res.server_served_rps = static_cast<double>(loads.total()) / secs;
+
+  if (!orbits.empty()) {
+    const auto s1 = sum_orbit_stats();
+    res.lookup_hits = s1.read_hits - snap.oc.read_hits;
+    res.absorbed = s1.absorbed - snap.oc.absorbed;
+    res.overflows = s1.overflow_to_server - snap.oc.overflow_to_server;
+    res.cache_served_rps =
+        static_cast<double>(s1.served_by_cache - snap.oc.served_by_cache +
+                            s1.wb_returned_replies -
+                            snap.oc.wb_returned_replies) /
+        secs;
+    res.overflow_ratio =
+        res.lookup_hits > 0
+            ? static_cast<double>(res.overflows) /
+                  static_cast<double>(res.lookup_hits)
+            : 0.0;
+    uint64_t in_flight = 0;
+    for (int r = 0; r < racks; ++r) {
+      res.cache_entries += orbits[static_cast<size_t>(r)]->num_entries();
+      in_flight += static_cast<uint64_t>(
+          std::max<int64_t>(0, topo.leaf(r).stats().recirc_in_flight));
+    }
+    res.cache_packets_in_flight = in_flight;
+    res.cp_drop_evicted = s1.cp_drop_evicted;
+    res.cp_drop_invalid = s1.cp_drop_invalid;
+    res.cp_drop_epoch = s1.cp_drop_epoch;
+    res.validations = s1.validations;
+  }
+  if (!netps.empty()) {
+    const auto s1 = sum_net_stats();
+    res.lookup_hits = s1.read_hits - snap.nc.read_hits;
+    res.cache_served_rps =
+        static_cast<double>(s1.served_by_cache - snap.nc.served_by_cache) /
+        secs;
+    for (const auto& p : netps) res.cache_entries += p->num_entries();
+  }
+  if (fab_ctrl != nullptr) res.controller_cache_size = fab_ctrl->TotalCacheSize();
+  res.recirc_drops = sum_recirc_drops() - snap.recirc_drops;
+  // All leaves run the identical program: one leaf's RMT ledger is the
+  // per-switch usage story (a fabric does not pool SRAM across switches).
+  res.resource_report = topo.leaf(0).resources().Report();
+  res.rmt_stages_used = topo.leaf(0).resources().stages_used();
+  res.rmt_sram_bytes_used = topo.leaf(0).resources().sram_bytes_used();
+  res.rmt_sram_fraction = topo.leaf(0).resources().sram_fraction_used();
+  res.rmt_alus_used = topo.leaf(0).resources().alus_used();
+  res.events_processed = sim.events_processed() - telemetry_timer_events;
+
+  if (config.timeline_bin > 0) {
+    res.throughput_timeline = throughput_timeline.bins();
+    for (double& v : res.throughput_timeline)
+      v = v * static_cast<double>(kSecond) /
+          static_cast<double>(config.timeline_bin);
+    const size_t n = std::max(overflow_hits_timeline.num_bins(),
+                              overflow_ovf_timeline.num_bins());
+    res.overflow_ratio_timeline.resize(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double hits = i < overflow_hits_timeline.num_bins()
+                              ? overflow_hits_timeline.bin(i)
+                              : 0;
+      const double ovf = i < overflow_ovf_timeline.num_bins()
+                             ? overflow_ovf_timeline.bin(i)
+                             : 0;
+      res.overflow_ratio_timeline[i] = hits > 0 ? ovf / hits : 0.0;
+    }
+  }
+
+  if (capture_on) {
+    telemetry::RunCapture* cap = config.telemetry.capture;
+    cap->Clear();
+    if (registry != nullptr) {
+      if (telemetry_snapshots.empty() ||
+          telemetry_snapshots.back().at != sim.now())
+        telemetry_snapshots.push_back(registry->Sample(sim.now()));
+      cap->snapshots = std::move(telemetry_snapshots);
+    }
+    if (tracer != nullptr) {
+      cap->tracks = tracer->TakeTracks();
+      cap->events = tracer->TakeEvents();
+    }
+  }
+
+  return res;
+}
+
+}  // namespace orbit::fabric

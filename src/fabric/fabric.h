@@ -1,0 +1,19 @@
+// Leaf–spine testbed assembly: the fabric counterpart of RunTestbed().
+//
+// RunTestbed() dispatches here when config.topo.fabric is enabled. The run
+// keeps the single-switch contract — same workload source, same metrics,
+// same determinism guarantees (telemetry results-neutral, serial ==
+// parallel) — but builds N racks of servers behind per-leaf cache programs
+// with round-robin clients and a per-rack control plane (see
+// fabric/topology.h and fabric/controller.h). Cache/program counters in
+// the result are fabric-wide sums over the leaves; RMT resource usage is
+// reported for one leaf (all leaves run the identical program).
+#pragma once
+
+#include "testbed/testbed.h"
+
+namespace orbit::fabric {
+
+testbed::TestbedResult RunFabricTestbed(const testbed::TestbedConfig& config);
+
+}  // namespace orbit::fabric

@@ -1,0 +1,82 @@
+#include "fabric/topology.h"
+
+#include "common/check.h"
+
+namespace orbit::fabric {
+
+FabricTopology::FabricTopology(sim::Simulator* sim, sim::Network* net,
+                               const TopologySpec& spec)
+    : sim_(sim), net_(net), spec_(spec) {
+  ORBIT_CHECK_MSG(spec.num_racks >= 1, "fabric needs at least one rack");
+  ORBIT_CHECK_MSG(spec.num_spines >= 1, "fabric needs at least one spine");
+
+  leaves_.reserve(static_cast<size_t>(spec.num_racks));
+  for (int r = 0; r < spec.num_racks; ++r)
+    leaves_.push_back(std::make_unique<rmt::SwitchDevice>(
+        sim_, net_, "leaf" + std::to_string(r), spec.asic));
+  spines_.reserve(static_cast<size_t>(spec.num_spines));
+  for (int s = 0; s < spec.num_spines; ++s)
+    spines_.push_back(std::make_unique<rmt::SwitchDevice>(
+        sim_, net_, "spine" + std::to_string(s), spec.asic));
+
+  // Uplink mesh in (rack, spine) order — link creation order is part of
+  // the deterministic build (it fixes per-link loss-seed mixing and the
+  // telemetry link indices).
+  leaf_uplink_port_.assign(static_cast<size_t>(spec.num_racks),
+                           std::vector<int>(static_cast<size_t>(spec.num_spines), -1));
+  spine_down_port_.assign(static_cast<size_t>(spec.num_spines),
+                          std::vector<int>(static_cast<size_t>(spec.num_racks), -1));
+  for (int r = 0; r < spec.num_racks; ++r) {
+    for (int s = 0; s < spec.num_spines; ++s) {
+      const auto at = net_->Connect(leaves_[static_cast<size_t>(r)].get(),
+                                    spines_[static_cast<size_t>(s)].get(),
+                                    spec.uplink);
+      leaf_uplink_port_[static_cast<size_t>(r)][static_cast<size_t>(s)] =
+          at.port_a;
+      spine_down_port_[static_cast<size_t>(s)][static_cast<size_t>(r)] =
+          at.port_b;
+    }
+  }
+}
+
+sim::Network::Attachment FabricTopology::AttachHost(
+    sim::Node* host, Addr addr, int rack, const sim::LinkConfig& link) {
+  ORBIT_CHECK_MSG(rack >= 0 && rack < spec_.num_racks,
+                  "AttachHost: rack " << rack << " out of range");
+  ORBIT_CHECK_MSG(hosts_.count(addr) == 0,
+                  "AttachHost: addr " << addr << " already attached");
+  const auto at =
+      net_->Connect(host, leaves_[static_cast<size_t>(rack)].get(), link);
+
+  // Owning leaf: direct. Spines: toward the owning leaf. Other leaves:
+  // into the uplink toward this address's spine.
+  leaf(rack).AddRoute(addr, at.port_b);
+  const int sp = SpineFor(addr);
+  for (int s = 0; s < spec_.num_spines; ++s)
+    spine(s).AddRoute(addr,
+                      spine_down_port_[static_cast<size_t>(s)][static_cast<size_t>(rack)]);
+  for (int r = 0; r < spec_.num_racks; ++r) {
+    if (r == rack) continue;
+    leaf(r).AddRoute(
+        addr, leaf_uplink_port_[static_cast<size_t>(r)][static_cast<size_t>(sp)]);
+  }
+
+  hosts_[addr] = HostEntry{rack, at.port_b};
+  return at;
+}
+
+int FabricTopology::LeafPortFor(int rack, Addr addr) const {
+  const auto it = hosts_.find(addr);
+  ORBIT_CHECK_MSG(it != hosts_.end(),
+                  "LeafPortFor: addr " << addr << " not attached");
+  if (it->second.rack == rack) return it->second.leaf_port;
+  return leaf_uplink_port_[static_cast<size_t>(rack)]
+                          [static_cast<size_t>(SpineFor(addr))];
+}
+
+int FabricTopology::RackOf(Addr addr) const {
+  const auto it = hosts_.find(addr);
+  return it == hosts_.end() ? -1 : it->second.rack;
+}
+
+}  // namespace orbit::fabric

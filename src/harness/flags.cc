@@ -1,5 +1,6 @@
 #include "harness/flags.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstring>
 
@@ -15,6 +16,24 @@ bool ParseNumber(const std::string& s, T* out) {
   const char* end = begin + s.size();
   const auto res = std::from_chars(begin, end, *out);
   return res.ec == std::errc() && res.ptr == end;
+}
+
+// Levenshtein distance; flag spellings are short, so the plain O(n·m)
+// single-row computation is plenty.
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t up = row[j];
+      const size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
 }
 
 }  // namespace
@@ -71,6 +90,28 @@ Flags& Flags::Alias(const std::string& spelling) {
   return *this;
 }
 
+std::string Flags::Suggest(const std::string& spelling) const {
+  // Compare against every registered spelling ("--name" and aliases); only
+  // offer a suggestion when the typo is close — within 2 edits, or 3 for
+  // longer names — so nonsense input still reads as plainly unknown.
+  std::string best;
+  size_t best_dist = 0;
+  for (const Flag& f : flags_) {
+    std::vector<std::string> spellings = {"--" + f.name};
+    spellings.insert(spellings.end(), f.aliases.begin(), f.aliases.end());
+    for (const std::string& s : spellings) {
+      const size_t d = EditDistance(spelling, s);
+      if (best.empty() || d < best_dist) {
+        best = s;
+        best_dist = d;
+      }
+    }
+  }
+  const size_t budget = spelling.size() >= 8 ? 3 : 2;
+  if (best.empty() || best_dist > budget) return "";
+  return best;
+}
+
 Flags::Flag* Flags::Find(const std::string& spelling) {
   for (Flag& f : flags_) {
     if (spelling == "--" + f.name) return &f;
@@ -90,6 +131,9 @@ bool Flags::Parse(int argc, char** argv) {
     Flag* f = Find(arg);
     if (f == nullptr) {
       error_ = "unknown flag: " + arg;
+      const std::string suggestion = Suggest(arg);
+      if (!suggestion.empty())
+        error_ += " (did you mean " + suggestion + "?)";
       return false;
     }
     f->last_index = i;

@@ -86,6 +86,9 @@ class Flags {
   Flag& Register(const std::string& name, Type type,
                  const std::string& value_name, const std::string& help);
   Flag* Find(const std::string& spelling);
+  // Nearest registered spelling within a small edit distance ("" = none
+  // close enough); feeds the "did you mean" hint on unknown flags.
+  std::string Suggest(const std::string& spelling) const;
   const Flag& Require(const std::string& name, Type type) const;
 
   std::vector<Flag> flags_;

@@ -68,6 +68,26 @@ ParamAxis SchemeAxis(const std::vector<testbed::Scheme>& schemes) {
   return axis;
 }
 
+ParamAxis FabricRackAxis(const std::vector<int>& rack_counts,
+                         int servers_per_rack, int clients_per_rack) {
+  ORBIT_CHECK(servers_per_rack >= 1 && clients_per_rack >= 1);
+  ParamAxis axis;
+  axis.name = "racks";
+  for (const int racks : rack_counts) {
+    ORBIT_CHECK_MSG(racks >= 1, "rack count must be positive");
+    axis.params.push_back(
+        {std::to_string(racks), static_cast<double>(racks),
+         [racks, servers_per_rack,
+          clients_per_rack](testbed::TestbedConfig& cfg) {
+           cfg.topo.fabric.num_racks = racks;
+           cfg.topo.num_servers = racks * servers_per_rack;
+           cfg.topo.num_clients = racks * clients_per_rack;
+           cfg.topo.client_rate_rps *= racks;
+         }});
+  }
+  return axis;
+}
+
 ParamAxis FaultAxis(std::vector<FaultScenario> scenarios) {
   ParamAxis axis;
   axis.name = "fault";

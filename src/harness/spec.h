@@ -70,6 +70,15 @@ ParamAxis SchemeAxis(const std::vector<testbed::Scheme>& schemes);
 ParamAxis NumericAxis(std::string name, const std::vector<double>& values,
                       std::function<void(testbed::TestbedConfig&, double)> apply);
 
+// Axis over leaf–spine rack counts (src/fabric/): each value enables the
+// fabric with that many racks and grows the testbed proportionally —
+// num_servers = racks × servers_per_rack, num_clients = racks ×
+// clients_per_rack — and multiplies the aggregate client_rate_rps by the
+// rack count (the base config's rate is read as the one-rack offered
+// load). Axis name "racks"; the numeric value is the rack count.
+ParamAxis FabricRackAxis(const std::vector<int>& rack_counts,
+                         int servers_per_rack, int clients_per_rack);
+
 // Axis over named fault scenarios: each entry installs a fault schedule
 // (and any related knobs, e.g. the client retry budget) into the point's
 // config. Builders run after scaling, so they can place fault times

@@ -266,35 +266,36 @@ IngressResult NetProgram::HandleValueReply(sim::Packet& pkt) {
   return IngressResult::ToAddr(pkt.dst);
 }
 
-void NetProgram::RegisterTelemetry(telemetry::Registry& reg) {
-  reg.AddCounter("netcache.read_requests",
+void NetProgram::RegisterTelemetry(telemetry::Registry& reg,
+                                   const std::string& prefix) {
+  reg.AddCounter(prefix + "netcache.read_requests",
                  [this] { return stats_.read_requests; });
-  reg.AddCounter("netcache.read_hits", [this] { return stats_.read_hits; });
-  reg.AddCounter("netcache.read_misses",
+  reg.AddCounter(prefix + "netcache.read_hits", [this] { return stats_.read_hits; });
+  reg.AddCounter(prefix + "netcache.read_misses",
                  [this] { return stats_.read_misses; });
-  reg.AddCounter("netcache.served_by_cache",
+  reg.AddCounter(prefix + "netcache.served_by_cache",
                  [this] { return stats_.served_by_cache; });
-  reg.AddCounter("netcache.invalid_to_server",
+  reg.AddCounter(prefix + "netcache.invalid_to_server",
                  [this] { return stats_.invalid_to_server; });
-  reg.AddCounter("netcache.writes_cached",
+  reg.AddCounter(prefix + "netcache.writes_cached",
                  [this] { return stats_.writes_cached; });
-  reg.AddCounter("netcache.writes_uncached",
+  reg.AddCounter(prefix + "netcache.writes_uncached",
                  [this] { return stats_.writes_uncached; });
-  reg.AddCounter("netcache.validations",
+  reg.AddCounter(prefix + "netcache.validations",
                  [this] { return stats_.validations; });
-  reg.AddCounter("netcache.uncacheable_values",
+  reg.AddCounter(prefix + "netcache.uncacheable_values",
                  [this] { return stats_.uncacheable_values; });
-  reg.AddCounter("netcache.hot_reports",
+  reg.AddCounter(prefix + "netcache.hot_reports",
                  [this] { return stats_.hot_reports; });
-  reg.AddCounter("netcache.request_recircs",
+  reg.AddCounter(prefix + "netcache.request_recircs",
                  [this] { return stats_.request_recircs; });
-  reg.AddGauge("netcache.entries", [this] { return lookup_.size(); });
+  reg.AddGauge(prefix + "netcache.entries", [this] { return lookup_.size(); });
 
-  reg.AddCounter("rmt.s0.nc_lookup.lookups",
+  reg.AddCounter(prefix + "rmt.s0.nc_lookup.lookups",
                  [this] { return lookup_.lookups(); });
-  reg.AddCounter("rmt.s0.nc_lookup.hits", [this] { return lookup_.hits(); });
-  auto add_array = [&reg](const rmt::RegisterArrayBase& arr) {
-    reg.AddCounter("rmt.s" + std::to_string(arr.stage()) + "." +
+  reg.AddCounter(prefix + "rmt.s0.nc_lookup.hits", [this] { return lookup_.hits(); });
+  auto add_array = [&reg, &prefix](const rmt::RegisterArrayBase& arr) {
+    reg.AddCounter(prefix + "rmt.s" + std::to_string(arr.stage()) + "." +
                        arr.array_name() + ".accesses",
                    [&arr] { return arr.accesses(); });
   };

@@ -103,7 +103,8 @@ class NetProgram : public rmt::SwitchProgram {
 
   // Registers netcache.* outcome counters and per-table / per-stage
   // register access counters against `reg`.
-  void RegisterTelemetry(telemetry::Registry& reg);
+  void RegisterTelemetry(telemetry::Registry& reg,
+                         const std::string& prefix = "");
 
   const NetConfig& config() const { return config_; }
 

@@ -473,64 +473,65 @@ IngressResult OrbitProgram::ServeOrRecirculate(sim::Packet& pkt, uint32_t idx,
   return CloneToAddrAndRecirc(pkt, meta->client_addr);
 }
 
-void OrbitProgram::RegisterTelemetry(telemetry::Registry& reg) {
+void OrbitProgram::RegisterTelemetry(telemetry::Registry& reg,
+                                     const std::string& prefix) {
   // Program outcome counters, read straight from Stats.
-  reg.AddCounter("orbit.read_requests",
+  reg.AddCounter(prefix + "orbit.read_requests",
                  [this] { return stats_.read_requests; });
-  reg.AddCounter("orbit.read_hits", [this] { return stats_.read_hits; });
-  reg.AddCounter("orbit.read_misses", [this] { return stats_.read_misses; });
-  reg.AddCounter("orbit.absorbed", [this] { return stats_.absorbed; });
-  reg.AddCounter("orbit.overflow_to_server",
+  reg.AddCounter(prefix + "orbit.read_hits", [this] { return stats_.read_hits; });
+  reg.AddCounter(prefix + "orbit.read_misses", [this] { return stats_.read_misses; });
+  reg.AddCounter(prefix + "orbit.absorbed", [this] { return stats_.absorbed; });
+  reg.AddCounter(prefix + "orbit.overflow_to_server",
                  [this] { return stats_.overflow_to_server; });
-  reg.AddCounter("orbit.invalid_to_server",
+  reg.AddCounter(prefix + "orbit.invalid_to_server",
                  [this] { return stats_.invalid_to_server; });
-  reg.AddCounter("orbit.served_by_cache",
+  reg.AddCounter(prefix + "orbit.served_by_cache",
                  [this] { return stats_.served_by_cache; });
-  reg.AddCounter("orbit.cp_drop.evicted",
+  reg.AddCounter(prefix + "orbit.cp_drop.evicted",
                  [this] { return stats_.cp_drop_evicted; });
-  reg.AddCounter("orbit.cp_drop.invalid",
+  reg.AddCounter(prefix + "orbit.cp_drop.invalid",
                  [this] { return stats_.cp_drop_invalid; });
-  reg.AddCounter("orbit.cp_drop.epoch",
+  reg.AddCounter(prefix + "orbit.cp_drop.epoch",
                  [this] { return stats_.cp_drop_epoch; });
-  reg.AddCounter("orbit.writes_cached",
+  reg.AddCounter(prefix + "orbit.writes_cached",
                  [this] { return stats_.writes_cached; });
-  reg.AddCounter("orbit.writes_uncached",
+  reg.AddCounter(prefix + "orbit.writes_uncached",
                  [this] { return stats_.writes_uncached; });
-  reg.AddCounter("orbit.validations", [this] { return stats_.validations; });
-  reg.AddCounter("orbit.stale_validations_skipped",
+  reg.AddCounter(prefix + "orbit.validations", [this] { return stats_.validations; });
+  reg.AddCounter(prefix + "orbit.stale_validations_skipped",
                  [this] { return stats_.stale_validations_skipped; });
-  reg.AddCounter("orbit.corrections_forwarded",
+  reg.AddCounter(prefix + "orbit.corrections_forwarded",
                  [this] { return stats_.corrections_forwarded; });
-  reg.AddCounter("orbit.refetches", [this] { return stats_.refetches; });
+  reg.AddCounter(prefix + "orbit.refetches", [this] { return stats_.refetches; });
   if (config_.write_back) {
-    reg.AddCounter("orbit.wb.returned_replies",
+    reg.AddCounter(prefix + "orbit.wb.returned_replies",
                    [this] { return stats_.wb_returned_replies; });
-    reg.AddCounter("orbit.wb.flushes", [this] { return stats_.wb_flushes; });
-    reg.AddCounter("orbit.wb.snapshot_flushes",
+    reg.AddCounter(prefix + "orbit.wb.flushes", [this] { return stats_.wb_flushes; });
+    reg.AddCounter(prefix + "orbit.wb.snapshot_flushes",
                    [this] { return stats_.wb_snapshot_flushes; });
   }
-  reg.AddGauge("orbit.entries", [this] { return lookup_.size(); });
+  reg.AddGauge(prefix + "orbit.entries", [this] { return lookup_.size(); });
 
   // Data-plane structure counters: match-table traffic and per-stage
   // register pressure.
-  reg.AddCounter("rmt.s0.cache_lookup.lookups",
+  reg.AddCounter(prefix + "rmt.s0.cache_lookup.lookups",
                  [this] { return lookup_.lookups(); });
-  reg.AddCounter("rmt.s0.cache_lookup.hits",
+  reg.AddCounter(prefix + "rmt.s0.cache_lookup.hits",
                  [this] { return lookup_.hits(); });
-  auto add_array = [&reg](const rmt::RegisterArrayBase& arr) {
-    reg.AddCounter("rmt.s" + std::to_string(arr.stage()) + "." +
+  auto add_array = [&reg, &prefix](const rmt::RegisterArrayBase& arr) {
+    reg.AddCounter(prefix + "rmt.s" + std::to_string(arr.stage()) + "." +
                        arr.array_name() + ".accesses",
                    [&arr] { return arr.accesses(); });
   };
   add_array(valid_);
   add_array(epoch_);
-  request_table_.RegisterTelemetry(reg);
+  request_table_.RegisterTelemetry(reg, prefix);
   add_array(popularity_);
   add_array(hit_counter_);
   add_array(overflow_counter_);
-  reg.AddCounter("rmt.s6.clone_mcast.lookups",
+  reg.AddCounter(prefix + "rmt.s6.clone_mcast.lookups",
                  [this] { return clone_groups_.lookups(); });
-  reg.AddCounter("rmt.s6.clone_mcast.hits",
+  reg.AddCounter(prefix + "rmt.s6.clone_mcast.hits",
                  [this] { return clone_groups_.hits(); });
   if (config_.multi_packet) {
     add_array(acked_frags_);

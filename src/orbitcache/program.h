@@ -153,7 +153,8 @@ class OrbitProgram : public rmt::SwitchProgram {
   // Registers orbit.* outcome counters plus per-table / per-stage register
   // access counters ("rmt.s<stage>.<name>.*") against `reg`. Trace spans
   // use the tracer attached to the owning device (SwitchDevice::SetTracer).
-  void RegisterTelemetry(telemetry::Registry& reg);
+  void RegisterTelemetry(telemetry::Registry& reg,
+                         const std::string& prefix = "");
 
  private:
   bool IsOrbit(const sim::Packet& pkt) const {

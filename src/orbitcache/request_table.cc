@@ -86,9 +86,10 @@ void RequestTable::ClearQueue(uint32_t idx) {
   rear_.at(idx) = 0;
 }
 
-void RequestTable::RegisterTelemetry(telemetry::Registry& reg) const {
-  auto add = [&reg](const rmt::RegisterArrayBase& arr) {
-    reg.AddCounter("rmt.s" + std::to_string(arr.stage()) + "." +
+void RequestTable::RegisterTelemetry(telemetry::Registry& reg,
+                                     const std::string& prefix) const {
+  auto add = [&reg, &prefix](const rmt::RegisterArrayBase& arr) {
+    reg.AddCounter(prefix + "rmt.s" + std::to_string(arr.stage()) + "." +
                        arr.array_name() + ".accesses",
                    [&arr] { return arr.accesses(); });
   };

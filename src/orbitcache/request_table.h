@@ -64,7 +64,8 @@ class RequestTable {
   void ClearQueue(uint32_t idx);
 
   // Registers per-array access counters ("rmt.s<stage>.<name>.accesses").
-  void RegisterTelemetry(telemetry::Registry& reg) const;
+  void RegisterTelemetry(telemetry::Registry& reg,
+                         const std::string& prefix = "") const;
 
  private:
   size_t ReqIdx(uint32_t idx, uint32_t offset) const {

@@ -45,30 +45,34 @@ void SwitchDevice::SetTracer(telemetry::Tracer* tracer) {
   }
 }
 
-void SwitchDevice::RegisterTelemetry(telemetry::Registry& reg) {
-  reg.AddCounter("switch.rx_packets", [this] { return stats_.rx_packets; });
-  reg.AddCounter("switch.tx_packets", [this] { return stats_.tx_packets; });
-  reg.AddCounter("switch.drop.program",
+void SwitchDevice::RegisterTelemetry(telemetry::Registry& reg,
+                                     const std::string& prefix) {
+  reg.AddCounter(prefix + "switch.rx_packets",
+                 [this] { return stats_.rx_packets; });
+  reg.AddCounter(prefix + "switch.tx_packets",
+                 [this] { return stats_.tx_packets; });
+  reg.AddCounter(prefix + "switch.drop.program",
                  [this] { return stats_.dropped_by_program; });
-  reg.AddCounter("switch.drop.unrouted",
+  reg.AddCounter(prefix + "switch.drop.unrouted",
                  [this] { return stats_.dropped_unrouted; });
-  reg.AddCounter("switch.drop.recirc_overflow",
+  reg.AddCounter(prefix + "switch.drop.recirc_overflow",
                  [this] { return stats_.recirc_drops; });
-  reg.AddCounter("switch.recirc.passes",
+  reg.AddCounter(prefix + "switch.recirc.passes",
                  [this] { return stats_.recirc_packets; });
-  reg.AddCounter("switch.recirc.flushed",
+  reg.AddCounter(prefix + "switch.recirc.flushed",
                  [this] { return stats_.recirc_flushed; });
-  reg.AddCounter("switch.recirc.bytes",
+  reg.AddCounter(prefix + "switch.recirc.bytes",
                  [this] { return stats_.recirc_bytes; });
-  reg.AddCounter("switch.recirc.busy_ns",
+  reg.AddCounter(prefix + "switch.recirc.busy_ns",
                  [this] { return stats_.recirc_busy_ns; });
-  reg.AddCounter("switch.pre.clones", [this] { return pre_.clones_made(); });
-  reg.AddGauge("switch.recirc.in_flight", [this] {
+  reg.AddCounter(prefix + "switch.pre.clones",
+                 [this] { return pre_.clones_made(); });
+  reg.AddGauge(prefix + "switch.recirc.in_flight", [this] {
     return static_cast<uint64_t>(std::max<int64_t>(0, stats_.recirc_in_flight));
   });
   // Depth of the recirc FIFO expressed as nanoseconds of work queued ahead
   // of "now" — the same horizon the admission check measures against.
-  reg.AddGauge("switch.recirc.queue_ns", [this] {
+  reg.AddGauge(prefix + "switch.recirc.queue_ns", [this] {
     return static_cast<uint64_t>(
         std::max<SimTime>(0, recirc_busy_until_ - sim_->now()));
   });

@@ -125,8 +125,11 @@ class SwitchDevice : public sim::Node {
   // track, so program events interleave with traversal spans.
   int trace_track() const { return track_pipe_; }
   // Registers switch.* counters and gauges against `reg`. Reads existing
-  // Stats fields; nothing is consumed from the Resources ledger.
-  void RegisterTelemetry(telemetry::Registry& reg);
+  // Stats fields; nothing is consumed from the Resources ledger. `prefix`
+  // scopes the names for multi-switch runs (e.g. "leaf0." -> counters like
+  // "leaf0.switch.rx_packets"); the default keeps single-switch names.
+  void RegisterTelemetry(telemetry::Registry& reg,
+                         const std::string& prefix = "");
 
  private:
   void Apply(const IngressResult& result, sim::PacketPtr pkt,

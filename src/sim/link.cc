@@ -50,7 +50,7 @@ void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
   ORBIT_CHECK(from == 0 || from == 1);
   Channel& ch = chans_[from];
   if (down_) {
-    ++ch.stats.lost;
+    ++ch.stats.down_drops;
     if (drop_tap_ != nullptr && *drop_tap_)
       (*drop_tap_)(*pkt, chans_[1 - from].to, ch.to, DropReason::kLinkDown,
                    sim_->now());

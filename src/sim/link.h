@@ -56,7 +56,8 @@ struct ChannelStats {
   uint64_t packets = 0;
   uint64_t bytes = 0;
   uint64_t drops = 0;       // queue overflow
-  uint64_t lost = 0;        // injected loss
+  uint64_t lost = 0;        // injected loss (random / burst models)
+  uint64_t down_drops = 0;  // discarded while the link was down
 };
 
 class Link {
@@ -72,6 +73,11 @@ class Link {
 
   const ChannelStats& stats(int from) const { return chans_[from].stats; }
   const LinkConfig& config() const { return config_; }
+
+  // Endpoint node i (0 = a, 1 = b) as passed to the constructor; direction
+  // `from` runs endpoint(from) -> endpoint(1 - from). Used by telemetry to
+  // name per-link counters.
+  Node* endpoint(int end) const { return chans_[1 - end].to; }
 
   // Fault injection: while down, every packet offered to either direction
   // is discarded (DropReason::kLinkDown) without touching the loss RNG, so

@@ -31,6 +31,11 @@ class Network {
   int num_ports(Node* node) const;
   Link* link_at(Node* node, int port) const;
 
+  // Link enumeration, in creation order (telemetry names per-link counters
+  // by this index, which is stable for a deterministic build order).
+  size_t num_links() const { return links_.size(); }
+  const Link* link(size_t i) const { return links_[i].get(); }
+
   // Installs a fabric-wide packet tap (port mirroring); applies to links
   // created before and after the call. Pass {} to remove.
   void SetTap(TapFn tap);

@@ -1,0 +1,23 @@
+#include "telemetry/netstats.h"
+
+#include "sim/link.h"
+#include "sim/node.h"
+
+namespace orbit::telemetry {
+
+void RegisterLinkDropCounters(Registry& reg, const sim::Network& net) {
+  for (size_t i = 0; i < net.num_links(); ++i) {
+    const sim::Link* link = net.link(i);
+    for (int dir = 0; dir < 2; ++dir) {
+      const std::string base = "net.link." + std::to_string(i) + "." +
+                               link->endpoint(dir)->name() + "->" +
+                               link->endpoint(1 - dir)->name() + ".drop.";
+      const sim::ChannelStats& st = link->stats(dir);
+      reg.AddCounter(base + "queue_overflow", [&st] { return st.drops; });
+      reg.AddCounter(base + "injected_loss", [&st] { return st.lost; });
+      reg.AddCounter(base + "link_down", [&st] { return st.down_drops; });
+    }
+  }
+}
+
+}  // namespace orbit::telemetry

@@ -1,0 +1,22 @@
+// Per-link drop-reason counters for the snapshot exporter.
+//
+// The fabric-wide drop tap (sim::Network::SetDropTap) aggregates all loss
+// into three reason totals; in multi-switch runs that hides *where* a hop
+// lost packets. This helper walks the network's links in creation order and
+// registers one pull-based counter per direction per drop reason, named
+//
+//   net.link.<idx>.<from>-><to>.drop.{queue_overflow,injected_loss,link_down}
+//
+// The index disambiguates nodes with identical names (all clients print as
+// "client"); names come from Node::name() so leaf/spine hops are readable.
+// Pull-based over Link::ChannelStats: registering costs nothing per packet.
+#pragma once
+
+#include "sim/network.h"
+#include "telemetry/counters.h"
+
+namespace orbit::telemetry {
+
+void RegisterLinkDropCounters(Registry& reg, const sim::Network& net);
+
+}  // namespace orbit::telemetry

@@ -97,6 +97,17 @@ JsonValue ConfigJson(const TestbedConfig& config) {
   out.Set("client_link_gbps", config.topo.client_link_gbps);
   out.Set("server_link_gbps", config.topo.server_link_gbps);
   out.Set("link_delay", config.topo.link_delay);
+  if (config.topo.fabric.enabled()) {
+    // Leaf–spine section: outcome-affecting, so it feeds the fingerprint —
+    // but only when enabled, so every pre-fabric config keeps its exact
+    // serialization (and the quick-suite baseline its bytes).
+    JsonValue fb = JsonValue::MakeObject();
+    fb.Set("num_racks", config.topo.fabric.num_racks);
+    fb.Set("num_spines", config.topo.fabric.num_spines);
+    fb.Set("uplink_gbps", config.topo.fabric.uplink_gbps);
+    fb.Set("uplink_delay", config.topo.fabric.uplink_delay);
+    out.Set("fabric", std::move(fb));
+  }
   return out;
 }
 

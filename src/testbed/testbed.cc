@@ -6,6 +6,7 @@
 #include "apps/client.h"
 #include "apps/server.h"
 #include "common/check.h"
+#include "fabric/fabric.h"
 #include "fault/fault.h"
 #include "kv/partition.h"
 #include "netcache/controller.h"
@@ -18,7 +19,10 @@
 #include "sim/simulator.h"
 #include "stats/meters.h"
 #include "telemetry/counters.h"
+#include "telemetry/netstats.h"
 #include "telemetry/trace.h"
+#include "testbed/constants.h"
+#include "testbed/workload_source.h"
 #include "workload/dynamic.h"
 #include "workload/keyspace.h"
 #include "workload/zipf.h"
@@ -27,64 +31,9 @@ namespace orbit::testbed {
 
 namespace {
 
-constexpr L4Port kOrbitPort = 5008;
-constexpr L4Port kCtrlPort = 7000;
-constexpr Addr kClientBase = 1000;
-constexpr Addr kServerBase = 2000;
-constexpr Addr kControllerAddr = 3000;
+constexpr Addr kControllerAddr = kControllerBase;
 
-// Precomputed hot-rank entries: Zipfian traffic concentrates on the first
-// few thousand ranks, so memoizing them removes key formatting and hashing
-// from the request hot path.
-constexpr uint64_t kMemoRanks = 4096;
-
-class ZipfWorkload : public app::WorkloadSource {
- public:
-  ZipfWorkload(const TestbedConfig& config,
-               std::function<uint32_t(const Key&)> size_fn,
-               std::shared_ptr<wl::DynamicPopularity> dynamic)
-      : keyspace_(config.workload.num_keys, config.workload.key_size, config.seed),
-        zipf_(config.workload.num_keys, config.workload.zipf_theta),
-        partitioner_(static_cast<uint32_t>(config.topo.num_servers), config.seed),
-        size_fn_(std::move(size_fn)),
-        dynamic_(std::move(dynamic)),
-        write_ratio_(config.workload.twitter != nullptr ? config.workload.twitter->write_ratio
-                                               : config.workload.write_ratio) {
-    const uint64_t memo = std::min<uint64_t>(kMemoRanks, config.workload.num_keys);
-    memo_.reserve(memo);
-    for (uint64_t r = 0; r < memo; ++r) memo_.push_back(BuildEntry(r));
-  }
-
-  Request Next(Rng& rng) override {
-    uint64_t rank = zipf_.Sample(rng);
-    if (dynamic_ != nullptr) rank = dynamic_->Remap(rank);
-    Request req =
-        rank < memo_.size() ? memo_[rank] : BuildEntry(rank);
-    req.is_write = write_ratio_ > 0 && rng.Bernoulli(write_ratio_);
-    return req;
-  }
-
-  const wl::KeySpace& keyspace() const { return keyspace_; }
-  const kv::Partitioner& partitioner() const { return partitioner_; }
-
- private:
-  Request BuildEntry(uint64_t rank) const {
-    Request req;
-    req.key = keyspace_.KeyAtRank(rank);
-    req.hkey = HashKey128(req.key);
-    req.server = kServerBase + partitioner_.ServerFor(req.key);
-    req.value_size = size_fn_(req.key);
-    return req;
-  }
-
-  wl::KeySpace keyspace_;
-  wl::ZipfGenerator zipf_;
-  kv::Partitioner partitioner_;
-  std::function<uint32_t(const Key&)> size_fn_;
-  std::shared_ptr<wl::DynamicPopularity> dynamic_;
-  double write_ratio_;
-  std::vector<Request> memo_;
-};
+using ZipfWorkload = ZipfWorkloadSource;
 
 }  // namespace
 
@@ -147,6 +96,29 @@ std::vector<std::string> TestbedConfig::Validate() const {
   if (topo.server_rate_rps < 0)
     err("topo.server_rate_rps must be >= 0 (0 = unlimited)");
 
+  if (topo.fabric.num_racks < 0)
+    err("topo.fabric.num_racks must be >= 0 (0 = single-switch)");
+  if (topo.fabric.enabled()) {
+    if (topo.fabric.num_spines < 1)
+      err("topo.fabric.num_spines must be >= 1 when the fabric is enabled");
+    if (topo.fabric.num_racks > topo.num_servers)
+      err("topo.fabric.num_racks (" + std::to_string(topo.fabric.num_racks) +
+          ") exceeds topo.num_servers (" + std::to_string(topo.num_servers) +
+          ") — every rack needs at least one storage server");
+    else if (topo.num_servers % topo.fabric.num_racks != 0)
+      err("topo.num_servers (" + std::to_string(topo.num_servers) +
+          ") must be divisible by topo.fabric.num_racks (" +
+          std::to_string(topo.fabric.num_racks) +
+          ") — racks own equal contiguous server blocks");
+    if (topo.fabric.uplink_gbps <= 0)
+      err("topo.fabric.uplink_gbps must be > 0");
+    if (topo.fabric.uplink_delay < 0)
+      err("topo.fabric.uplink_delay must be >= 0");
+    if (!fault.events.empty())
+      err("fault injection targets the single-switch testbed; scripted "
+          "fault.events are not supported on a fabric yet");
+  }
+
   if (workload.num_keys == 0) err("workload.num_keys must be >= 1");
   if (workload.key_size == 0) err("workload.key_size must be >= 1");
   if (workload.zipf_theta < 0)
@@ -191,6 +163,10 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     for (const std::string& e : errors) joined += "\n  - " + e;
     ORBIT_CHECK_MSG(errors.empty(), "invalid TestbedConfig:" << joined);
   }
+
+  // Leaf–spine configs run through the fabric assembly; everything below
+  // stays the untouched single-ToR path (and its exact event ordering).
+  if (config.topo.fabric.enabled()) return fabric::RunFabricTestbed(config);
 
   sim::Simulator sim;
   sim::Network net(&sim);
@@ -405,6 +381,8 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     for (size_t i = 0; i < clients.size(); ++i)
       clients[i]->RegisterTelemetry(*registry,
                                     "client." + std::to_string(i));
+    // Per-hop drops, one counter per link direction per reason.
+    telemetry::RegisterLinkDropCounters(*registry, net);
     // Fabric drops, bucketed by reason.
     uint64_t* drop_ovf = registry->OwnCounter("net.drop.queue_overflow");
     uint64_t* drop_loss = registry->OwnCounter("net.drop.loss");

@@ -47,6 +47,22 @@ struct TestbedConfig {
     double client_link_gbps = 100.0;
     double server_link_gbps = 25.0;
     SimTime link_delay = 500;  // ns one way
+
+    // Leaf–spine scale-out (src/fabric/). Disabled by default: num_racks=0
+    // keeps the single-ToR §5.1 testbed, and a disabled fabric section is
+    // omitted from ConfigJson so existing fingerprints stay byte-identical.
+    // When enabled, num_servers must divide evenly into num_racks blocks;
+    // rack r owns servers [r*per_rack, (r+1)*per_rack) and its leaf caches
+    // only that key partition. Clients round-robin across racks, so most
+    // traffic crosses the spine.
+    struct Fabric {
+      int num_racks = 0;           // 0 = single-switch testbed
+      int num_spines = 1;
+      double uplink_gbps = 100.0;  // each leaf<->spine link
+      SimTime uplink_delay = 500;  // ns one way
+      bool enabled() const { return num_racks > 0; }
+    };
+    Fabric fabric;
   };
   Topology topo;
 

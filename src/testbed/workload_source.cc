@@ -1,0 +1,44 @@
+#include "testbed/workload_source.h"
+
+#include <algorithm>
+
+namespace orbit::testbed {
+
+ZipfWorkloadSource::ZipfWorkloadSource(
+    const TestbedConfig& config, std::function<uint32_t(const Key&)> size_fn,
+    std::shared_ptr<wl::DynamicPopularity> dynamic)
+    : keyspace_(config.workload.num_keys, config.workload.key_size,
+                config.seed),
+      zipf_(config.workload.num_keys, config.workload.zipf_theta),
+      partitioner_(static_cast<uint32_t>(config.topo.num_servers),
+                   config.seed),
+      size_fn_(std::move(size_fn)),
+      dynamic_(std::move(dynamic)),
+      write_ratio_(config.workload.twitter != nullptr
+                       ? config.workload.twitter->write_ratio
+                       : config.workload.write_ratio) {
+  const uint64_t memo =
+      std::min<uint64_t>(kMemoRanks, config.workload.num_keys);
+  memo_.reserve(memo);
+  for (uint64_t r = 0; r < memo; ++r) memo_.push_back(BuildEntry(r));
+}
+
+app::WorkloadSource::Request ZipfWorkloadSource::Next(Rng& rng) {
+  uint64_t rank = zipf_.Sample(rng);
+  if (dynamic_ != nullptr) rank = dynamic_->Remap(rank);
+  Request req = rank < memo_.size() ? memo_[rank] : BuildEntry(rank);
+  req.is_write = write_ratio_ > 0 && rng.Bernoulli(write_ratio_);
+  return req;
+}
+
+app::WorkloadSource::Request ZipfWorkloadSource::BuildEntry(
+    uint64_t rank) const {
+  Request req;
+  req.key = keyspace_.KeyAtRank(rank);
+  req.hkey = HashKey128(req.key);
+  req.server = kServerBase + partitioner_.ServerFor(req.key);
+  req.value_size = size_fn_(req.key);
+  return req;
+}
+
+}  // namespace orbit::testbed

@@ -1,0 +1,51 @@
+// The skewed key-value request source every testbed client samples from
+// (paper §5.1): Zipfian ranks over a deterministic key space, hash
+// partitioning across servers, per-key value sizing, optional dynamic
+// popularity (Fig. 18) and write mixing. Shared by the single-switch
+// testbed and the leaf–spine fabric so both topologies see the identical
+// request stream for a given config.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "apps/client.h"
+#include "kv/partition.h"
+#include "testbed/constants.h"
+#include "testbed/testbed.h"
+#include "workload/dynamic.h"
+#include "workload/keyspace.h"
+#include "workload/zipf.h"
+
+namespace orbit::testbed {
+
+// Precomputed hot-rank entries: Zipfian traffic concentrates on the first
+// few thousand ranks, so memoizing them removes key formatting and hashing
+// from the request hot path.
+inline constexpr uint64_t kMemoRanks = 4096;
+
+class ZipfWorkloadSource : public app::WorkloadSource {
+ public:
+  ZipfWorkloadSource(const TestbedConfig& config,
+                     std::function<uint32_t(const Key&)> size_fn,
+                     std::shared_ptr<wl::DynamicPopularity> dynamic);
+
+  Request Next(Rng& rng) override;
+
+  const wl::KeySpace& keyspace() const { return keyspace_; }
+  const kv::Partitioner& partitioner() const { return partitioner_; }
+
+ private:
+  Request BuildEntry(uint64_t rank) const;
+
+  wl::KeySpace keyspace_;
+  wl::ZipfGenerator zipf_;
+  kv::Partitioner partitioner_;
+  std::function<uint32_t(const Key&)> size_fn_;
+  std::shared_ptr<wl::DynamicPopularity> dynamic_;
+  double write_ratio_;
+  std::vector<Request> memo_;
+};
+
+}  // namespace orbit::testbed

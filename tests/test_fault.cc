@@ -119,7 +119,8 @@ TEST(LinkDown, DropsEverythingWithoutTouchingTheLossRng) {
   at.link->set_down(true);
   EXPECT_TRUE(at.link->down());
   for (uint32_t i = 0; i < 50; ++i) net_b.Send(&b1, 0, Pkt(1000 + i));
-  EXPECT_EQ(at.link->stats(0).lost, 50u) << "down link discards everything";
+  EXPECT_EQ(at.link->stats(0).down_drops, 50u)
+      << "down link discards everything";
   at.link->set_down(false);
   for (uint32_t i = 0; i < 200; ++i) net_b.Send(&b1, 0, Pkt(i));
   sim_b.RunToCompletion();

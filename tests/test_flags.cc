@@ -79,6 +79,38 @@ TEST(Flags, UnknownFlagFails) {
   EXPECT_EQ(flags.error(), "unknown flag: --bogus");
 }
 
+TEST(Flags, UnknownFlagSuggestsTheNearestName) {
+  Flags flags = TypicalFlags();
+  Argv args({"--sede", "9"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(flags.error(), "unknown flag: --sede (did you mean --seed?)");
+}
+
+TEST(Flags, UnknownFlagSuggestionCoversLongerTyposAndAliases) {
+  Flags flags;
+  flags.AddString("trace-out", "", "PATH", "trace file");
+  flags.AddBool("help", "this message").Alias("-h");
+  {
+    Argv args({"--trase-out", "t.json"});
+    EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+    EXPECT_EQ(flags.error(),
+              "unknown flag: --trase-out (did you mean --trace-out?)");
+  }
+  {
+    // Aliases are candidate spellings too.
+    Argv args({"-j"});
+    EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+    EXPECT_EQ(flags.error(), "unknown flag: -j (did you mean -h?)");
+  }
+}
+
+TEST(Flags, UnknownFlagFarFromEverythingGetsNoSuggestion) {
+  Flags flags = TypicalFlags();
+  Argv args({"--frobnicate"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(flags.error(), "unknown flag: --frobnicate");
+}
+
 TEST(Flags, MissingValueFails) {
   Flags flags = TypicalFlags();
   Argv args({"--jobs"});
