@@ -1,10 +1,14 @@
 // bench/microbench — simulator hot-path throughput probes.
 //
-// Three numbers track the discrete-event core over time (docs/PERF.md):
+// Four numbers track the discrete-event core over time (docs/PERF.md):
 //   * event_queue_mops       raw EventQueue throughput (classic "hold"
 //                            model: pop one, push one at a later time)
 //   * link_mpps              pooled packets per second through a 2-node
 //                            link, allocation-free in steady state
+//   * link_int_mpps          the same link with INT attached and the
+//                            always-on histograms recording every packet
+//                            (the "observability tax"; budget <5% —
+//                            the printed link_int_overhead_pct shows it)
 //   * quick_testbed_wall_s   wall-clock of one quick-scale OrbitCache
 //                            testbed point (the unit FindSaturation
 //                            re-runs dozens of times per figure)
@@ -29,6 +33,8 @@
 #include "sim/network.h"
 #include "sim/node.h"
 #include "sim/simulator.h"
+#include "telemetry/int/int.h"
+#include "telemetry/netstats.h"
 #include "testbed/testbed.h"
 
 namespace orbit {
@@ -85,8 +91,10 @@ class SinkNode : public sim::Node {
 
 // Streams pooled packets across one link in waves; each wave drains fully
 // before the next starts, so the pool recycles the same few hundred
-// packets for the whole measurement.
-double LinkMpps(uint64_t packets) {
+// packets for the whole measurement. With `with_int` the link carries the
+// INT tap and the always-on histograms record every packet — the cost of
+// leaving observability on unsampled.
+double LinkMpps(uint64_t packets, bool with_int = false) {
   sim::Simulator simulator;
   sim::Network net(&simulator);
   SinkNode src, dst;
@@ -94,6 +102,8 @@ double LinkMpps(uint64_t packets) {
   link.rate_gbps = 100.0;
   link.propagation = 500;
   net.Connect(&src, &dst, link);
+  telemetry::IntSink sink({/*sample_every=*/0, /*histograms=*/true});
+  if (with_int) telemetry::AttachLinkInt(sink, net);
 
   constexpr uint64_t kWave = 512;
   const auto start = std::chrono::steady_clock::now();
@@ -238,13 +248,23 @@ int Main(int argc, char** argv) {
     mops = std::max(mops, EventQueueMops(flags.GetUint64("events")));
   metrics.push_back({"event_queue_mops", mops, false});
 
-  std::fprintf(stderr, "link: %llu pooled packets x%d...\n",
+  std::fprintf(stderr, "link, then link + INT histograms: %llu pooled "
+               "packets x%d each...\n",
                static_cast<unsigned long long>(flags.GetUint64("packets")),
                repeat);
-  double mpps = 0;
-  for (int i = 0; i < repeat; ++i)
+  // Plain and INT-instrumented passes interleave so clock-speed drift
+  // over the measurement hits both sides equally; best-of-N per side.
+  double mpps = 0, int_mpps = 0;
+  for (int i = 0; i < repeat; ++i) {
     mpps = std::max(mpps, LinkMpps(flags.GetUint64("packets")));
+    int_mpps = std::max(int_mpps, LinkMpps(flags.GetUint64("packets"), true));
+  }
   metrics.push_back({"link_mpps", mpps, false});
+  metrics.push_back({"link_int_mpps", int_mpps, false});
+  const double int_overhead = (mpps - int_mpps) / mpps * 100.0;
+  std::fprintf(stderr, "  always-on histogram overhead: %.1f%%\n",
+               int_overhead);
+  metrics.push_back({"link_int_overhead_pct", int_overhead, true});
 
   if (!flags.GetBool("no-testbed")) {
     std::fprintf(stderr, "quick testbed point...\n");

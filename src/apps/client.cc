@@ -6,6 +6,8 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "telemetry/counters.h"
+#include "telemetry/int/flight.h"
+#include "telemetry/int/int.h"
 #include "telemetry/trace.h"
 
 namespace orbit::app {
@@ -75,11 +77,20 @@ void ClientNode::OnTimer(uint64_t arg) {
 
 void ClientNode::SendRequest(const WorkloadSource::Request& req,
                              bool correction, SimTime original_sent_at,
-                             uint64_t inherited_trace_id) {
+                             uint64_t inherited_trace_id,
+                             uint32_t inherited_int_id) {
   const uint32_t seq = next_seq_++;  // wraps naturally (§3.6)
   uint64_t trace_id = inherited_trace_id;
   if (trace_id == 0 && tracer_ != nullptr && tracer_->Sampled(seq))
     trace_id = telemetry::MakeTraceId(config_.addr, seq);
+  const proto::Op op = correction ? proto::Op::kCorrectionReq
+                                  : (req.is_write ? proto::Op::kWriteReq
+                                                  : proto::Op::kReadReq);
+  uint32_t int_id = inherited_int_id;
+  if (int_id == 0 && int_ != nullptr && int_->Sampled(seq)) {
+    int_id = int_->StartFlow(telemetry::MakeTraceId(config_.addr, seq),
+                             static_cast<uint8_t>(op), sim_->now());
+  }
   Pending pending;
   pending.key = req.key;
   pending.hkey = req.hkey;
@@ -89,6 +100,7 @@ void ClientNode::SendRequest(const WorkloadSource::Request& req,
   pending.server = req.server;
   pending.value_size = req.value_size;
   pending.trace_id = trace_id;
+  pending.int_id = int_id;
 
   ++stats_.tx_requests;
   if (req.is_write) {
@@ -129,6 +141,18 @@ void ClientNode::Transmit(uint32_t seq, const Pending& pending) {
 
   pkt->sent_at = pending.sent_at;  // first send — retransmits inherit it
   pkt->trace_id = pending.trace_id;
+  pkt->int_id = pending.int_id;
+  if (flight_ != nullptr)
+    flight_->Note(flight_comp_, sim_->now(), "tx", seq,
+                  static_cast<uint64_t>(pending.attempt));
+  if (int_ != nullptr && pending.int_id != 0) {
+    telemetry::IntHop hop;
+    hop.at = sim_->now();
+    hop.hop = int_hop_tx_;
+    hop.kind = telemetry::IntHopKind::kClientTx;
+    hop.queue_depth = static_cast<int64_t>(pending_.size());
+    int_->Stamp(pending.int_id, hop);
+  }
   net_->Send(this, port_, std::move(pkt));
 }
 
@@ -153,6 +177,9 @@ void ClientNode::OnDeadline(uint32_t seq, int attempt) {
     if (tracer_ != nullptr && pending.trace_id != 0)
       tracer_->Instant(track_, pending.trace_id, "retransmit", sim_->now(),
                        nullptr, static_cast<uint64_t>(pending.attempt));
+    if (flight_ != nullptr)
+      flight_->Note(flight_comp_, sim_->now(), "retransmit", seq,
+                    static_cast<uint64_t>(pending.attempt));
     // Same SEQ: a late reply to any attempt completes the request, and
     // further duplicates count as stray_replies (at-most-once).
     Transmit(seq, pending);
@@ -163,6 +190,11 @@ void ClientNode::OnDeadline(uint32_t seq, int attempt) {
   if (tracer_ != nullptr && pending.trace_id != 0)
     tracer_->Span(track_, pending.trace_id, "request", pending.sent_at,
                   sim_->now() - pending.sent_at, "timeout");
+  if (flight_ != nullptr)
+    flight_->Note(flight_comp_, sim_->now(), "timeout", seq,
+                  static_cast<uint64_t>(pending.attempt));
+  if (int_ != nullptr && pending.int_id != 0)
+    int_->FinishFlow(pending.int_id, sim_->now(), "timeout");
   pending_.erase(it);
 }
 
@@ -195,8 +227,9 @@ void ClientNode::HandleReply(const sim::Packet& pkt) {
     fix.is_write = false;
     const SimTime original = pending.sent_at;
     const uint64_t trace_id = pending.trace_id;
+    const uint32_t int_id = pending.int_id;
     pending_.erase(it);
-    SendRequest(fix, /*correction=*/true, original, trace_id);
+    SendRequest(fix, /*correction=*/true, original, trace_id, int_id);
     return;
   }
 
@@ -227,17 +260,35 @@ void ClientNode::HandleReply(const sim::Packet& pkt) {
   rx_meter_.Add();
   if (timeline_ != nullptr) timeline_->Add(sim_->now());
   if (window_open_) RecordLatency(pkt, pending);
+  // How the request was ultimately satisfied; shared by the trace root
+  // span and the INT flow outcome.
+  const char* outcome =
+      pending.is_write
+          ? "write"
+          : (msg.cached != 0 ? "read_cached"
+                             : (pending.is_correction ? "read_correction"
+                                                      : "read_server"));
   if (tracer_ != nullptr && pending.trace_id != 0) {
-    // The root span: total client-observed latency, labeled by how the
-    // request was ultimately satisfied.
-    const char* outcome =
-        pending.is_write
-            ? "write"
-            : (msg.cached != 0 ? "read_cached"
-                               : (pending.is_correction ? "read_correction"
-                                                        : "read_server"));
+    // The root span: total client-observed latency.
     tracer_->Span(track_, pending.trace_id, "request", pending.sent_at,
                   sim_->now() - pending.sent_at, outcome);
+  }
+  if (flight_ != nullptr)
+    flight_->Note(flight_comp_, sim_->now(), "rx", msg.seq,
+                  static_cast<uint64_t>(msg.cached));
+  if (int_ != nullptr) {
+    const SimTime rtt = sim_->now() - pending.sent_at;
+    int_->Record(int_hist_rtt_, rtt);
+    if (pending.int_id != 0) {
+      telemetry::IntHop hop;
+      hop.at = sim_->now();
+      hop.hop = int_hop_rx_;
+      hop.kind = telemetry::IntHopKind::kClientRx;
+      hop.latency_ns = rtt;
+      hop.recirc_count = pkt.recirc_count;
+      int_->Stamp(pending.int_id, hop);
+      int_->FinishFlow(pending.int_id, sim_->now(), outcome);
+    }
   }
   pending_.erase(it);
 }
@@ -262,22 +313,41 @@ void ClientNode::SetTracer(telemetry::Tracer* tracer) {
     track_ = tracer_->RegisterTrack("client-" + std::to_string(config_.addr));
 }
 
+void ClientNode::SetIntSink(telemetry::IntSink* sink) {
+  int_ = sink;
+  if (int_ == nullptr) return;
+  const std::string me = "client-" + std::to_string(config_.addr);
+  int_hop_tx_ = int_->Hop(me + ".tx");
+  int_hop_rx_ = int_->Hop(me + ".rx");
+  int_hist_rtt_ = int_->Hist("hop.rtt.ns", "ns");
+}
+
+void ClientNode::SetFlightRecorder(telemetry::FlightRecorder* recorder) {
+  flight_ = recorder;
+  if (flight_ != nullptr)
+    flight_comp_ =
+        flight_->Component("client-" + std::to_string(config_.addr));
+}
+
 void ClientNode::RegisterTelemetry(telemetry::Registry& reg,
                                    const std::string& prefix) {
+  const std::string who = "ClientNode::RegisterTelemetry(" + prefix + ")";
   reg.AddCounter(prefix + ".tx_requests",
-                 [this] { return stats_.tx_requests; });
-  reg.AddCounter(prefix + ".rx_replies", [this] { return stats_.rx_replies; });
-  reg.AddCounter(prefix + ".timeouts", [this] { return stats_.timeouts; });
+                 [this] { return stats_.tx_requests; }, who);
+  reg.AddCounter(prefix + ".rx_replies", [this] { return stats_.rx_replies; },
+                 who);
+  reg.AddCounter(prefix + ".timeouts", [this] { return stats_.timeouts; }, who);
   reg.AddCounter(prefix + ".retransmissions",
-                 [this] { return stats_.retransmissions; });
+                 [this] { return stats_.retransmissions; }, who);
   reg.AddCounter(prefix + ".inflight_at_stop",
-                 [this] { return stats_.inflight_at_stop; });
-  reg.AddCounter(prefix + ".collisions", [this] { return stats_.collisions; });
+                 [this] { return stats_.inflight_at_stop; }, who);
+  reg.AddCounter(prefix + ".collisions", [this] { return stats_.collisions; },
+                 who);
   reg.AddCounter(prefix + ".stray_replies",
-                 [this] { return stats_.stray_replies; });
+                 [this] { return stats_.stray_replies; }, who);
   reg.AddCounter(prefix + ".stale_reads",
-                 [this] { return stats_.stale_reads; });
-  reg.AddGauge(prefix + ".pending", [this] { return pending_.size(); });
+                 [this] { return stats_.stale_reads; }, who);
+  reg.AddGauge(prefix + ".pending", [this] { return pending_.size(); }, who);
 }
 
 }  // namespace orbit::app

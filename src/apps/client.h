@@ -32,6 +32,8 @@
 #include "stats/time_series.h"
 
 namespace orbit::telemetry {
+class FlightRecorder;
+class IntSink;
 class Registry;
 class Tracer;
 }  // namespace orbit::telemetry
@@ -97,6 +99,12 @@ class ClientNode : public sim::Node, public sim::TimerHandler {
   // it decides which requests are sampled and closes each trace with a
   // "request" span covering client-observed latency.
   void SetTracer(telemetry::Tracer* tracer);
+  // INT: the client NIC is the INT source (stamps client_tx) and sink
+  // (stamps client_rx, closes the flow); also owns the always-on
+  // end-to-end RTT histogram.
+  void SetIntSink(telemetry::IntSink* sink);
+  // Flight recorder: per-client ring noting tx/rx/retransmit/timeout.
+  void SetFlightRecorder(telemetry::FlightRecorder* recorder);
   // Registers `<prefix>.*` counters (tx/rx/timeouts/…) against `reg`.
   void RegisterTelemetry(telemetry::Registry& reg, const std::string& prefix);
 
@@ -137,6 +145,7 @@ class ClientNode : public sim::Node, public sim::TimerHandler {
     std::array<uint64_t, 4> frag_bitmap{};
     uint32_t frags_received = 0;
     uint64_t trace_id = 0;     // non-zero when this request is sampled
+    uint32_t int_id = 0;       // non-zero when this request carries INT
   };
 
   // Timer argument encoding: the Tx tick uses a sentinel no deadline can
@@ -148,9 +157,11 @@ class ClientNode : public sim::Node, public sim::TimerHandler {
   }
 
   void SendNext();
-  // `inherited_trace_id` keeps a correction retry on its original trace.
+  // `inherited_trace_id`/`inherited_int_id` keep a correction retry on
+  // its original trace and INT flow.
   void SendRequest(const WorkloadSource::Request& req, bool correction,
-                   SimTime original_sent_at, uint64_t inherited_trace_id = 0);
+                   SimTime original_sent_at, uint64_t inherited_trace_id = 0,
+                   uint32_t inherited_int_id = 0);
   // Puts (or re-puts) the request for `seq` on the wire.
   void Transmit(uint32_t seq, const Pending& pending);
   // Schedules the deadline for the given attempt; a reply simply erases
@@ -183,6 +194,12 @@ class ClientNode : public sim::Node, public sim::TimerHandler {
 
   telemetry::Tracer* tracer_ = nullptr;
   int track_ = -1;
+  telemetry::IntSink* int_ = nullptr;
+  uint32_t int_hop_tx_ = 0;
+  uint32_t int_hop_rx_ = 0;
+  uint32_t int_hist_rtt_ = 0;
+  telemetry::FlightRecorder* flight_ = nullptr;
+  uint32_t flight_comp_ = 0;
 
   Stats stats_;
 };

@@ -5,6 +5,8 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "telemetry/counters.h"
+#include "telemetry/int/flight.h"
+#include "telemetry/int/int.h"
 #include "telemetry/trace.h"
 
 namespace orbit::app {
@@ -56,6 +58,19 @@ void ServerNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
     if (tracer_ != nullptr && pkt->trace_id != 0)
       tracer_->Instant(track_, pkt->trace_id, "rx_drop", sim_->now(),
                        "queue_full");
+    if (flight_ != nullptr)
+      flight_->Note(flight_comp_, sim_->now(), "rx_drop", pkt->msg.seq,
+                    queue_depth_);
+    if (int_ != nullptr && pkt->int_id != 0) {
+      telemetry::IntHop hop;
+      hop.at = sim_->now();
+      hop.hop = int_hop_rx_;
+      hop.kind = telemetry::IntHopKind::kDrop;
+      hop.queue_depth = static_cast<int64_t>(queue_depth_);
+      hop.drop_reason = static_cast<uint8_t>(
+          1 + static_cast<int>(sim::DropReason::kQueueOverflow));
+      int_->Stamp(pkt->int_id, hop);
+    }
     return;
   }
   const SimTime service =
@@ -64,6 +79,7 @@ void ServerNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
                                  config_.service_rate_rps)
           : config_.base_processing;
   const SimTime start = std::max(busy_until_, sim_->now());
+  const SimTime queue_wait = start - sim_->now();
   busy_until_ = start + service;
   ++queue_depth_;
   if (tracer_ != nullptr && pkt->trace_id != 0) {
@@ -73,6 +89,32 @@ void ServerNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
       tracer_->Span(track_, pkt->trace_id, "srv_queue", sim_->now(),
                     start - sim_->now());
     tracer_->Span(track_, pkt->trace_id, "srv_process", start, service);
+  }
+  if (flight_ != nullptr)
+    flight_->Note(flight_comp_, sim_->now(), "rx", pkt->msg.seq, queue_depth_);
+  if (int_ != nullptr) {
+    // Always-on hop-class histograms (every admitted request); the FIFO
+    // discipline makes both spans known at enqueue time, like the tracer.
+    int_->Record(int_hist_queue_, queue_wait);
+    int_->Record(int_hist_process_, service);
+    if (pkt->int_id != 0) {
+      telemetry::IntHop hop;
+      hop.at = sim_->now();
+      hop.hop = int_hop_rx_;
+      hop.kind = telemetry::IntHopKind::kServerRx;
+      hop.queue_depth = static_cast<int64_t>(queue_depth_);
+      hop.recirc_count = pkt->recirc_count;
+      int_->Stamp(pkt->int_id, hop);
+      hop.hop = int_hop_queue_;
+      hop.kind = telemetry::IntHopKind::kServerQueue;
+      hop.latency_ns = queue_wait;
+      int_->Stamp(pkt->int_id, hop);
+      hop.at = start;
+      hop.hop = int_hop_process_;
+      hop.kind = telemetry::IntHopKind::kServerProcess;
+      hop.latency_ns = service;
+      int_->Stamp(pkt->int_id, hop);
+    }
   }
   // The request rides the completion timer as its argument (a Packet* is
   // never 0, so it cannot collide with the report-tick sentinel).
@@ -176,6 +218,9 @@ void ServerNode::Reply(const sim::Packet& req) {
     frag_total = static_cast<uint8_t>(frags);
   }
 
+  if (flight_ != nullptr)
+    flight_->Note(flight_comp_, sim_->now(), "reply", msg.seq, size);
+  if (int_ != nullptr) int_->Record(int_hist_value_, size);
   for (uint8_t i = 0; i < frag_total; ++i) {
     auto rep = sim::NewPacket(config_.addr, req.src, config_.orbit_port,
                               req.sport);
@@ -189,6 +234,7 @@ void ServerNode::Reply(const sim::Packet& req) {
     }
     rep->sent_at = sim_->now();
     rep->trace_id = req.trace_id;  // the reply continues the request's trace
+    rep->int_id = req.int_id;      // …and its INT flow
     ++stats_.replies;
     net_->Send(this, port_, std::move(rep));
   }
@@ -215,18 +261,37 @@ void ServerNode::SetTracer(telemetry::Tracer* tracer) {
   if (tracer_ != nullptr) track_ = tracer_->RegisterTrack(name());
 }
 
+void ServerNode::SetIntSink(telemetry::IntSink* sink) {
+  int_ = sink;
+  if (int_ == nullptr) return;
+  int_hop_rx_ = int_->Hop(name() + ".rx");
+  int_hop_queue_ = int_->Hop(name() + ".queue");
+  int_hop_process_ = int_->Hop(name() + ".process");
+  int_hist_queue_ = int_->Hist("hop.srv_queue.ns", "ns");
+  int_hist_process_ = int_->Hist("hop.srv_process.ns", "ns");
+  int_hist_value_ = int_->Hist("value.bytes", "bytes");
+}
+
+void ServerNode::SetFlightRecorder(telemetry::FlightRecorder* recorder) {
+  flight_ = recorder;
+  if (flight_ != nullptr) flight_comp_ = flight_->Component(name());
+}
+
 void ServerNode::RegisterTelemetry(telemetry::Registry& reg,
                                    const std::string& prefix) {
-  reg.AddCounter(prefix + ".requests", [this] { return stats_.requests; });
-  reg.AddCounter(prefix + ".reads", [this] { return stats_.reads; });
-  reg.AddCounter(prefix + ".writes", [this] { return stats_.writes; });
-  reg.AddCounter(prefix + ".fetches", [this] { return stats_.fetches; });
+  const std::string who = "ServerNode::RegisterTelemetry(" + prefix + ")";
+  reg.AddCounter(prefix + ".requests", [this] { return stats_.requests; },
+                 who);
+  reg.AddCounter(prefix + ".reads", [this] { return stats_.reads; }, who);
+  reg.AddCounter(prefix + ".writes", [this] { return stats_.writes; }, who);
+  reg.AddCounter(prefix + ".fetches", [this] { return stats_.fetches; }, who);
   reg.AddCounter(prefix + ".corrections",
-                 [this] { return stats_.corrections; });
-  reg.AddCounter(prefix + ".flushes", [this] { return stats_.flushes; });
-  reg.AddCounter(prefix + ".drop.rx_queue", [this] { return stats_.dropped; });
-  reg.AddCounter(prefix + ".replies", [this] { return stats_.replies; });
-  reg.AddGauge(prefix + ".queue_depth", [this] { return queue_depth_; });
+                 [this] { return stats_.corrections; }, who);
+  reg.AddCounter(prefix + ".flushes", [this] { return stats_.flushes; }, who);
+  reg.AddCounter(prefix + ".drop.rx_queue", [this] { return stats_.dropped; },
+                 who);
+  reg.AddCounter(prefix + ".replies", [this] { return stats_.replies; }, who);
+  reg.AddGauge(prefix + ".queue_depth", [this] { return queue_depth_; }, who);
 }
 
 }  // namespace orbit::app

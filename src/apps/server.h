@@ -22,6 +22,8 @@
 #include "workload/top_k.h"
 
 namespace orbit::telemetry {
+class FlightRecorder;
+class IntSink;
 class Registry;
 class Tracer;
 }  // namespace orbit::telemetry
@@ -85,6 +87,11 @@ class ServerNode : public sim::Node, public sim::TimerHandler {
   // Telemetry (optional): queue/process spans for sampled requests, reply
   // packets inherit the request's trace id.
   void SetTracer(telemetry::Tracer* tracer);
+  // INT: stamps srv_rx/srv_queue/srv_process hops on sampled flows and
+  // owns the always-on queue-wait/service/value-size histograms.
+  void SetIntSink(telemetry::IntSink* sink);
+  // Flight recorder: per-server ring noting rx/rx_drop/reply.
+  void SetFlightRecorder(telemetry::FlightRecorder* recorder);
   // Registers `<prefix>.*` counters and a queue-depth gauge against `reg`.
   void RegisterTelemetry(telemetry::Registry& reg, const std::string& prefix);
 
@@ -113,6 +120,15 @@ class ServerNode : public sim::Node, public sim::TimerHandler {
 
   telemetry::Tracer* tracer_ = nullptr;
   int track_ = -1;
+  telemetry::IntSink* int_ = nullptr;
+  uint32_t int_hop_rx_ = 0;
+  uint32_t int_hop_queue_ = 0;
+  uint32_t int_hop_process_ = 0;
+  uint32_t int_hist_queue_ = 0;
+  uint32_t int_hist_process_ = 0;
+  uint32_t int_hist_value_ = 0;
+  telemetry::FlightRecorder* flight_ = nullptr;
+  uint32_t flight_comp_ = 0;
 
   Stats stats_;
 };

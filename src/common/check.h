@@ -5,9 +5,11 @@
 // code, so they throw rather than abort: tests assert on them.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace orbit {
 
@@ -17,14 +19,39 @@ class CheckFailure : public std::logic_error {
 };
 
 namespace detail {
+// Observer invoked (with the formatted message) just before a failed
+// check throws. Thread-local so parallel harness workers never see each
+// other's hooks. The flight recorder uses this to dump its rings while
+// the failing run's state is still live.
+inline thread_local std::function<void(const std::string&)>
+    check_failure_hook;
+
 [[noreturn]] inline void CheckFailed(const char* expr, const char* file,
                                      int line, const std::string& msg) {
   std::ostringstream os;
   os << "CHECK failed: " << expr << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw CheckFailure(os.str());
+  std::string what = os.str();
+  if (check_failure_hook) check_failure_hook(what);
+  throw CheckFailure(what);
 }
 }  // namespace detail
+
+// RAII installer for the per-thread check-failure observer; restores the
+// previous hook (nestable) on destruction.
+class ScopedCheckFailureHook {
+ public:
+  explicit ScopedCheckFailureHook(std::function<void(const std::string&)> hook)
+      : prev_(std::move(detail::check_failure_hook)) {
+    detail::check_failure_hook = std::move(hook);
+  }
+  ~ScopedCheckFailureHook() { detail::check_failure_hook = std::move(prev_); }
+  ScopedCheckFailureHook(const ScopedCheckFailureHook&) = delete;
+  ScopedCheckFailureHook& operator=(const ScopedCheckFailureHook&) = delete;
+
+ private:
+  std::function<void(const std::string&)> prev_;
+};
 
 }  // namespace orbit
 

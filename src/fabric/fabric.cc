@@ -16,6 +16,8 @@
 #include "sim/simulator.h"
 #include "stats/meters.h"
 #include "telemetry/counters.h"
+#include "telemetry/int/flight.h"
+#include "telemetry/int/int.h"
 #include "telemetry/netstats.h"
 #include "telemetry/trace.h"
 #include "testbed/constants.h"
@@ -213,8 +215,38 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
   // hops into one causal timeline.
   std::unique_ptr<telemetry::Tracer> tracer;
   std::unique_ptr<telemetry::Registry> registry;
+  std::unique_ptr<telemetry::IntSink> int_sink;
+  std::unique_ptr<telemetry::FlightRecorder> flight;
+  std::unique_ptr<ScopedCheckFailureHook> check_hook;
   const bool capture_on = config.telemetry.capture != nullptr;
   if (capture_on) {
+    if (config.telemetry.int_sample > 0 || config.telemetry.histograms) {
+      telemetry::IntSink::Options iopt;
+      iopt.sample_every = config.telemetry.int_sample;
+      iopt.histograms = config.telemetry.histograms;
+      int_sink = std::make_unique<telemetry::IntSink>(iopt);
+      telemetry::AttachLinkInt(*int_sink, net);
+      for (int r = 0; r < racks; ++r) topo.leaf(r).SetIntSink(int_sink.get());
+      for (int s = 0; s < fb.num_spines; ++s)
+        topo.spine(s).SetIntSink(int_sink.get());
+      for (auto& srv : servers) srv->SetIntSink(int_sink.get());
+      for (auto& c : clients) c->SetIntSink(int_sink.get());
+    }
+    if (config.telemetry.flight_recorder || config.telemetry.flight_end_dump) {
+      flight = std::make_unique<telemetry::FlightRecorder>();
+      for (int r = 0; r < racks; ++r)
+        topo.leaf(r).SetFlightRecorder(flight.get());
+      for (int s = 0; s < fb.num_spines; ++s)
+        topo.spine(s).SetFlightRecorder(flight.get());
+      for (auto& srv : servers) srv->SetFlightRecorder(flight.get());
+      for (auto& c : clients) c->SetFlightRecorder(flight.get());
+      check_hook = std::make_unique<ScopedCheckFailureHook>(
+          [&flight, &sim, cap = config.telemetry.capture](
+              const std::string& what) {
+            flight->TriggerDump(sim.now(), "check failure: " + what);
+            cap->flight_dump = flight->DumpText();
+          });
+    }
     if (config.telemetry.trace_sample > 0) {
       tracer =
           std::make_unique<telemetry::Tracer>(config.telemetry.trace_sample);
@@ -244,9 +276,12 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
       clients[i]->RegisterTelemetry(*registry,
                                     "client." + std::to_string(i));
     telemetry::RegisterLinkDropCounters(*registry, net);
-    uint64_t* drop_ovf = registry->OwnCounter("net.drop.queue_overflow");
-    uint64_t* drop_loss = registry->OwnCounter("net.drop.loss");
-    uint64_t* drop_down = registry->OwnCounter("net.drop.link_down");
+    uint64_t* drop_ovf =
+        registry->OwnCounter("net.drop.queue_overflow", "RunFabricTestbed");
+    uint64_t* drop_loss =
+        registry->OwnCounter("net.drop.loss", "RunFabricTestbed");
+    uint64_t* drop_down =
+        registry->OwnCounter("net.drop.link_down", "RunFabricTestbed");
     net.SetDropTap([drop_ovf, drop_loss, drop_down](
                        const sim::Packet&, sim::Node*, sim::Node*,
                        sim::DropReason reason, SimTime) {
@@ -499,6 +534,12 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
     if (tracer != nullptr) {
       cap->tracks = tracer->TakeTracks();
       cap->events = tracer->TakeEvents();
+    }
+    if (int_sink != nullptr) int_sink->Drain(&cap->int_capture);
+    if (flight != nullptr) {
+      if (config.telemetry.flight_end_dump)
+        flight->TriggerDump(sim.now(), "end of run");
+      if (flight->HasDumps()) cap->flight_dump = flight->DumpText();
     }
   }
 

@@ -1,10 +1,12 @@
 #include "fault/fault.h"
 
+#include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "sim/simulator.h"
 #include "telemetry/counters.h"
+#include "telemetry/int/flight.h"
 
 namespace orbit::fault {
 
@@ -54,6 +56,14 @@ void FaultInjector::Note(FaultKind kind, int server) {
                      /*detail=*/nullptr,
                      server >= 0 ? static_cast<uint64_t>(server) : 0);
   }
+  if (flight_ != nullptr) {
+    flight_->Note(flight_comp_, sim_->now(), FaultKindName(kind),
+                  server >= 0 ? static_cast<uint64_t>(server) : 0);
+    // A fault is exactly the moment a post-mortem view of the preceding
+    // events is worth keeping.
+    flight_->TriggerDump(sim_->now(),
+                         std::string("fault: ") + FaultKindName(kind));
+  }
 }
 
 void FaultInjector::Fire(const FaultEvent& ev) {
@@ -102,23 +112,29 @@ void FaultInjector::Fire(const FaultEvent& ev) {
 
 void FaultInjector::RegisterTelemetry(telemetry::Registry* registry,
                                       telemetry::Tracer* tracer) {
+  const std::string who = "FaultInjector::RegisterTelemetry";
   if (registry != nullptr) {
-    registry->AddCounter("fault.injected", [this] { return stats_.injected; });
+    registry->AddCounter("fault.injected", [this] { return stats_.injected; }, who);
     registry->AddCounter("fault.server_crashes",
-                         [this] { return stats_.server_crashes; });
+                         [this] { return stats_.server_crashes; }, who);
     registry->AddCounter("fault.server_restarts",
-                         [this] { return stats_.server_restarts; });
+                         [this] { return stats_.server_restarts; }, who);
     registry->AddCounter("fault.switch_resets",
-                         [this] { return stats_.switch_resets; });
+                         [this] { return stats_.switch_resets; }, who);
     registry->AddCounter("fault.cache_rebuilds",
-                         [this] { return stats_.cache_rebuilds; });
+                         [this] { return stats_.cache_rebuilds; }, who);
     registry->AddCounter("fault.ctrl_transitions",
-                         [this] { return stats_.ctrl_transitions; });
+                         [this] { return stats_.ctrl_transitions; }, who);
   }
   if (tracer != nullptr) {
     tracer_ = tracer;
     track_ = tracer->RegisterTrack("faults");
   }
+}
+
+void FaultInjector::SetFlightRecorder(telemetry::FlightRecorder* recorder) {
+  flight_ = recorder;
+  if (flight_ != nullptr) flight_comp_ = flight_->Component("faults");
 }
 
 }  // namespace orbit::fault

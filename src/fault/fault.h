@@ -30,6 +30,7 @@ namespace orbit::sim {
 class Simulator;
 }
 namespace orbit::telemetry {
+class FlightRecorder;
 class Registry;
 class Tracer;
 }
@@ -111,6 +112,10 @@ class FaultInjector {
   void RegisterTelemetry(telemetry::Registry* registry,
                          telemetry::Tracer* tracer);
 
+  // Flight recorder: every injected fault is noted on a "faults" ring and
+  // triggers a post-mortem dump of all component rings at that instant.
+  void SetFlightRecorder(telemetry::FlightRecorder* recorder);
+
  private:
   void Fire(const FaultEvent& ev);
   void Note(FaultKind kind, int server);
@@ -121,6 +126,8 @@ class FaultInjector {
   Stats stats_;
   telemetry::Tracer* tracer_ = nullptr;
   int track_ = -1;
+  telemetry::FlightRecorder* flight_ = nullptr;
+  uint32_t flight_comp_ = 0;
 };
 
 }  // namespace orbit::fault

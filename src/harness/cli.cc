@@ -35,6 +35,18 @@ Flags MakeFlags() {
   flags.AddDouble("snapshot-interval", 0, "MS",
                   "sim-time period between counter snapshots (default\n"
                   "0 = one final snapshot per point)");
+  flags.AddString("int-out", "", "PATH",
+                  "collect INT postcards (per-hop records of sampled\n"
+                  "requests) and write them as JSONL");
+  flags.AddUint64("int-sample", 64, "N",
+                  "stamp INT postcards on every Nth request per client\n"
+                  "(default 64; used only with --int-out)");
+  flags.AddString("hist-out", "", "PATH",
+                  "record always-on per-hop/per-link histograms and write\n"
+                  "their end-of-run snapshots as JSONL");
+  flags.AddString("flight-dump", "", "PATH",
+                  "keep per-component flight-recorder rings, dump them at\n"
+                  "end of run (and on faults/check failures) to PATH");
   flags.AddBool("no-progress", "silence the per-point progress lines");
   flags.AddBool("list", "list experiment names and exit");
   flags.AddBool("help", "this message").Alias("-h");
@@ -83,10 +95,19 @@ CliOptions ParseCli(int argc, char** argv) {
   }
   opts.runner.snapshot_interval =
       static_cast<SimTime>(snapshot_ms * kMillisecond);
+  const uint64_t int_sample = flags.GetUint64("int-sample");
+  if (int_sample == 0 || int_sample > UINT32_MAX) {
+    opts.error = "bad --int-sample value: " + flags.Raw("int-sample");
+    return opts;
+  }
+  opts.runner.int_sample = static_cast<uint32_t>(int_sample);
   opts.runner.progress = !flags.GetBool("no-progress");
   opts.out_path = flags.GetString("out");
   opts.trace_out_path = flags.GetString("trace-out");
   opts.counters_out_path = flags.GetString("counters-out");
+  opts.int_out_path = flags.GetString("int-out");
+  opts.hist_out_path = flags.GetString("hist-out");
+  opts.flight_dump_path = flags.GetString("flight-dump");
   opts.list = flags.GetBool("list");
   opts.help = flags.GetBool("help");
   opts.filters = flags.positionals();
@@ -99,6 +120,8 @@ void PrintHelp(const char* prog, const std::vector<ExperimentSpec>& specs) {
       "       [--timeout SEC] [--out results.jsonl] [--list] [--no-progress]\n"
       "       [--trace-out trace.json] [--trace-sample N]\n"
       "       [--counters-out counters.jsonl] [--snapshot-interval MS]\n"
+      "       [--int-out int.jsonl] [--int-sample N] [--hist-out hist.jsonl]\n"
+      "       [--flight-dump flight.txt]\n"
       "\n"
       "  NAME...            run only experiments whose name contains NAME\n"
       "%s"
@@ -155,11 +178,19 @@ int HarnessMain(const std::vector<ExperimentSpec>& specs, int argc,
   }
 
   RunnerOptions runner = opts.runner;
-  if (!opts.trace_out_path.empty() || !opts.counters_out_path.empty()) {
+  if (!opts.trace_out_path.empty() || !opts.counters_out_path.empty() ||
+      !opts.int_out_path.empty() || !opts.hist_out_path.empty() ||
+      !opts.flight_dump_path.empty()) {
     runner.capture_telemetry = true;
     // Collect only what will be written: spans cost nothing when sampling
     // is off, and counter snapshots cost nothing unless requested.
     if (opts.trace_out_path.empty()) runner.trace_sample = 0;
+  }
+  if (opts.int_out_path.empty()) runner.int_sample = 0;
+  runner.histograms = !opts.hist_out_path.empty();
+  if (!opts.flight_dump_path.empty()) {
+    runner.flight_recorder = true;
+    runner.flight_end_dump = true;
   }
 
   const RunOutcome outcome = RunExperiments(selected, runner);
@@ -203,6 +234,35 @@ int HarnessMain(const std::vector<ExperimentSpec>& specs, int argc,
     }
     std::printf("wrote counter snapshots to %s\n",
                 opts.counters_out_path.c_str());
+  }
+  if (!opts.int_out_path.empty()) {
+    std::string error;
+    if (!WriteTextFile(opts.int_out_path,
+                       IntJsonl(outcome.records, outcome.captures), &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    std::printf("wrote INT postcards to %s\n", opts.int_out_path.c_str());
+  }
+  if (!opts.hist_out_path.empty()) {
+    std::string error;
+    if (!WriteTextFile(opts.hist_out_path,
+                       HistJsonl(outcome.records, outcome.captures), &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    std::printf("wrote histogram snapshots to %s\n",
+                opts.hist_out_path.c_str());
+  }
+  if (!opts.flight_dump_path.empty()) {
+    std::string error;
+    if (!WriteTextFile(opts.flight_dump_path,
+                       FlightText(outcome.records, outcome.captures),
+                       &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    std::printf("wrote flight dumps to %s\n", opts.flight_dump_path.c_str());
   }
   return outcome.errors > 0 ? 1 : 0;
 }

@@ -9,6 +9,10 @@
 //   --trace-sample N    trace every Nth request per client (default 64)
 //   --counters-out PATH write counter-snapshot JSONL time series
 //   --snapshot-interval MS  periodic registry snapshots (0 = final only)
+//   --int-out PATH      write INT postcards (per-hop records) as JSONL
+//   --int-sample N      INT postcard sampling period (default 64)
+//   --hist-out PATH     write always-on histogram snapshots as JSONL
+//   --flight-dump PATH  write flight-recorder dumps (end of run + faults)
 //   --list              list experiments and exit
 //   --help              usage plus each experiment's swept parameters
 //   NAME...             positional filters (substring match on experiment)
@@ -34,6 +38,9 @@ struct CliOptions {
   std::string out_path;
   std::string trace_out_path;     // non-empty enables trace capture
   std::string counters_out_path;  // non-empty enables counter snapshots
+  std::string int_out_path;       // non-empty enables INT postcards
+  std::string hist_out_path;      // non-empty enables always-on histograms
+  std::string flight_dump_path;   // non-empty enables the flight recorder
   std::vector<std::string> filters;
   bool help = false;
   bool list = false;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "proto/message.h"
 #include "telemetry/export.h"
 
 namespace orbit::harness {
@@ -53,6 +54,94 @@ std::string CountersJsonl(const std::vector<MetricsRecord>& records,
       line.DumpTo(&out);
       out += '\n';
     }
+  }
+  return out;
+}
+
+namespace {
+
+// Shared record-identity prefix so INT/hist lines join against record and
+// counter JSONL on (experiment, point, rep).
+JsonValue IdentityLine(const MetricsRecord& record) {
+  JsonValue line = JsonValue::MakeObject();
+  line.Set("experiment", record.experiment);
+  line.Set("point", record.point);
+  line.Set("rep", record.rep);
+  JsonValue params = JsonValue::MakeObject();
+  for (const auto& [name, value] : record.params) params.Set(name, value);
+  line.Set("params", std::move(params));
+  return line;
+}
+
+}  // namespace
+
+std::string IntJsonl(const std::vector<MetricsRecord>& records,
+                     const std::vector<telemetry::RunCapture>& captures) {
+  ORBIT_CHECK(records.size() == captures.size());
+  std::string out;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const telemetry::IntCapture& ic = captures[i].int_capture;
+    for (const telemetry::IntFlowRec& flow : ic.flows) {
+      JsonValue line = IdentityLine(records[i]);
+      line.Set("flow", static_cast<int64_t>(flow.flow_id));
+      line.Set("op", proto::OpName(static_cast<proto::Op>(flow.op)));
+      line.Set("start_ns", static_cast<int64_t>(flow.started_at));
+      line.Set("finish_ns", static_cast<int64_t>(flow.finished_at));
+      line.Set("outcome", flow.outcome);
+      if (flow.truncated_hops > 0)
+        line.Set("truncated_hops", static_cast<int64_t>(flow.truncated_hops));
+      JsonValue hops = JsonValue::MakeArray();
+      for (const telemetry::IntHop& hop : flow.hops) {
+        JsonValue h = JsonValue::MakeObject();
+        h.Set("hop", ic.hop_names.at(hop.hop));
+        h.Set("kind", telemetry::IntHopKindName(hop.kind));
+        h.Set("t_ns", static_cast<int64_t>(hop.at));
+        h.Set("latency_ns", hop.latency_ns);
+        h.Set("queue_depth", hop.queue_depth);
+        h.Set("recirc", static_cast<int64_t>(hop.recirc_count));
+        h.Set("drop", static_cast<int64_t>(hop.drop_reason));
+        hops.Append(std::move(h));
+      }
+      line.Set("hops", std::move(hops));
+      line.DumpTo(&out);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string HistJsonl(const std::vector<MetricsRecord>& records,
+                      const std::vector<telemetry::RunCapture>& captures) {
+  ORBIT_CHECK(records.size() == captures.size());
+  std::string out;
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (const telemetry::HistSnapshot& h : captures[i].int_capture.hists) {
+      JsonValue line = IdentityLine(records[i]);
+      line.Set("hist", h.name);
+      line.Set("unit", h.unit);
+      line.Set("count", static_cast<int64_t>(h.count));
+      line.Set("min", h.min);
+      line.Set("max", h.max);
+      line.Set("mean", h.mean);
+      line.Set("p50", h.p50);
+      line.Set("p90", h.p90);
+      line.Set("p99", h.p99);
+      line.Set("p999", h.p999);
+      line.DumpTo(&out);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string FlightText(const std::vector<MetricsRecord>& records,
+                       const std::vector<telemetry::RunCapture>& captures) {
+  ORBIT_CHECK(records.size() == captures.size());
+  std::string out;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (captures[i].flight_dump.empty()) continue;
+    out += "### " + CaptureLabel(records[i]) + "\n";
+    out += captures[i].flight_dump;
   }
   return out;
 }

@@ -38,6 +38,27 @@ std::string MergedChromeTrace(
 std::string CountersJsonl(const std::vector<MetricsRecord>& records,
                           const std::vector<telemetry::RunCapture>& captures);
 
+// INT postcards, one JSON line per sampled flow per point:
+//   {"experiment":"fig15","point":0,"rep":0,"params":{...},
+//    "flow":8589934592,"op":"R-REQ","start_ns":..,"finish_ns":..,
+//    "outcome":"read_cached","hops":[{"hop":"client-2.tx","kind":"client_tx",
+//    "t_ns":..,"latency_ns":..,"queue_depth":..,"recirc":0,"drop":0},...]}
+// Lines appear in slot order, flows in collection (start) order.
+std::string IntJsonl(const std::vector<MetricsRecord>& records,
+                     const std::vector<telemetry::RunCapture>& captures);
+
+// Always-on histogram snapshots, one JSON line per histogram per point:
+//   {"experiment":"fig15","point":0,"rep":0,"params":{...},
+//    "hist":"hop.link.ns","unit":"ns","count":..,"min":..,"max":..,
+//    "mean":..,"p50":..,"p90":..,"p99":..,"p999":..}
+std::string HistJsonl(const std::vector<MetricsRecord>& records,
+                      const std::vector<telemetry::RunCapture>& captures);
+
+// Flight-recorder dumps as one text document, each point's dump preceded
+// by a "### <CaptureLabel>" header; points without dumps are skipped.
+std::string FlightText(const std::vector<MetricsRecord>& records,
+                       const std::vector<telemetry::RunCapture>& captures);
+
 // Parses CountersJsonl text back into one JsonValue object per line (blank
 // lines ignored). Returns false on the first malformed line, reporting its
 // line number in *error. Used by bench_compare --counters and tests.

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "telemetry/counters.h"
+#include "telemetry/int/int.h"
 #include "telemetry/trace.h"
 
 namespace orbit::nc {
@@ -228,6 +229,8 @@ IngressResult NetProgram::HandleReadRequest(sim::Packet& pkt) {
   pkt.sport = config_.orbit_port;
   pkt.dport = client_port;
   ++stats_.served_by_cache;
+  if (int_ != nullptr)
+    int_->Record(int_hist_value_, static_cast<int64_t>(pkt.msg.value.size()));
   Note(device_, pkt, "lookup_hit", "serve");
   return IngressResult::ToAddr(client);
 }
@@ -266,38 +269,44 @@ IngressResult NetProgram::HandleValueReply(sim::Packet& pkt) {
   return IngressResult::ToAddr(pkt.dst);
 }
 
+void NetProgram::OnIntAttached(telemetry::IntSink& sink) {
+  int_ = &sink;
+  int_hist_value_ = sink.Hist("value.bytes", "bytes");
+}
+
 void NetProgram::RegisterTelemetry(telemetry::Registry& reg,
                                    const std::string& prefix) {
+  const std::string who = "NetProgram::RegisterTelemetry(" + prefix + ")";
   reg.AddCounter(prefix + "netcache.read_requests",
-                 [this] { return stats_.read_requests; });
-  reg.AddCounter(prefix + "netcache.read_hits", [this] { return stats_.read_hits; });
+                 [this] { return stats_.read_requests; }, who);
+  reg.AddCounter(prefix + "netcache.read_hits", [this] { return stats_.read_hits; }, who);
   reg.AddCounter(prefix + "netcache.read_misses",
-                 [this] { return stats_.read_misses; });
+                 [this] { return stats_.read_misses; }, who);
   reg.AddCounter(prefix + "netcache.served_by_cache",
-                 [this] { return stats_.served_by_cache; });
+                 [this] { return stats_.served_by_cache; }, who);
   reg.AddCounter(prefix + "netcache.invalid_to_server",
-                 [this] { return stats_.invalid_to_server; });
+                 [this] { return stats_.invalid_to_server; }, who);
   reg.AddCounter(prefix + "netcache.writes_cached",
-                 [this] { return stats_.writes_cached; });
+                 [this] { return stats_.writes_cached; }, who);
   reg.AddCounter(prefix + "netcache.writes_uncached",
-                 [this] { return stats_.writes_uncached; });
+                 [this] { return stats_.writes_uncached; }, who);
   reg.AddCounter(prefix + "netcache.validations",
-                 [this] { return stats_.validations; });
+                 [this] { return stats_.validations; }, who);
   reg.AddCounter(prefix + "netcache.uncacheable_values",
-                 [this] { return stats_.uncacheable_values; });
+                 [this] { return stats_.uncacheable_values; }, who);
   reg.AddCounter(prefix + "netcache.hot_reports",
-                 [this] { return stats_.hot_reports; });
+                 [this] { return stats_.hot_reports; }, who);
   reg.AddCounter(prefix + "netcache.request_recircs",
-                 [this] { return stats_.request_recircs; });
-  reg.AddGauge(prefix + "netcache.entries", [this] { return lookup_.size(); });
+                 [this] { return stats_.request_recircs; }, who);
+  reg.AddGauge(prefix + "netcache.entries", [this] { return lookup_.size(); }, who);
 
   reg.AddCounter(prefix + "rmt.s0.nc_lookup.lookups",
-                 [this] { return lookup_.lookups(); });
-  reg.AddCounter(prefix + "rmt.s0.nc_lookup.hits", [this] { return lookup_.hits(); });
-  auto add_array = [&reg, &prefix](const rmt::RegisterArrayBase& arr) {
+                 [this] { return lookup_.lookups(); }, who);
+  reg.AddCounter(prefix + "rmt.s0.nc_lookup.hits", [this] { return lookup_.hits(); }, who);
+  auto add_array = [&reg, &prefix, &who](const rmt::RegisterArrayBase& arr) {
     reg.AddCounter(prefix + "rmt.s" + std::to_string(arr.stage()) + "." +
                        arr.array_name() + ".accesses",
-                   [&arr] { return arr.accesses(); });
+                   [&arr] { return arr.accesses(); }, who);
   };
   add_array(valid_);
   add_array(vlen_);

@@ -57,6 +57,8 @@ class NetProgram : public rmt::SwitchProgram {
 
   rmt::IngressResult Ingress(sim::Packet& pkt, rmt::SwitchDevice& sw) override;
   std::string program_name() const override { return "netcache"; }
+  // INT: always-on served-value-size histogram (shared "value.bytes").
+  void OnIntAttached(telemetry::IntSink& sink) override;
 
   // ---- control plane ------------------------------------------------------
   // Bytes one pipeline pass can read from the value registers.
@@ -137,6 +139,10 @@ class NetProgram : public rmt::SwitchProgram {
   std::vector<std::pair<Key, uint64_t>> hot_reports_;
   std::unordered_set<Key> reported_;  // bloom-filter stand-in
   std::vector<Key> self_evictions_;
+
+  // INT histogram handles (zero when no sink is attached).
+  telemetry::IntSink* int_ = nullptr;
+  uint32_t int_hist_value_ = 0;
 
   Stats stats_;
 };

@@ -1,12 +1,22 @@
 #include "nocache/program.h"
 
+#include "proto/message.h"
+#include "telemetry/int/int.h"
+
 namespace orbit::nocache {
 
 rmt::IngressResult ForwardProgram::Ingress(sim::Packet& pkt,
                                            rmt::SwitchDevice& sw) {
   (void)sw;
   ++forwarded_;
+  if (int_ != nullptr && pkt.msg.op == proto::Op::kReadRep)
+    int_->Record(int_hist_value_, static_cast<int64_t>(pkt.msg.value.size()));
   return rmt::IngressResult::ToAddr(pkt.dst);
+}
+
+void ForwardProgram::OnIntAttached(telemetry::IntSink& sink) {
+  int_ = &sink;
+  int_hist_value_ = sink.Hist("value.bytes", "bytes");
 }
 
 }  // namespace orbit::nocache

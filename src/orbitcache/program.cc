@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "telemetry/counters.h"
+#include "telemetry/int/int.h"
 #include "telemetry/trace.h"
 
 namespace orbit::oc {
@@ -228,6 +229,7 @@ IngressResult OrbitProgram::HandleReadRequest(sim::Packet& pkt) {
   meta.seq = pkt.msg.seq;
   meta.enqueued_at = device_->sim().now();
   meta.trace_id = pkt.trace_id;
+  meta.int_id = pkt.int_id;
   if (request_table_.TryEnqueue(idx, meta)) {
     // Absorbed: a circulating cache packet will answer it (Fig. 4a).
     ++stats_.absorbed;
@@ -417,6 +419,7 @@ IngressResult OrbitProgram::ServeOrRecirculate(sim::Packet& pkt, uint32_t idx,
     // outgoing reply (and its recirculating clone) now belong to that
     // request's trace.
     pkt.trace_id = meta->trace_id;
+    pkt.int_id = meta->int_id;
     if (telemetry::Tracer* t = device_->tracer();
         t != nullptr && meta->trace_id != 0) {
       t->Span(device_->trace_track(), meta->trace_id, "cache_wait",
@@ -432,6 +435,11 @@ IngressResult OrbitProgram::ServeOrRecirculate(sim::Packet& pkt, uint32_t idx,
     pkt.msg.latency =
         static_cast<uint32_t>(sw.sim().now() - meta->enqueued_at);
     ++stats_.served_by_cache;
+    if (int_ != nullptr) {
+      int_->Record(int_hist_orbit_, pkt.recirc_count);
+      int_->Record(int_hist_value_,
+                   static_cast<int64_t>(pkt.msg.value.size()));
+    }
 
     if (!config_.enable_cloning) {
       // Strawman: the packet leaves for the client; ask the CPU to fetch a
@@ -451,6 +459,7 @@ IngressResult OrbitProgram::ServeOrRecirculate(sim::Packet& pkt, uint32_t idx,
   if (!meta) return IngressResult::Recirculate();
 
   pkt.trace_id = meta->trace_id;
+  pkt.int_id = meta->int_id;
   pkt.dst = meta->client_addr;
   pkt.dport = meta->l4_port;
   pkt.sport = config_.orbit_port;
@@ -464,6 +473,11 @@ IngressResult OrbitProgram::ServeOrRecirculate(sim::Packet& pkt, uint32_t idx,
     request_table_.TryDequeue(idx);
     acked = 0;
     ++stats_.served_by_cache;
+    if (int_ != nullptr) {
+      int_->Record(int_hist_orbit_, pkt.recirc_count);
+      int_->Record(int_hist_value_,
+                   static_cast<int64_t>(pkt.msg.value.size()));
+    }
     if (telemetry::Tracer* t = device_->tracer();
         t != nullptr && meta->trace_id != 0) {
       t->Span(device_->trace_track(), meta->trace_id, "cache_wait",
@@ -473,55 +487,64 @@ IngressResult OrbitProgram::ServeOrRecirculate(sim::Packet& pkt, uint32_t idx,
   return CloneToAddrAndRecirc(pkt, meta->client_addr);
 }
 
+void OrbitProgram::OnIntAttached(telemetry::IntSink& sink) {
+  int_ = &sink;
+  // Orbits a cache packet completed before serving this request; shared
+  // value-size histogram aggregates with server-served replies.
+  int_hist_orbit_ = sink.Hist("orbit.count", "orbits");
+  int_hist_value_ = sink.Hist("value.bytes", "bytes");
+}
+
 void OrbitProgram::RegisterTelemetry(telemetry::Registry& reg,
                                      const std::string& prefix) {
+  const std::string who = "OrbitProgram::RegisterTelemetry(" + prefix + ")";
   // Program outcome counters, read straight from Stats.
   reg.AddCounter(prefix + "orbit.read_requests",
-                 [this] { return stats_.read_requests; });
-  reg.AddCounter(prefix + "orbit.read_hits", [this] { return stats_.read_hits; });
-  reg.AddCounter(prefix + "orbit.read_misses", [this] { return stats_.read_misses; });
-  reg.AddCounter(prefix + "orbit.absorbed", [this] { return stats_.absorbed; });
+                 [this] { return stats_.read_requests; }, who);
+  reg.AddCounter(prefix + "orbit.read_hits", [this] { return stats_.read_hits; }, who);
+  reg.AddCounter(prefix + "orbit.read_misses", [this] { return stats_.read_misses; }, who);
+  reg.AddCounter(prefix + "orbit.absorbed", [this] { return stats_.absorbed; }, who);
   reg.AddCounter(prefix + "orbit.overflow_to_server",
-                 [this] { return stats_.overflow_to_server; });
+                 [this] { return stats_.overflow_to_server; }, who);
   reg.AddCounter(prefix + "orbit.invalid_to_server",
-                 [this] { return stats_.invalid_to_server; });
+                 [this] { return stats_.invalid_to_server; }, who);
   reg.AddCounter(prefix + "orbit.served_by_cache",
-                 [this] { return stats_.served_by_cache; });
+                 [this] { return stats_.served_by_cache; }, who);
   reg.AddCounter(prefix + "orbit.cp_drop.evicted",
-                 [this] { return stats_.cp_drop_evicted; });
+                 [this] { return stats_.cp_drop_evicted; }, who);
   reg.AddCounter(prefix + "orbit.cp_drop.invalid",
-                 [this] { return stats_.cp_drop_invalid; });
+                 [this] { return stats_.cp_drop_invalid; }, who);
   reg.AddCounter(prefix + "orbit.cp_drop.epoch",
-                 [this] { return stats_.cp_drop_epoch; });
+                 [this] { return stats_.cp_drop_epoch; }, who);
   reg.AddCounter(prefix + "orbit.writes_cached",
-                 [this] { return stats_.writes_cached; });
+                 [this] { return stats_.writes_cached; }, who);
   reg.AddCounter(prefix + "orbit.writes_uncached",
-                 [this] { return stats_.writes_uncached; });
-  reg.AddCounter(prefix + "orbit.validations", [this] { return stats_.validations; });
+                 [this] { return stats_.writes_uncached; }, who);
+  reg.AddCounter(prefix + "orbit.validations", [this] { return stats_.validations; }, who);
   reg.AddCounter(prefix + "orbit.stale_validations_skipped",
-                 [this] { return stats_.stale_validations_skipped; });
+                 [this] { return stats_.stale_validations_skipped; }, who);
   reg.AddCounter(prefix + "orbit.corrections_forwarded",
-                 [this] { return stats_.corrections_forwarded; });
-  reg.AddCounter(prefix + "orbit.refetches", [this] { return stats_.refetches; });
+                 [this] { return stats_.corrections_forwarded; }, who);
+  reg.AddCounter(prefix + "orbit.refetches", [this] { return stats_.refetches; }, who);
   if (config_.write_back) {
     reg.AddCounter(prefix + "orbit.wb.returned_replies",
-                   [this] { return stats_.wb_returned_replies; });
-    reg.AddCounter(prefix + "orbit.wb.flushes", [this] { return stats_.wb_flushes; });
+                   [this] { return stats_.wb_returned_replies; }, who);
+    reg.AddCounter(prefix + "orbit.wb.flushes", [this] { return stats_.wb_flushes; }, who);
     reg.AddCounter(prefix + "orbit.wb.snapshot_flushes",
-                   [this] { return stats_.wb_snapshot_flushes; });
+                   [this] { return stats_.wb_snapshot_flushes; }, who);
   }
-  reg.AddGauge(prefix + "orbit.entries", [this] { return lookup_.size(); });
+  reg.AddGauge(prefix + "orbit.entries", [this] { return lookup_.size(); }, who);
 
   // Data-plane structure counters: match-table traffic and per-stage
   // register pressure.
   reg.AddCounter(prefix + "rmt.s0.cache_lookup.lookups",
-                 [this] { return lookup_.lookups(); });
+                 [this] { return lookup_.lookups(); }, who);
   reg.AddCounter(prefix + "rmt.s0.cache_lookup.hits",
-                 [this] { return lookup_.hits(); });
-  auto add_array = [&reg, &prefix](const rmt::RegisterArrayBase& arr) {
+                 [this] { return lookup_.hits(); }, who);
+  auto add_array = [&reg, &prefix, &who](const rmt::RegisterArrayBase& arr) {
     reg.AddCounter(prefix + "rmt.s" + std::to_string(arr.stage()) + "." +
                        arr.array_name() + ".accesses",
-                   [&arr] { return arr.accesses(); });
+                   [&arr] { return arr.accesses(); }, who);
   };
   add_array(valid_);
   add_array(epoch_);
@@ -530,9 +553,9 @@ void OrbitProgram::RegisterTelemetry(telemetry::Registry& reg,
   add_array(hit_counter_);
   add_array(overflow_counter_);
   reg.AddCounter(prefix + "rmt.s6.clone_mcast.lookups",
-                 [this] { return clone_groups_.lookups(); });
+                 [this] { return clone_groups_.lookups(); }, who);
   reg.AddCounter(prefix + "rmt.s6.clone_mcast.hits",
-                 [this] { return clone_groups_.hits(); });
+                 [this] { return clone_groups_.hits(); }, who);
   if (config_.multi_packet) {
     add_array(acked_frags_);
     add_array(fetched_frags_);

@@ -76,6 +76,8 @@ class OrbitProgram : public rmt::SwitchProgram {
   // ---- data plane --------------------------------------------------------
   rmt::IngressResult Ingress(sim::Packet& pkt, rmt::SwitchDevice& sw) override;
   std::string program_name() const override { return "orbitcache"; }
+  // INT: always-on orbit-count-per-serve and served-value-size histograms.
+  void OnIntAttached(telemetry::IntSink& sink) override;
 
   // ---- control plane (controller-facing) ---------------------------------
   // Binds a cache index to a key hash. Pending requests of a previously
@@ -196,6 +198,11 @@ class OrbitProgram : public rmt::SwitchProgram {
   int next_group_id_ = 1;
   RefetchFn refetch_;
   Stats stats_;
+
+  // INT histogram handles (zero when no sink is attached).
+  telemetry::IntSink* int_ = nullptr;
+  uint32_t int_hist_orbit_ = 0;
+  uint32_t int_hist_value_ = 0;
 };
 
 }  // namespace orbit::oc

@@ -18,7 +18,8 @@ RequestTable::RequestTable(rmt::Resources* res, size_t capacity,
       l4_port_(res, "req_l4_port", first_stage + 2, capacity * queue_size),
       timestamp_(res, "req_timestamp", first_stage + 2,
                  capacity * queue_size),
-      trace_id_(capacity * queue_size, 0) {
+      trace_id_(capacity * queue_size, 0),
+      int_id_(capacity * queue_size, 0) {
   ORBIT_CHECK(capacity > 0 && queue_size > 0);
 }
 
@@ -39,6 +40,7 @@ bool RequestTable::TryEnqueue(uint32_t idx, const RequestMeta& meta) {
   l4_port_.at(r) = meta.l4_port;
   timestamp_.at(r) = meta.enqueued_at;
   trace_id_[r] = meta.trace_id;
+  int_id_[r] = meta.int_id;
   return true;
 }
 
@@ -57,6 +59,7 @@ std::optional<RequestMeta> RequestTable::TryDequeue(uint32_t idx) {
   meta.l4_port = l4_port_.at(r);
   meta.enqueued_at = timestamp_.at(r);
   meta.trace_id = trace_id_[r];
+  meta.int_id = int_id_[r];
   return meta;
 }
 
@@ -71,6 +74,7 @@ std::optional<RequestMeta> RequestTable::Peek(uint32_t idx) const {
   meta.l4_port = l4_port_.at(r);
   meta.enqueued_at = timestamp_.at(r);
   meta.trace_id = trace_id_[r];
+  meta.int_id = int_id_[r];
   return meta;
 }
 
@@ -91,7 +95,8 @@ void RequestTable::RegisterTelemetry(telemetry::Registry& reg,
   auto add = [&reg, &prefix](const rmt::RegisterArrayBase& arr) {
     reg.AddCounter(prefix + "rmt.s" + std::to_string(arr.stage()) + "." +
                        arr.array_name() + ".accesses",
-                   [&arr] { return arr.accesses(); });
+                   [&arr] { return arr.accesses(); },
+                   "RequestTable::RegisterTelemetry(" + prefix + ")");
   };
   add(qlen_);
   add(front_);

@@ -35,10 +35,12 @@ struct RequestMeta {
   L4Port l4_port = 0;
   uint32_t seq = 0;
   SimTime enqueued_at = 0;
-  // Telemetry passenger (not part of the modeled data plane): the sampled
-  // request's trace id rides along so the serving cache packet can be
-  // correlated back to the absorbed request. Zero for unsampled requests.
+  // Telemetry passengers (not part of the modeled data plane): the sampled
+  // request's trace id and INT flow id ride along so the serving cache
+  // packet can be correlated back to the absorbed request. Zero for
+  // unsampled requests.
   uint64_t trace_id = 0;
+  uint32_t int_id = 0;
 };
 
 class RequestTable {
@@ -84,11 +86,12 @@ class RequestTable {
   rmt::RegisterArray<uint32_t> seq_;
   rmt::RegisterArray<uint16_t> l4_port_;
   rmt::RegisterArray<SimTime> timestamp_;
-  // Telemetry sidecar, deliberately NOT a declared RegisterArray: trace ids
-  // are observability metadata, and declaring storage for them would charge
-  // the Resources ledger (changing rmt_sram metrics) for state the real
-  // data plane does not hold.
+  // Telemetry sidecars, deliberately NOT declared RegisterArrays: trace and
+  // INT ids are observability metadata, and declaring storage for them
+  // would charge the Resources ledger (changing rmt_sram metrics) for
+  // state the real data plane does not hold.
   std::vector<uint64_t> trace_id_;
+  std::vector<uint32_t> int_id_;
 };
 
 }  // namespace orbit::oc

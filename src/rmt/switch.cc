@@ -5,6 +5,8 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "telemetry/counters.h"
+#include "telemetry/int/flight.h"
+#include "telemetry/int/int.h"
 #include "telemetry/trace.h"
 
 namespace orbit::rmt {
@@ -45,37 +47,54 @@ void SwitchDevice::SetTracer(telemetry::Tracer* tracer) {
   }
 }
 
+void SwitchDevice::SetIntSink(telemetry::IntSink* sink) {
+  int_ = sink;
+  if (int_ == nullptr) return;
+  int_hop_pipe_ = int_->Hop(name_ + ".pipeline");
+  int_hop_recirc_ = int_->Hop(name_ + ".recirc");
+  int_hist_pipe_ = int_->Hist("hop.pipeline.ns", "ns");
+  int_hist_recirc_ = int_->Hist("hop.recirc.ns", "ns");
+  if (program_ != nullptr) program_->OnIntAttached(*int_);
+}
+
+void SwitchDevice::SetFlightRecorder(telemetry::FlightRecorder* recorder) {
+  flight_ = recorder;
+  if (flight_ != nullptr) flight_comp_ = flight_->Component(name_);
+}
+
 void SwitchDevice::RegisterTelemetry(telemetry::Registry& reg,
                                      const std::string& prefix) {
+  const std::string who =
+      "SwitchDevice::RegisterTelemetry(" + name_ + ", prefix='" + prefix + "')";
   reg.AddCounter(prefix + "switch.rx_packets",
-                 [this] { return stats_.rx_packets; });
+                 [this] { return stats_.rx_packets; }, who);
   reg.AddCounter(prefix + "switch.tx_packets",
-                 [this] { return stats_.tx_packets; });
+                 [this] { return stats_.tx_packets; }, who);
   reg.AddCounter(prefix + "switch.drop.program",
-                 [this] { return stats_.dropped_by_program; });
+                 [this] { return stats_.dropped_by_program; }, who);
   reg.AddCounter(prefix + "switch.drop.unrouted",
-                 [this] { return stats_.dropped_unrouted; });
+                 [this] { return stats_.dropped_unrouted; }, who);
   reg.AddCounter(prefix + "switch.drop.recirc_overflow",
-                 [this] { return stats_.recirc_drops; });
+                 [this] { return stats_.recirc_drops; }, who);
   reg.AddCounter(prefix + "switch.recirc.passes",
-                 [this] { return stats_.recirc_packets; });
+                 [this] { return stats_.recirc_packets; }, who);
   reg.AddCounter(prefix + "switch.recirc.flushed",
-                 [this] { return stats_.recirc_flushed; });
+                 [this] { return stats_.recirc_flushed; }, who);
   reg.AddCounter(prefix + "switch.recirc.bytes",
-                 [this] { return stats_.recirc_bytes; });
+                 [this] { return stats_.recirc_bytes; }, who);
   reg.AddCounter(prefix + "switch.recirc.busy_ns",
-                 [this] { return stats_.recirc_busy_ns; });
+                 [this] { return stats_.recirc_busy_ns; }, who);
   reg.AddCounter(prefix + "switch.pre.clones",
-                 [this] { return pre_.clones_made(); });
+                 [this] { return pre_.clones_made(); }, who);
   reg.AddGauge(prefix + "switch.recirc.in_flight", [this] {
     return static_cast<uint64_t>(std::max<int64_t>(0, stats_.recirc_in_flight));
-  });
+  }, who);
   // Depth of the recirc FIFO expressed as nanoseconds of work queued ahead
   // of "now" — the same horizon the admission check measures against.
   reg.AddGauge(prefix + "switch.recirc.queue_ns", [this] {
     return static_cast<uint64_t>(
         std::max<SimTime>(0, recirc_busy_until_ - sim_->now()));
-  });
+  }, who);
 }
 
 void SwitchDevice::FlushRecirculation() {
@@ -129,6 +148,26 @@ void SwitchDevice::Apply(const IngressResult& result, sim::PacketPtr pkt,
     // match-action latency, labeled with the action the program chose.
     tracer_->Span(track_pipe_, pkt->trace_id, "pipeline", sim_->now(),
                   pipe_delay, ActionName(result.action));
+  }
+  if (flight_ != nullptr) {
+    flight_->Note(flight_comp_, sim_->now(), ActionName(result.action),
+                  static_cast<uint64_t>(pkt->msg.op), pkt->msg.seq);
+  }
+  if (int_ != nullptr) {
+    int_->Record(int_hist_pipe_, pipe_delay);
+    if (pkt->int_id != 0) {
+      const SimTime queue_wait =
+          pipe_delay -
+          static_cast<SimTime>(resources_.config().pipeline_latency_ns);
+      telemetry::IntHop hop;
+      hop.at = sim_->now();
+      hop.hop = int_hop_pipe_;
+      hop.kind = telemetry::IntHopKind::kPipeline;
+      hop.latency_ns = pipe_delay;
+      hop.queue_depth = queue_wait;
+      hop.recirc_count = pkt->recirc_count;
+      int_->Stamp(pkt->int_id, hop);
+    }
   }
   switch (result.action) {
     case Action::kDrop:
@@ -198,6 +237,17 @@ void SwitchDevice::Recirculate(sim::PacketPtr pkt, SimTime pipe_delay) {
     if (tracer_ != nullptr && pkt->trace_id != 0)
       tracer_->Instant(track_recirc_, pkt->trace_id, "recirc_overflow",
                        sim_->now(), nullptr, bytes);
+    if (int_ != nullptr && pkt->int_id != 0) {
+      telemetry::IntHop hop;
+      hop.at = sim_->now();
+      hop.hop = int_hop_recirc_;
+      hop.kind = telemetry::IntHopKind::kDrop;
+      hop.queue_depth = static_cast<int64_t>(backlog_bytes);
+      hop.recirc_count = pkt->recirc_count;
+      hop.drop_reason = static_cast<uint8_t>(
+          1 + static_cast<int>(sim::DropReason::kQueueOverflow));
+      int_->Stamp(pkt->int_id, hop);
+    }
     return;
   }
   const SimTime start = std::max(ready, recirc_busy_until_);
@@ -217,19 +267,34 @@ void SwitchDevice::Recirculate(sim::PacketPtr pkt, SimTime pipe_delay) {
   if (tracer_ != nullptr && pkt->trace_id != 0) {
     tracer_->Span(track_recirc_, pkt->trace_id, "recirc", sim_->now(),
                   done + loop - sim_->now(), nullptr, bytes);
-    // A reply entering the loop is a cache packet beginning its orbit: it
-    // will recirculate for the rest of the run. Trace the first pass, then
-    // detach the id so a sampled request doesn't trace forever. Requests
-    // (NetCache's recirculating reads) keep the id across passes.
-    switch (pkt->msg.op) {
-      case proto::Op::kReadRep:
-      case proto::Op::kWriteRep:
-      case proto::Op::kFetchRep:
-        pkt->trace_id = 0;
-        break;
-      default:
-        break;
+  }
+  if (int_ != nullptr) {
+    const SimTime orbit_ns = done + loop - sim_->now();
+    int_->Record(int_hist_recirc_, orbit_ns);
+    if (pkt->int_id != 0) {
+      telemetry::IntHop hop;
+      hop.at = sim_->now();
+      hop.hop = int_hop_recirc_;
+      hop.kind = telemetry::IntHopKind::kRecirc;
+      hop.latency_ns = orbit_ns;
+      hop.queue_depth = static_cast<int64_t>(backlog_bytes);
+      hop.recirc_count = pkt->recirc_count;
+      int_->Stamp(pkt->int_id, hop);
     }
+  }
+  // A reply entering the loop is a cache packet beginning its orbit: it
+  // will recirculate for the rest of the run. Trace/stamp the first pass,
+  // then detach the ids so a sampled request doesn't record forever.
+  // Requests (NetCache's recirculating reads) keep them across passes.
+  switch (pkt->msg.op) {
+    case proto::Op::kReadRep:
+    case proto::Op::kWriteRep:
+    case proto::Op::kFetchRep:
+      pkt->trace_id = 0;
+      pkt->int_id = 0;
+      break;
+    default:
+      break;
   }
   sim_->Deliver(done + loop, this, kRecircPort, std::move(pkt));
 }

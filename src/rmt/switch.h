@@ -27,6 +27,8 @@
 #include "sim/simulator.h"
 
 namespace orbit::telemetry {
+class FlightRecorder;
+class IntSink;
 class Registry;
 class Tracer;
 }  // namespace orbit::telemetry
@@ -71,6 +73,10 @@ class SwitchProgram {
   virtual ~SwitchProgram() = default;
   virtual IngressResult Ingress(sim::Packet& pkt, SwitchDevice& sw) = 0;
   virtual std::string program_name() const = 0;
+  // Called when an IntSink is attached to the hosting device; programs
+  // intern their program-level always-on histograms here (orbit count per
+  // cached key, served value sizes). Default: no instrumentation.
+  virtual void OnIntAttached(telemetry::IntSink& sink) { (void)sink; }
 };
 
 class SwitchDevice : public sim::Node {
@@ -130,6 +136,13 @@ class SwitchDevice : public sim::Node {
   // "leaf0.switch.rx_packets"); the default keeps single-switch names.
   void RegisterTelemetry(telemetry::Registry& reg,
                          const std::string& prefix = "");
+  // INT attachment: interns this device's pipeline/recirc hop names and
+  // the shared hop-class latency histograms, then forwards to the
+  // program's OnIntAttached. Call after SetProgram.
+  void SetIntSink(telemetry::IntSink* sink);
+  telemetry::IntSink* int_sink() const { return int_; }
+  // Flight recorder: one ring per device noting every ingress decision.
+  void SetFlightRecorder(telemetry::FlightRecorder* recorder);
 
  private:
   void Apply(const IngressResult& result, sim::PacketPtr pkt,
@@ -153,10 +166,17 @@ class SwitchDevice : public sim::Node {
   SimTime recirc_busy_until_ = 0;
   uint32_t recirc_generation_ = 0;
 
-  // Telemetry sink (not owned; may be null).
+  // Telemetry sinks (not owned; may be null).
   telemetry::Tracer* tracer_ = nullptr;
   int track_pipe_ = -1;
   int track_recirc_ = -1;
+  telemetry::IntSink* int_ = nullptr;
+  uint32_t int_hop_pipe_ = 0;
+  uint32_t int_hop_recirc_ = 0;
+  uint32_t int_hist_pipe_ = 0;
+  uint32_t int_hist_recirc_ = 0;
+  telemetry::FlightRecorder* flight_ = nullptr;
+  uint32_t flight_comp_ = 0;
 
   Stats stats_;
 };

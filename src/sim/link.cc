@@ -46,11 +46,24 @@ bool Link::LossCoin() {
   return lost;
 }
 
+void Link::StampDrop(const Channel& ch, const Packet& pkt,
+                     DropReason reason) const {
+  if (int_ == nullptr || pkt.int_id == 0) return;
+  telemetry::IntHop hop;
+  hop.at = sim_->now();
+  hop.hop = ch.int_hop;
+  hop.kind = telemetry::IntHopKind::kDrop;
+  hop.recirc_count = pkt.recirc_count;
+  hop.drop_reason = static_cast<uint8_t>(1 + static_cast<int>(reason));
+  int_->Stamp(pkt.int_id, hop);
+}
+
 void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
   ORBIT_CHECK(from == 0 || from == 1);
   Channel& ch = chans_[from];
   if (down_) {
     ++ch.stats.down_drops;
+    StampDrop(ch, *pkt, DropReason::kLinkDown);
     if (drop_tap_ != nullptr && *drop_tap_)
       (*drop_tap_)(*pkt, chans_[1 - from].to, ch.to, DropReason::kLinkDown,
                    sim_->now());
@@ -58,6 +71,7 @@ void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
   }
   if (LossCoin()) {
     ++ch.stats.lost;
+    StampDrop(ch, *pkt, DropReason::kInjectedLoss);
     if (drop_tap_ != nullptr && *drop_tap_)
       (*drop_tap_)(*pkt, chans_[1 - from].to, ch.to, DropReason::kInjectedLoss,
                    sim_->now());
@@ -73,6 +87,7 @@ void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
       static_cast<double>(backlog_ns) * config_.rate_gbps / 8.0);
   if (backlog_bytes + bytes > config_.queue_limit_bytes) {
     ++ch.stats.drops;
+    StampDrop(ch, *pkt, DropReason::kQueueOverflow);
     if (drop_tap_ != nullptr && *drop_tap_)
       (*drop_tap_)(*pkt, chans_[1 - from].to, ch.to,
                    DropReason::kQueueOverflow, sim_->now());
@@ -84,6 +99,26 @@ void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
   ch.busy_until = done;
   ch.stats.packets++;
   ch.stats.bytes += bytes;
+
+  if (int_ != nullptr) {
+    // Hop latency = queue wait + serialization + propagation; the
+    // sender's extra_delay is its own processing, stamped by that hop.
+    const SimTime hop_latency = (done - ready) + config_.propagation;
+    if (int_latency_hist_ != nullptr) {
+      ch.int_queue_hist->RecordFast(static_cast<int64_t>(backlog_bytes));
+      int_latency_hist_->RecordFast(hop_latency);
+    }
+    if (pkt->int_id != 0) {
+      telemetry::IntHop hop;
+      hop.at = sim_->now();
+      hop.hop = ch.int_hop;
+      hop.kind = telemetry::IntHopKind::kLink;
+      hop.latency_ns = hop_latency;
+      hop.queue_depth = static_cast<int64_t>(backlog_bytes);
+      hop.recirc_count = pkt->recirc_count;
+      int_->Stamp(pkt->int_id, hop);
+    }
+  }
 
   if (tap_ != nullptr && *tap_)
     (*tap_)(*pkt, chans_[1 - from].to, ch.to, sim_->now());

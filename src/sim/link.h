@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "sim/packet.h"
 #include "sim/trace.h"
+#include "telemetry/int/int.h"
 
 namespace orbit::sim {
 
@@ -92,16 +93,37 @@ class Link {
   // link — queue overflow and injected loss — which the commit tap misses.
   void set_drop_tap(const DropTapFn* tap) { drop_tap_ = tap; }
 
+  // INT attachment for direction `from` (0 = a->b, 1 = b->a): `hop` is
+  // the interned per-direction hop name, `queue_hist` the always-on
+  // queue-depth histogram, `latency_hist` the shared link hop-class
+  // latency histogram. Observational only — Send's drop/queue decisions
+  // are unchanged. See telemetry::AttachLinkInt for the naming policy.
+  void AttachInt(telemetry::IntSink* sink, uint32_t latency_hist, int from,
+                 uint32_t hop, uint32_t queue_hist) {
+    int_ = sink;
+    // Resolve histogram pointers once here: Send records per packet, so
+    // it branches on one pointer instead of re-checking the sink's flag
+    // and re-indexing its table every time.
+    int_latency_hist_ = sink->MutableHist(latency_hist);
+    chans_[from].int_hop = hop;
+    chans_[from].int_queue_hist = sink->MutableHist(queue_hist);
+  }
+
  private:
   struct Channel {
     Node* to = nullptr;
     int to_port = -1;
     SimTime busy_until = 0;
     ChannelStats stats;
+    uint32_t int_hop = 0;  // interned hop name for this direction
+    // Always-on queue-depth histogram; nullptr when histograms are off.
+    stats::Histogram* int_queue_hist = nullptr;
   };
 
   SimTime TxTime(uint32_t bytes) const;
   bool LossCoin();
+  void StampDrop(const Channel& ch, const Packet& pkt,
+                 DropReason reason) const;
 
   Simulator* sim_;
   LinkConfig config_;
@@ -111,6 +133,8 @@ class Link {
   bool in_bad_state_ = false;
   const TapFn* tap_ = nullptr;
   const DropTapFn* drop_tap_ = nullptr;
+  telemetry::IntSink* int_ = nullptr;
+  stats::Histogram* int_latency_hist_ = nullptr;
 };
 
 }  // namespace orbit::sim

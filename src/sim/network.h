@@ -35,6 +35,8 @@ class Network {
   // by this index, which is stable for a deterministic build order).
   size_t num_links() const { return links_.size(); }
   const Link* link(size_t i) const { return links_[i].get(); }
+  // Non-const access for attach-time instrumentation (INT hop ids).
+  Link* mutable_link(size_t i) { return links_[i].get(); }
 
   // Installs a fabric-wide packet tap (port mirroring); applies to links
   // created before and after the call. Pass {} to remove.

@@ -30,6 +30,7 @@ void Packet::Reset() {
   recirc_count = 0;
   recirc_generation = 0;
   trace_id = 0;
+  int_id = 0;
 }
 
 void Packet::CopyFrom(const Packet& other) {
@@ -45,6 +46,7 @@ void Packet::CopyFrom(const Packet& other) {
   recirc_count = other.recirc_count;
   recirc_generation = other.recirc_generation;
   trace_id = other.trace_id;
+  int_id = other.int_id;
 }
 
 void PacketDeleter::operator()(Packet* pkt) const noexcept {

@@ -56,6 +56,11 @@ struct Packet {
   // request so one id follows the whole lifecycle.
   uint64_t trace_id = 0;
 
+  // INT postcard handle (telemetry::IntSink flow id): non-zero marks a
+  // flow whose hops stamp per-hop records. Same observational-only and
+  // clone/reply inheritance rules as trace_id.
+  uint32_t int_id = 0;
+
   uint32_t wire_bytes() const {
     return proto::kEncapBytes + proto::Message::kHeaderBytes +
            msg.payload_bytes();

@@ -8,19 +8,6 @@
 
 namespace orbit::stats {
 
-Histogram::Histogram() : buckets_(static_cast<size_t>(kGroups) * kSubCount, 0) {}
-
-int Histogram::BucketFor(int64_t v) {
-  if (v < 0) v = 0;
-  const uint64_t u = static_cast<uint64_t>(v);
-  if (u < kSubCount) return static_cast<int>(u);
-  const int group = std::bit_width(u) - kSubBits;  // >= 1
-  const int sub = static_cast<int>(u >> group) - kSubCount / 2;
-  // Groups >= 1 use only the upper half of their sub-range (values with the
-  // top bit of the sub-index set), so fold into 32-wide rows after row 0.
-  return kSubCount + (group - 1) * (kSubCount / 2) + sub;
-}
-
 int64_t Histogram::BucketMid(int bucket) {
   if (bucket < kSubCount) return bucket;
   const int rel = bucket - kSubCount;
@@ -31,23 +18,23 @@ int64_t Histogram::BucketMid(int bucket) {
   return lo + width / 2;
 }
 
-void Histogram::Record(int64_t value) {
-  const int b = BucketFor(value);
-  ORBIT_CHECK_MSG(b >= 0 && b < static_cast<int>(buckets_.size()),
-                  "histogram bucket out of range for value " << value);
-  ++buckets_[static_cast<size_t>(b)];
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
+void Histogram::FinalizeFromBuckets() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t n = buckets_[i];
+    if (n == 0) continue;
+    const int64_t mid = BucketMid(static_cast<int>(i));
+    if (count_ == 0) min_ = mid;
+    max_ = mid;
+    count_ += n;
+    sum_ += static_cast<int64_t>(n) * mid;
   }
-  ++count_;
-  sum_ += value;
 }
 
 void Histogram::Merge(const Histogram& other) {
-  ORBIT_CHECK(buckets_.size() == other.buckets_.size());
   for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
   if (other.count_ > 0) {
     min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);

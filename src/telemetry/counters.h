@@ -22,10 +22,13 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
+#include "telemetry/int/int.h"
 #include "telemetry/trace.h"
 
 namespace orbit::telemetry {
@@ -41,19 +44,27 @@ class Registry {
  public:
   using Source = std::function<uint64_t()>;
 
-  void AddCounter(std::string name, Source read) {
+  // `registrant` names who is registering (component + prefix, e.g.
+  // "Server::RegisterTelemetry(server.3)"); it only appears in the
+  // duplicate-name diagnostic. Registering the same name twice throws
+  // CheckFailure naming both registrants — a silently shadowed counter
+  // would export two rows under one name and corrupt every downstream
+  // diff.
+  void AddCounter(std::string name, Source read, std::string registrant = {}) {
+    Claim("counter", name, std::move(registrant));
     counters_.emplace_back(std::move(name), std::move(read));
   }
-  void AddGauge(std::string name, Source read) {
+  void AddGauge(std::string name, Source read, std::string registrant = {}) {
+    Claim("gauge", name, std::move(registrant));
     gauges_.emplace_back(std::move(name), std::move(read));
   }
 
   // Registry-owned monotonic counter: returns a stable bump target and
   // registers it under `name`.
-  uint64_t* OwnCounter(std::string name) {
+  uint64_t* OwnCounter(std::string name, std::string registrant = {}) {
     owned_.push_back(0);
     uint64_t* slot = &owned_.back();
-    AddCounter(std::move(name), [slot] { return *slot; });
+    AddCounter(std::move(name), [slot] { return *slot; }, std::move(registrant));
     return slot;
   }
 
@@ -73,9 +84,26 @@ class Registry {
   }
 
  private:
+  void Claim(const char* kind, const std::string& name,
+             std::string registrant) {
+    if (registrant.empty()) registrant = "(unnamed registrant)";
+    // try_emplace leaves `registrant` untouched when the key exists, so
+    // the diagnostic can name both parties.
+    auto [it, inserted] = owners_.try_emplace(
+        std::string(kind) + ":" + name, std::move(registrant));
+    if (!inserted) {
+      throw CheckFailure("duplicate telemetry " + std::string(kind) + " '" +
+                         name + "': already registered by " + it->second +
+                         ", re-registered by " + registrant +
+                         " — give each component instance a unique prefix");
+    }
+  }
+
   std::vector<std::pair<std::string, Source>> counters_;
   std::vector<std::pair<std::string, Source>> gauges_;
   std::deque<uint64_t> owned_;  // deque: stable addresses for bump targets
+  // kind-qualified name -> registrant, for duplicate diagnostics.
+  std::unordered_map<std::string, std::string> owners_;
 };
 
 // Everything one instrumented testbed run captured; owned by the caller
@@ -84,12 +112,19 @@ struct RunCapture {
   std::vector<std::string> tracks;    // trace track names, id = index
   std::vector<TraceEvent> events;     // causally ordered trace events
   std::vector<Snapshot> snapshots;    // periodic + final registry samples
+  IntCapture int_capture;             // INT postcards + histogram snapshots
+  std::string flight_dump;            // flight-recorder text; "" = no dumps
 
-  bool empty() const { return events.empty() && snapshots.empty(); }
+  bool empty() const {
+    return events.empty() && snapshots.empty() && int_capture.empty() &&
+           flight_dump.empty();
+  }
   void Clear() {
     tracks.clear();
     events.clear();
     snapshots.clear();
+    int_capture.Clear();
+    flight_dump.clear();
   }
 };
 

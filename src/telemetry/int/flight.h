@@ -1,0 +1,81 @@
+// Post-mortem flight recorder.
+//
+// Every instrumented component keeps a fixed-size ring of its last N sim
+// events (timestamp + static event literal + two payload words). Writing
+// is a couple of stores — always affordable — and nothing is formatted
+// until a *dump trigger* fires: a fault injection event, a tripped
+// ORBIT_CHECK (via ScopedCheckFailureHook), or an explicit end-of-run
+// request (`--flight-dump`). A trigger freezes the rings into a
+// deterministic text block, so the capture carries a readable trace of
+// exactly the window leading into a collapse — the part a post-hoc
+// counter snapshot can never show.
+//
+// Determinism: rings hold only simulated-time values and static string
+// literals, and the dump renders components in registration order and
+// events oldest-to-newest, so a fixed seed produces a byte-stable dump.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace orbit::telemetry {
+
+class FlightRecorder {
+ public:
+  // `capacity` = events retained per component ring.
+  explicit FlightRecorder(size_t capacity = 128) : capacity_(capacity) {}
+
+  // Registers a component ring and returns its id. Call once at attach
+  // time; ids are stable for the run.
+  uint32_t Component(const std::string& name);
+
+  // Appends an event to a component's ring. `event` must be a static
+  // string literal; a/b are free-form payload words (seq, key hash, …).
+  void Note(uint32_t comp, SimTime at, const char* event, uint64_t a = 0,
+            uint64_t b = 0) {
+    Ring& ring = rings_[comp];
+    Rec& rec = ring.recs[ring.total % capacity_];
+    rec.at = at;
+    rec.event = event;
+    rec.a = a;
+    rec.b = b;
+    ++ring.total;
+  }
+
+  // Freezes the current rings into a formatted dump block. Bounded: past
+  // kMaxDumps triggers only count (a fault storm cannot grow the capture
+  // without limit).
+  void TriggerDump(SimTime at, const std::string& reason);
+
+  bool HasDumps() const { return !dumps_.empty(); }
+  size_t num_dumps() const { return dumps_.size(); }
+  uint64_t suppressed_dumps() const { return suppressed_; }
+
+  // All captured dump blocks, oldest first, as one text document.
+  std::string DumpText() const;
+
+ private:
+  static constexpr size_t kMaxDumps = 8;
+
+  struct Rec {
+    SimTime at = 0;
+    const char* event = "";
+    uint64_t a = 0;
+    uint64_t b = 0;
+  };
+  struct Ring {
+    std::string name;
+    std::vector<Rec> recs;
+    uint64_t total = 0;  // events ever noted; write cursor = total % cap
+  };
+
+  size_t capacity_;
+  std::vector<Ring> rings_;
+  std::vector<std::string> dumps_;
+  uint64_t suppressed_ = 0;
+};
+
+}  // namespace orbit::telemetry

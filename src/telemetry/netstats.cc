@@ -13,9 +13,24 @@ void RegisterLinkDropCounters(Registry& reg, const sim::Network& net) {
                                link->endpoint(dir)->name() + "->" +
                                link->endpoint(1 - dir)->name() + ".drop.";
       const sim::ChannelStats& st = link->stats(dir);
-      reg.AddCounter(base + "queue_overflow", [&st] { return st.drops; });
-      reg.AddCounter(base + "injected_loss", [&st] { return st.lost; });
-      reg.AddCounter(base + "link_down", [&st] { return st.down_drops; });
+      const std::string who = "RegisterLinkDropCounters(" + base + ")";
+      reg.AddCounter(base + "queue_overflow", [&st] { return st.drops; }, who);
+      reg.AddCounter(base + "injected_loss", [&st] { return st.lost; }, who);
+      reg.AddCounter(base + "link_down", [&st] { return st.down_drops; }, who);
+    }
+  }
+}
+
+void AttachLinkInt(IntSink& sink, sim::Network& net) {
+  const uint32_t lat_hist = sink.Hist("hop.link.ns", "ns");
+  for (size_t i = 0; i < net.num_links(); ++i) {
+    sim::Link* link = net.mutable_link(i);
+    for (int dir = 0; dir < 2; ++dir) {
+      const std::string base = "link." + std::to_string(i) + "." +
+                               link->endpoint(dir)->name() + "->" +
+                               link->endpoint(1 - dir)->name();
+      link->AttachInt(&sink, lat_hist, dir, sink.Hop(base),
+                      sink.Hist(base + ".queue_bytes", "bytes"));
     }
   }
 }

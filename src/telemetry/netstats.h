@@ -14,9 +14,17 @@
 
 #include "sim/network.h"
 #include "telemetry/counters.h"
+#include "telemetry/int/int.h"
 
 namespace orbit::telemetry {
 
 void RegisterLinkDropCounters(Registry& reg, const sim::Network& net);
+
+// INT attachment for every link (both directions), in creation order.
+// Interns per-direction hop names `link.<idx>.<from>-><to>`, always-on
+// queue-depth histograms `link.<idx>.<from>-><to>.queue_bytes`, and the
+// shared hop-class latency histogram `hop.link.ns`. Call after the
+// topology is fully wired — links created later are not instrumented.
+void AttachLinkInt(IntSink& sink, sim::Network& net);
 
 }  // namespace orbit::telemetry

@@ -19,6 +19,8 @@
 #include "sim/simulator.h"
 #include "stats/meters.h"
 #include "telemetry/counters.h"
+#include "telemetry/int/flight.h"
+#include "telemetry/int/int.h"
 #include "telemetry/netstats.h"
 #include "telemetry/trace.h"
 #include "testbed/constants.h"
@@ -362,8 +364,37 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
   // uninstrumented one.
   std::unique_ptr<telemetry::Tracer> tracer;
   std::unique_ptr<telemetry::Registry> registry;
+  std::unique_ptr<telemetry::IntSink> int_sink;
+  std::unique_ptr<telemetry::FlightRecorder> flight;
+  std::unique_ptr<ScopedCheckFailureHook> check_hook;
   const bool capture_on = config.telemetry.capture != nullptr;
   if (capture_on) {
+    if (config.telemetry.int_sample > 0 || config.telemetry.histograms) {
+      telemetry::IntSink::Options iopt;
+      iopt.sample_every = config.telemetry.int_sample;
+      iopt.histograms = config.telemetry.histograms;
+      int_sink = std::make_unique<telemetry::IntSink>(iopt);
+      telemetry::AttachLinkInt(*int_sink, net);
+      sw.SetIntSink(int_sink.get());
+      for (auto& s : servers) s->SetIntSink(int_sink.get());
+      for (auto& c : clients) c->SetIntSink(int_sink.get());
+    }
+    if (config.telemetry.flight_recorder || config.telemetry.flight_end_dump) {
+      flight = std::make_unique<telemetry::FlightRecorder>();
+      sw.SetFlightRecorder(flight.get());
+      for (auto& s : servers) s->SetFlightRecorder(flight.get());
+      for (auto& c : clients) c->SetFlightRecorder(flight.get());
+      if (injector != nullptr) injector->SetFlightRecorder(flight.get());
+      // A tripped ORBIT_CHECK aborts the run by exception, so the normal
+      // end-of-run capture fill never executes; snapshot the rings into
+      // the capture *before* the throw unwinds this frame.
+      check_hook = std::make_unique<ScopedCheckFailureHook>(
+          [&flight, &sim, cap = config.telemetry.capture](
+              const std::string& what) {
+            flight->TriggerDump(sim.now(), "check failure: " + what);
+            cap->flight_dump = flight->DumpText();
+          });
+    }
     if (config.telemetry.trace_sample > 0) {
       tracer =
           std::make_unique<telemetry::Tracer>(config.telemetry.trace_sample);
@@ -384,9 +415,11 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     // Per-hop drops, one counter per link direction per reason.
     telemetry::RegisterLinkDropCounters(*registry, net);
     // Fabric drops, bucketed by reason.
-    uint64_t* drop_ovf = registry->OwnCounter("net.drop.queue_overflow");
-    uint64_t* drop_loss = registry->OwnCounter("net.drop.loss");
-    uint64_t* drop_down = registry->OwnCounter("net.drop.link_down");
+    uint64_t* drop_ovf =
+        registry->OwnCounter("net.drop.queue_overflow", "RunTestbed");
+    uint64_t* drop_loss = registry->OwnCounter("net.drop.loss", "RunTestbed");
+    uint64_t* drop_down =
+        registry->OwnCounter("net.drop.link_down", "RunTestbed");
     net.SetDropTap([drop_ovf, drop_loss, drop_down](
                        const sim::Packet&, sim::Node*, sim::Node*,
                        sim::DropReason reason, SimTime) {
@@ -622,6 +655,12 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     if (tracer != nullptr) {
       cap->tracks = tracer->TakeTracks();
       cap->events = tracer->TakeEvents();
+    }
+    if (int_sink != nullptr) int_sink->Drain(&cap->int_capture);
+    if (flight != nullptr) {
+      if (config.telemetry.flight_end_dump)
+        flight->TriggerDump(sim.now(), "end of run");
+      if (flight->HasDumps()) cap->flight_dump = flight->DumpText();
     }
   }
 

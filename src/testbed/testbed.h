@@ -143,6 +143,15 @@ struct TestbedConfig {
     uint32_t trace_sample = 64;
     // Counter snapshot period; 0 = only the final end-of-run snapshot.
     SimTime snapshot_interval = 0;
+    // INT postcards: stamp per-hop records on every Nth request per client
+    // (0 disables postcard collection).
+    uint32_t int_sample = 0;
+    // Always-on per-hop-class/per-link histograms (unsampled).
+    bool histograms = false;
+    // Per-component event rings; dumped on faults, check failures, or —
+    // with flight_end_dump — unconditionally at end of run.
+    bool flight_recorder = false;
+    bool flight_end_dump = false;
   };
   Telemetry telemetry;
 

@@ -86,6 +86,13 @@ int CompareCounterFiles(const std::string& path_a, const std::string& path_b,
       std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
       return false;
     }
+    if (out->empty()) {
+      std::fprintf(stderr,
+                   "%s: no counter snapshots — empty or truncated JSONL? "
+                   "(produce it with --counters-out)\n",
+                   path.c_str());
+      return false;
+    }
     return true;
   };
   if (!load(path_a, &a) || !load(path_b, &b)) return 2;
@@ -187,6 +194,15 @@ int main(int argc, char** argv) {
   }
   if (!orbit::harness::ReadJsonlFile(paths[1], &b, &error)) {
     std::fprintf(stderr, "%s: %s\n", paths[1].c_str(), error.c_str());
+    return 2;
+  }
+  // An empty side would "compare" vacuously; make the likely cause —
+  // a truncated or never-written --out file — explicit instead.
+  if (a.empty() || b.empty()) {
+    std::fprintf(stderr,
+                 "%s: no metrics records — empty or truncated JSONL? "
+                 "(produce it with --out)\n",
+                 (a.empty() ? paths[0] : paths[1]).c_str());
     return 2;
   }
 

@@ -55,6 +55,13 @@ int main(int argc, char** argv) {
   size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
   std::fclose(f);
+  if (text.find_first_not_of(" \t\r\n") == std::string::npos) {
+    std::fprintf(stderr,
+                 "%s: empty file — truncated or never-written trace? "
+                 "(produce it with --trace-out)\n",
+                 argv[1]);
+    return 2;
+  }
 
   JsonValue doc;
   std::string error;
