@@ -9,6 +9,7 @@
 #include "telemetry/int/flight.h"
 #include "telemetry/int/int.h"
 #include "telemetry/trace.h"
+#include "verify/verify.h"
 
 namespace orbit::app {
 
@@ -39,6 +40,10 @@ void ClientNode::Stop() {
   // them explicitly instead of leaking them. Their armed deadline events
   // fire into an empty map.
   stats_.inflight_at_stop += pending_.size();
+  if (verifier_ != nullptr) {
+    for (const auto& [seq, pending] : pending_)
+      verifier_->OnClientDrop(config_.addr, seq);
+  }
   pending_.clear();
 }
 
@@ -79,7 +84,13 @@ void ClientNode::SendRequest(const WorkloadSource::Request& req,
                              bool correction, SimTime original_sent_at,
                              uint64_t inherited_trace_id,
                              uint32_t inherited_int_id) {
-  const uint32_t seq = next_seq_++;  // wraps naturally (§3.6)
+  // SEQ values recycle at the 32-bit wrap. A recycled value that is still
+  // pending (a slow request outliving ~2^32 sends) must not be reused:
+  // pending_[seq] would silently overwrite the live entry, orphaning its
+  // deadline and misclassifying the eventual reply. Skip live values (and
+  // 0, kept as the "unset" convention in reply matching).
+  uint32_t seq = next_seq_++;
+  while (seq == 0 || pending_.count(seq) != 0) seq = next_seq_++;
   uint64_t trace_id = inherited_trace_id;
   if (trace_id == 0 && tracer_ != nullptr && tracer_->Sampled(seq))
     trace_id = telemetry::MakeTraceId(config_.addr, seq);
@@ -115,6 +126,9 @@ void ClientNode::SendRequest(const WorkloadSource::Request& req,
                                 : (req.is_write ? "write" : "read"));
   Transmit(seq, pending);
   pending_[seq] = std::move(pending);
+  if (verifier_ != nullptr)
+    verifier_->OnClientSend(config_.addr, seq, req.key, req.is_write,
+                            req.value_size);
   ArmDeadline(seq, /*attempt=*/0);
 }
 
@@ -195,10 +209,15 @@ void ClientNode::OnDeadline(uint32_t seq, int attempt) {
                   static_cast<uint64_t>(pending.attempt));
   if (int_ != nullptr && pending.int_id != 0)
     int_->FinishFlow(pending.int_id, sim_->now(), "timeout");
+  if (verifier_ != nullptr) verifier_->OnClientDrop(config_.addr, seq);
   pending_.erase(it);
 }
 
 void ClientNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
+  const bool is_reply = pkt->msg.op == proto::Op::kReadRep ||
+                        pkt->msg.op == proto::Op::kWriteRep;
+  sim::MarkEnd(*pkt, is_reply ? sim::PacketEnd::kConsumed
+                              : sim::PacketEnd::kIgnored);
   HandleReply(*pkt);
 }
 
@@ -228,6 +247,7 @@ void ClientNode::HandleReply(const sim::Packet& pkt) {
     const SimTime original = pending.sent_at;
     const uint64_t trace_id = pending.trace_id;
     const uint32_t int_id = pending.int_id;
+    if (verifier_ != nullptr) verifier_->OnClientDrop(config_.addr, msg.seq);
     pending_.erase(it);
     SendRequest(fix, /*correction=*/true, original, trace_id, int_id);
     return;
@@ -245,15 +265,27 @@ void ClientNode::HandleReply(const sim::Packet& pkt) {
       return;
     }
     word |= bit;
+    if (verifier_ != nullptr)
+      verifier_->OnClientFragment(config_.addr, msg.seq,
+                                  static_cast<uint32_t>(msg.value.size()));
     if (++pending.frags_received < msg.frag_total) return;
   }
 
   if (config_.check_staleness) {
-    uint64_t& last = last_version_[pending.key];
-    const uint64_t version = msg.value.version();
-    if (msg.op == Op::kReadRep && version > 0 && version < last)
-      ++stats_.stale_reads;
-    if (version > last) last = version;
+    // Bounded tracking: keys beyond staleness_max_keys are not checked
+    // (the map would otherwise grow with every distinct key seen). Hot
+    // keys — the ones caching can serve stale — are always inside the cap.
+    auto lv = last_version_.find(pending.key);
+    if (lv == last_version_.end() &&
+        last_version_.size() < config_.staleness_max_keys) {
+      lv = last_version_.emplace(pending.key, 0).first;
+    }
+    if (lv != last_version_.end()) {
+      const uint64_t version = msg.value.version();
+      if (msg.op == Op::kReadRep && version > 0 && version < lv->second)
+        ++stats_.stale_reads;
+      if (version > lv->second) lv->second = version;
+    }
   }
 
   ++stats_.rx_replies;
@@ -289,6 +321,12 @@ void ClientNode::HandleReply(const sim::Packet& pkt) {
       int_->Stamp(pending.int_id, hop);
       int_->FinishFlow(pending.int_id, sim_->now(), outcome);
     }
+  }
+  if (verifier_ != nullptr) {
+    verifier_->OnClientAccept(config_.addr, msg.seq, pending.key,
+                              pending.is_write, msg.frag_total > 1,
+                              static_cast<uint32_t>(msg.value.size()),
+                              msg.value.version());
   }
   pending_.erase(it);
 }

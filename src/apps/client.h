@@ -38,6 +38,10 @@ class Registry;
 class Tracer;
 }  // namespace orbit::telemetry
 
+namespace orbit::verify {
+class Verifier;
+}  // namespace orbit::verify
+
 namespace orbit::app {
 
 // What a client asks for next; implemented by the testbed's workload model.
@@ -70,6 +74,11 @@ struct ClientConfig {
   int max_retries = 0;  // 0 = timeouts only, no retransmission
   uint64_t seed = 1;
   bool check_staleness = true;
+  // Cap on the per-key version map behind check_staleness. Long runs over
+  // huge keyspaces would otherwise grow it without bound; keys past the
+  // cap are simply not staleness-tracked (detection stays exact for the
+  // first staleness_max_keys distinct keys, which covers every hot key).
+  size_t staleness_max_keys = size_t{1} << 20;
 };
 
 class ClientNode : public sim::Node, public sim::TimerHandler {
@@ -107,6 +116,15 @@ class ClientNode : public sim::Node, public sim::TimerHandler {
   void SetFlightRecorder(telemetry::FlightRecorder* recorder);
   // Registers `<prefix>.*` counters (tx/rx/timeouts/…) against `reg`.
   void RegisterTelemetry(telemetry::Registry& reg, const std::string& prefix);
+
+  // Verification layer (src/verify/): mirrors every send/accept/drop into
+  // the shadow oracle. Null disables; observational only.
+  void SetVerifier(verify::Verifier* verifier) { verifier_ = verifier; }
+
+  // Tests: start SEQ allocation at an arbitrary point (e.g. near the
+  // 32-bit wrap) and inspect the staleness map's footprint.
+  void set_next_seq_for_test(uint32_t seq) { next_seq_ = seq; }
+  size_t staleness_tracked_keys() const { return last_version_.size(); }
 
   struct Stats {
     uint64_t tx_requests = 0;
@@ -200,6 +218,7 @@ class ClientNode : public sim::Node, public sim::TimerHandler {
   uint32_t int_hist_rtt_ = 0;
   telemetry::FlightRecorder* flight_ = nullptr;
   uint32_t flight_comp_ = 0;
+  verify::Verifier* verifier_ = nullptr;  // not owned; null = no checks
 
   Stats stats_;
 };

@@ -8,6 +8,7 @@
 #include "telemetry/int/flight.h"
 #include "telemetry/int/int.h"
 #include "telemetry/trace.h"
+#include "verify/verify.h"
 
 namespace orbit::app {
 
@@ -43,6 +44,7 @@ void ServerNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
   const Op op = pkt->msg.op;
   if (op != Op::kReadReq && op != Op::kWriteReq && op != Op::kFetchReq &&
       op != Op::kCorrectionReq) {
+    sim::MarkEnd(*pkt, sim::PacketEnd::kIgnored);
     LOG_DEBUG(name() << ": ignoring " << proto::OpName(op));
     return;
   }
@@ -55,6 +57,7 @@ void ServerNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
   // the admission drop but still pay the service time.
   if (op != Op::kFetchReq && queue_depth_ >= config_.rx_queue_limit) {
     ++stats_.dropped;
+    sim::MarkEnd(*pkt, sim::PacketEnd::kDroppedRxQueue);
     if (tracer_ != nullptr && pkt->trace_id != 0)
       tracer_->Instant(track_, pkt->trace_id, "rx_drop", sim_->now(),
                        "queue_full");
@@ -124,12 +127,16 @@ void ServerNode::OnPacket(sim::PacketPtr pkt, int /*port*/) {
 
 kv::Value ServerNode::GetOrSynthesize(const Key& key) {
   if (auto v = store_.Get(key)) return *v;
-  store_.Put(key, value_size_(key));
+  const uint32_t size = value_size_(key);
+  const uint64_t version = store_.Put(key, size);
+  if (verifier_ != nullptr) verifier_->OnCommit(key, size, version);
   return *store_.Get(key);
 }
 
 void ServerNode::Process(sim::PacketPtr pkt) {
   using proto::Op;
+  // The request's life ends here: replies are freshly minted packets.
+  sim::MarkEnd(*pkt, sim::PacketEnd::kConsumed);
   ++stats_.requests;
   const proto::Message& req = pkt->msg;
   if (config_.controller_addr != kInvalidAddr) top_k_.Update(req.key);
@@ -158,6 +165,8 @@ void ServerNode::Process(sim::PacketPtr pkt) {
       }
       ++stats_.writes;
       const uint64_t version = store_.Put(req.key, req.value.size());
+      if (verifier_ != nullptr)
+        verifier_->OnCommit(req.key, req.value.size(), version);
       proto::Message& rep = scratch_;
       rep.op = Op::kWriteRep;
       rep.seq = req.seq;

@@ -28,6 +28,10 @@ class Registry;
 class Tracer;
 }  // namespace orbit::telemetry
 
+namespace orbit::verify {
+class Verifier;
+}  // namespace orbit::verify
+
 namespace orbit::app {
 
 struct ServerConfig {
@@ -83,6 +87,13 @@ class ServerNode : public sim::Node, public sim::TimerHandler {
   const Stats& stats() const { return stats_; }
   kv::KvStore& store() { return store_; }
   const ServerConfig& config() const { return config_; }
+  // Requests currently admitted and riding completion timers; the
+  // verification layer counts these as legitimately live packets.
+  size_t queue_depth() const { return queue_depth_; }
+
+  // Verification layer (src/verify/): observes every version the store
+  // mints (writes and first-touch synthesis). Null disables.
+  void SetVerifier(verify::Verifier* verifier) { verifier_ = verifier; }
 
   // Telemetry (optional): queue/process spans for sampled requests, reply
   // packets inherit the request's trace id.
@@ -129,6 +140,7 @@ class ServerNode : public sim::Node, public sim::TimerHandler {
   uint32_t int_hist_value_ = 0;
   telemetry::FlightRecorder* flight_ = nullptr;
   uint32_t flight_comp_ = 0;
+  verify::Verifier* verifier_ = nullptr;  // not owned; null = no checks
 
   Stats stats_;
 };

@@ -47,6 +47,10 @@ Flags MakeFlags() {
   flags.AddString("flight-dump", "", "PATH",
                   "keep per-component flight-recorder rings, dump them at\n"
                   "end of run (and on faults/check failures) to PATH");
+  flags.AddBool("verify",
+                "run every point under the shadow-oracle verification\n"
+                "layer (src/verify/); results stay byte-identical, a\n"
+                "violation is recorded as the point's error");
   flags.AddBool("no-progress", "silence the per-point progress lines");
   flags.AddBool("list", "list experiment names and exit");
   flags.AddBool("help", "this message").Alias("-h");
@@ -101,6 +105,7 @@ CliOptions ParseCli(int argc, char** argv) {
     return opts;
   }
   opts.runner.int_sample = static_cast<uint32_t>(int_sample);
+  opts.runner.verify = flags.GetBool("verify");
   opts.runner.progress = !flags.GetBool("no-progress");
   opts.out_path = flags.GetString("out");
   opts.trace_out_path = flags.GetString("trace-out");
@@ -121,7 +126,7 @@ void PrintHelp(const char* prog, const std::vector<ExperimentSpec>& specs) {
       "       [--trace-out trace.json] [--trace-sample N]\n"
       "       [--counters-out counters.jsonl] [--snapshot-interval MS]\n"
       "       [--int-out int.jsonl] [--int-sample N] [--hist-out hist.jsonl]\n"
-      "       [--flight-dump flight.txt]\n"
+      "       [--flight-dump flight.txt] [--verify]\n"
       "\n"
       "  NAME...            run only experiments whose name contains NAME\n"
       "%s"

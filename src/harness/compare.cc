@@ -24,9 +24,18 @@ void CompareMetricSet(const MetricsRecord& ra, const MetricsRecord& rb,
   for (const auto& name : metrics) {
     const JsonValue* va = ra.metrics.FindPath(name);
     const JsonValue* vb = rb.metrics.FindPath(name);
-    if (va == nullptr || vb == nullptr || !va->is_number() ||
-        !vb->is_number())
+    const bool has_a = va != nullptr && va->is_number();
+    const bool has_b = vb != nullptr && vb->is_number();
+    // Absent from both sides: the metric simply doesn't apply to this
+    // experiment (the default set spans several suites). Absent from one
+    // side only: the metric disappeared or changed type — a failure.
+    if (!has_a && !has_b) continue;
+    if (has_a != has_b) {
+      report->missing_metrics.push_back(ra.Key() + " " + name +
+                                        " (missing or non-numeric in " +
+                                        (has_a ? "B" : "A") + ")");
       continue;
+    }
     const double a = va->AsDouble();
     const double b = vb->AsDouble();
     ++report->metrics_compared;
@@ -114,12 +123,19 @@ std::string FormatReport(const CompareReport& report,
     std::snprintf(line, sizeof(line), "  errored: %s\n", k.c_str());
     out += line;
   }
+  for (const auto& k : report.missing_metrics) {
+    std::snprintf(line, sizeof(line), "  metric lost: %s\n", k.c_str());
+    out += line;
+  }
   for (const auto& d : report.diffs) {
     std::snprintf(line, sizeof(line),
                   "  DRIFT %s: %s a=%g b=%g (%.1f%%)\n", d.key.c_str(),
                   d.metric.c_str(), d.a, d.b, 100 * d.rel);
     out += line;
   }
+  if (report.vacuous())
+    out += "  no metric values compared across the matched records — "
+           "check the metric names against what the result files carry\n";
   out += report.ok() ? "OK: results match within tolerance\n"
                      : "FAIL: results differ\n";
   return out;

@@ -40,10 +40,21 @@ struct CompareReport {
   std::vector<std::string> only_b;
   std::vector<std::string> errored;  // records with error fields
   std::vector<MetricDiff> diffs;     // beyond tolerance
+  // A selected metric present (and numeric) on exactly one side of a
+  // matched pair. Missing from BOTH sides is a documented skip — the
+  // default metric set deliberately spans experiments that emit different
+  // metrics — but one-sided disappearance is a regression, not a skip.
+  std::vector<std::string> missing_metrics;
+
+  // Records matched but not a single metric value was compared: every
+  // selected metric was absent from both sides (typo'd --metrics, or
+  // result files from a different suite). A gate that compares nothing
+  // must not report success.
+  bool vacuous() const { return matched > 0 && metrics_compared == 0; }
 
   bool ok() const {
     return only_a.empty() && only_b.empty() && errored.empty() &&
-           diffs.empty();
+           diffs.empty() && missing_metrics.empty() && !vacuous();
   }
 };
 

@@ -37,6 +37,12 @@ struct RunnerOptions {
   bool histograms = false;           // always-on per-hop/per-link histograms
   bool flight_recorder = false;      // per-component event rings
   bool flight_end_dump = false;      // dump rings at end of run too
+
+  // Verification (off by default). Enables the shadow oracle + packet
+  // conservation + switch invariant checks (src/verify/) on every point.
+  // Results-neutral: record JSONL stays byte-identical either way; a
+  // violation surfaces as the point's error field (fail-fast CHECK).
+  bool verify = false;
 };
 
 struct RunOutcome {

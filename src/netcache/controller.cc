@@ -183,9 +183,11 @@ void NetController::CheckFetchTimeouts() {
 
 void NetController::OnPacket(sim::PacketPtr pkt, int /*port*/) {
   if (pkt->msg.op == proto::Op::kFetchRep) {
+    sim::MarkEnd(*pkt, sim::PacketEnd::kConsumed);
     pending_fetches_.erase(pkt->msg.key);
     return;
   }
+  sim::MarkEnd(*pkt, sim::PacketEnd::kIgnored);
   LOG_DEBUG("nc-controller: ignoring " << proto::OpName(pkt->msg.op));
 }
 

@@ -27,6 +27,7 @@ NetProgram::NetProgram(rmt::SwitchDevice* device, const NetConfig& config)
       lookup_(&device->resources(), "nc_lookup", /*stage=*/0, config.capacity,
               config.max_key_bytes, /*entry_bytes=*/4),
       valid_(&device->resources(), "nc_valid", /*stage=*/1, config.capacity),
+      wepoch_(&device->resources(), "nc_wepoch", /*stage=*/1, config.capacity),
       vlen_(&device->resources(), "nc_vlen", /*stage=*/1, config.capacity),
       popularity_(&device->resources(), "nc_popularity", /*stage=*/1,
                   config.capacity),
@@ -82,6 +83,7 @@ bool NetProgram::InsertEntry(const Key& key, uint32_t idx) {
   ORBIT_CHECK_MSG(idx < config_.capacity, "cache index out of range");
   if (!lookup_.Insert(key, idx)) return false;  // throws if key > 16B
   valid_.at(idx) = 0;
+  wepoch_.at(idx) = 0;
   vlen_.at(idx) = 0;
   popularity_.at(idx) = 0;
   return true;
@@ -171,8 +173,13 @@ IngressResult NetProgram::Ingress(sim::Packet& pkt, rmt::SwitchDevice& sw) {
     case Op::kWriteRep:
     case Op::kFetchRep:
       return HandleValueReply(pkt);
-    case Op::kCorrectionReq:  // not part of NetCache; forward like a read
     case Op::kFetchReq:
+      // Stamp the entry's current write epoch so the fetch reply can prove
+      // no write overtook it while the value was in flight.
+      if (const uint32_t* idxp = lookup_.Lookup(pkt.msg.key))
+        pkt.msg.epoch = wepoch_.at(*idxp);
+      return IngressResult::ToAddr(pkt.dst);
+    case Op::kCorrectionReq:  // not part of NetCache; forward like a read
     case Op::kReadRep:
     case Op::kTopKReport:
       return IngressResult::ToAddr(pkt.dst);
@@ -243,6 +250,8 @@ IngressResult NetProgram::HandleWriteRequest(sim::Packet& pkt) {
   }
   ++stats_.writes_cached;
   valid_.at(*idxp) = 0;
+  wepoch_.at(*idxp)++;
+  pkt.msg.epoch = wepoch_.at(*idxp);
   pkt.msg.flag |= proto::kFlagCachedWrite;
   return IngressResult::ToAddr(pkt.dst);
 }
@@ -254,6 +263,15 @@ IngressResult NetProgram::HandleValueReply(sim::Packet& pkt) {
   const uint32_t* idxp = lookup_.Lookup(pkt.msg.key);
   if (idxp == nullptr || !carries_value) return IngressResult::ToAddr(pkt.dst);
   const uint32_t idx = *idxp;
+  if (pkt.msg.epoch != wepoch_.at(idx)) {
+    // A newer write passed the switch after this reply's value was read:
+    // revalidating would resurrect a stale value (e.g. when the newest
+    // write's own reply is lost). Forward without touching the cache; the
+    // entry stays invalid until a current-epoch reply arrives.
+    ++stats_.stale_revalidations;
+    Note(device_, pkt, "stale_revalidation_skip");
+    return IngressResult::ToAddr(pkt.dst);
+  }
   const std::string bytes = pkt.msg.value.Materialize(pkt.msg.key);
   if (bytes.size() > max_value_bytes()) {
     // The n×k ceiling: this item cannot live in switch memory after all.
@@ -292,6 +310,8 @@ void NetProgram::RegisterTelemetry(telemetry::Registry& reg,
                  [this] { return stats_.writes_uncached; }, who);
   reg.AddCounter(prefix + "netcache.validations",
                  [this] { return stats_.validations; }, who);
+  reg.AddCounter(prefix + "netcache.stale_revalidations",
+                 [this] { return stats_.stale_revalidations; }, who);
   reg.AddCounter(prefix + "netcache.uncacheable_values",
                  [this] { return stats_.uncacheable_values; }, who);
   reg.AddCounter(prefix + "netcache.hot_reports",
@@ -309,6 +329,7 @@ void NetProgram::RegisterTelemetry(telemetry::Registry& reg,
                    [&arr] { return arr.accesses(); }, who);
   };
   add_array(valid_);
+  add_array(wepoch_);
   add_array(vlen_);
   add_array(popularity_);
   for (const auto& words : value_words_) add_array(*words);

@@ -96,7 +96,8 @@ class NetProgram : public rmt::SwitchProgram {
     uint64_t writes_cached = 0;
     uint64_t writes_uncached = 0;
     uint64_t validations = 0;
-    uint64_t uncacheable_values = 0;  // fetch produced an over-limit value
+    uint64_t stale_revalidations = 0;  // replies rejected by the epoch guard
+    uint64_t uncacheable_values = 0;   // fetch produced an over-limit value
     uint64_t hot_reports = 0;
     uint64_t request_recircs = 0;  // recirc-read strawman passes
   };
@@ -128,6 +129,12 @@ class NetProgram : public rmt::SwitchProgram {
 
   rmt::ExactMatchTable<Key, uint32_t> lookup_;
   rmt::RegisterArray<uint8_t> valid_;
+  // Per-entry write epoch (the OrbitCache epoch guard applied to the
+  // baseline): bumped by every cached write request, stamped into the
+  // request (servers echo it), and required to match before a value reply
+  // may revalidate the entry. Without it, losing the newest write's reply
+  // lets an older in-flight reply revalidate the cache with a stale value.
+  rmt::RegisterArray<uint32_t> wepoch_;
   rmt::RegisterArray<uint16_t> vlen_;  // stored value length
   rmt::RegisterArray<uint64_t> popularity_;
   std::vector<std::unique_ptr<rmt::RegisterArray<uint64_t>>> value_words_;

@@ -260,15 +260,18 @@ void Controller::OnPacket(sim::PacketPtr pkt, int /*port*/) {
   using proto::Op;
   switch (pkt->msg.op) {
     case Op::kFetchRep:
+      sim::MarkEnd(*pkt, sim::PacketEnd::kConsumed);
       pending_fetches_.erase(pkt->msg.key);
       return;
     case Op::kTopKReport: {
       // One report packet per hot key; the count rides in value.version.
+      sim::MarkEnd(*pkt, sim::PacketEnd::kConsumed);
       ++stats_.reports_received;
       reported_[pkt->msg.key] += pkt->msg.value.version();
       return;
     }
     default:
+      sim::MarkEnd(*pkt, sim::PacketEnd::kIgnored);
       LOG_DEBUG("controller: ignoring " << proto::OpName(pkt->msg.op));
   }
 }

@@ -5,6 +5,7 @@
 #include "telemetry/counters.h"
 #include "telemetry/int/int.h"
 #include "telemetry/trace.h"
+#include "verify/verify.h"
 
 namespace orbit::oc {
 
@@ -120,6 +121,7 @@ size_t OrbitProgram::RequestSnapshot() {
 }
 
 void OrbitProgram::ResetDataPlane() {
+  if (verifier_ != nullptr) verifier_->OnSwitchReset();
   device_->FlushRecirculation();  // a reboot loses every orbiting packet
   lookup_.Clear();
   valid_.Fill(0);
@@ -231,7 +233,10 @@ IngressResult OrbitProgram::HandleReadRequest(sim::Packet& pkt) {
   meta.trace_id = pkt.trace_id;
   meta.int_id = pkt.int_id;
   if (request_table_.TryEnqueue(idx, meta)) {
-    // Absorbed: a circulating cache packet will answer it (Fig. 4a).
+    // Absorbed: a circulating cache packet will answer it (Fig. 4a). Mark
+    // the end reason here so the device-level Drop bookkeeping doesn't
+    // misclassify the absorption as an unexplained program drop.
+    sim::MarkEnd(pkt, sim::PacketEnd::kAbsorbed);
     ++stats_.absorbed;
     Note(device_, pkt, "lookup_hit", "absorb");
     return IngressResult::Drop();
@@ -271,6 +276,14 @@ IngressResult OrbitProgram::HandleWriteRequest(sim::Packet& pkt) {
     frag_total_.at(idx) = 1;
     acked_frags_.at(idx) = 0;
     version_.at(idx)++;
+    // The switch is a version authority here: report the mint so the
+    // shadow oracle accepts replies carrying switch-assigned versions.
+    // peek() keeps the register-access telemetry untouched.
+    if (verifier_ != nullptr) {
+      verifier_->OnCommit(pkt.msg.key,
+                          static_cast<uint32_t>(pkt.msg.value.size()),
+                          version_.peek(idx));
+    }
     pkt.msg.op = proto::Op::kWriteRep;
     pkt.msg.epoch = epoch_.at(idx);
     pkt.msg.flag |= kFlagDirty;

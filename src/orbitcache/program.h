@@ -122,9 +122,25 @@ class OrbitProgram : public rmt::SwitchProgram {
       std::function<void(const Key& key, const Hash128& hkey, Addr server)>;
   void SetRefetchFn(RefetchFn fn) { refetch_ = std::move(fn); }
 
+  // Verification layer (src/verify/): observes write-back version mints,
+  // data-plane resets, and (via the request table) ring-state invariants.
+  // Null disables; never feeds back into forwarding decisions.
+  void SetVerifier(verify::Verifier* verifier) {
+    verifier_ = verifier;
+    request_table_.SetVerifier(verifier);
+  }
+
   // ---- introspection (tests & experiments) -------------------------------
   const OrbitConfig& config() const { return config_; }
   bool IsValid(uint32_t idx) const { return valid_.at(idx) != 0; }
+  // Non-counting census of valid entries for the verification layer's
+  // orbit check (IsValid's at() would perturb the accesses() telemetry).
+  size_t CountValidEntries() const {
+    size_t n = 0;
+    for (uint32_t i = 0; i < config_.capacity; ++i)
+      if (valid_.peek(i) != 0) ++n;
+    return n;
+  }
   uint32_t EpochOf(uint32_t idx) const { return epoch_.at(idx); }
   RequestTable& request_table() { return request_table_; }
 
@@ -198,6 +214,7 @@ class OrbitProgram : public rmt::SwitchProgram {
   int next_group_id_ = 1;
   RefetchFn refetch_;
   Stats stats_;
+  verify::Verifier* verifier_ = nullptr;  // not owned; null = no checks
 
   // INT histogram handles (zero when no sink is attached).
   telemetry::IntSink* int_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "telemetry/counters.h"
+#include "verify/verify.h"
 
 namespace orbit::oc {
 
@@ -41,6 +42,7 @@ bool RequestTable::TryEnqueue(uint32_t idx, const RequestMeta& meta) {
   timestamp_.at(r) = meta.enqueued_at;
   trace_id_[r] = meta.trace_id;
   int_id_[r] = meta.int_id;
+  ReportQueueState("TryEnqueue", idx);
   return true;
 }
 
@@ -60,14 +62,14 @@ std::optional<RequestMeta> RequestTable::TryDequeue(uint32_t idx) {
   meta.enqueued_at = timestamp_.at(r);
   meta.trace_id = trace_id_[r];
   meta.int_id = int_id_[r];
+  ReportQueueState("TryDequeue", idx);
   return meta;
 }
 
 std::optional<RequestMeta> RequestTable::Peek(uint32_t idx) const {
   ORBIT_CHECK(idx < capacity_);
   if (qlen_.at(idx) == 0) return std::nullopt;
-  const size_t r =
-      static_cast<size_t>(idx) * queue_size_ + front_.at(idx);
+  const size_t r = ReqIdx(idx, front_.at(idx));
   RequestMeta meta;
   meta.client_addr = client_addr_.at(r);
   meta.seq = seq_.at(r);
@@ -88,6 +90,24 @@ void RequestTable::ClearQueue(uint32_t idx) {
   qlen_.at(idx) = 0;
   front_.at(idx) = 0;
   rear_.at(idx) = 0;
+  // Scrub the telemetry sidecars of every slot in idx's queue. The real
+  // data-plane arrays may keep stale bytes (they are overwritten before
+  // use because slot validity is governed by qlen/front/rear), but the
+  // sidecars are read back by correlation tooling keyed on slot index, so
+  // a reset must not leave another run's trace/INT ids behind.
+  for (uint32_t off = 0; off < queue_size_; ++off) {
+    const size_t r = ReqIdx(idx, off);
+    trace_id_[r] = 0;
+    int_id_[r] = 0;
+  }
+  ReportQueueState("ClearQueue", idx);
+}
+
+void RequestTable::ReportQueueState(const char* where, uint32_t idx) const {
+  if (verifier_ == nullptr) return;
+  verifier_->OnQueueState(where, idx, qlen_.peek(idx), front_.peek(idx),
+                          rear_.peek(idx),
+                          static_cast<uint32_t>(queue_size_));
 }
 
 void RequestTable::RegisterTelemetry(telemetry::Registry& reg,

@@ -28,6 +28,10 @@ namespace orbit::telemetry {
 class Registry;
 }  // namespace orbit::telemetry
 
+namespace orbit::verify {
+class Verifier;
+}  // namespace orbit::verify
+
 namespace orbit::oc {
 
 struct RequestMeta {
@@ -69,10 +73,25 @@ class RequestTable {
   void RegisterTelemetry(telemetry::Registry& reg,
                          const std::string& prefix = "") const;
 
+  // Installs the verification layer's invariant checker: every mutation
+  // reports the resulting ring state. Null (the default) disables.
+  void SetVerifier(verify::Verifier* verifier) { verifier_ = verifier; }
+
+  // Test/verify access to the telemetry sidecars of idx's slot `offset`.
+  uint64_t trace_id_at(uint32_t idx, uint32_t offset) const {
+    return trace_id_[ReqIdx(idx, offset)];
+  }
+  uint32_t int_id_at(uint32_t idx, uint32_t offset) const {
+    return int_id_[ReqIdx(idx, offset)];
+  }
+
  private:
   size_t ReqIdx(uint32_t idx, uint32_t offset) const {
     return static_cast<size_t>(idx) * queue_size_ + offset;
   }
+  // Reports the post-mutation ring state of slot idx to the verifier (via
+  // non-counting peeks, so --verify leaves access telemetry untouched).
+  void ReportQueueState(const char* where, uint32_t idx) const;
 
   size_t capacity_;
   size_t queue_size_;
@@ -92,6 +111,8 @@ class RequestTable {
   // state the real data plane does not hold.
   std::vector<uint64_t> trace_id_;
   std::vector<uint32_t> int_id_;
+
+  verify::Verifier* verifier_ = nullptr;  // not owned; null = no checks
 };
 
 }  // namespace orbit::oc

@@ -8,9 +8,10 @@
 //
 // CACHED / LATENCY / SRVID mirror the paper's own prototype additions for
 // latency attribution. EPOCH is this reproduction's coherence hardening
-// field (see orbitcache/program.h): the switch stamps its per-entry write
-// epoch into requests and servers echo it, which closes a stale-revalidation
-// race present in the paper's binary valid/invalid protocol.
+// field (see orbitcache/program.h and netcache/program.h): the switch
+// stamps its per-entry write epoch into requests and servers echo it, which
+// closes a stale-revalidation race present in the paper's binary
+// valid/invalid protocol.
 #pragma once
 
 #include <cstdint>

@@ -68,6 +68,15 @@ class RegisterArray : public RegisterArrayBase {
     return slots_[i];
   }
 
+  // Non-counting read for out-of-band inspection (the verification layer's
+  // invariant checks). Using at() there would perturb the accesses()
+  // telemetry and break --verify's results-neutrality.
+  const T& peek(size_t i) const {
+    ORBIT_CHECK_MSG(i < slots_.size(), array_name() << ": index " << i
+                                                    << " >= " << slots_.size());
+    return slots_[i];
+  }
+
   void Fill(T v) { slots_.assign(slots_.size(), v); }
 
  private:

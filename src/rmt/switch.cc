@@ -118,6 +118,7 @@ void SwitchDevice::OnPacket(sim::PacketPtr pkt, int port) {
       // The packet was in the loop when the ASIC rebooted: it no longer
       // exists (the gauge was zeroed by FlushRecirculation).
       ++stats_.recirc_flushed;
+      sim::MarkEnd(*pkt, sim::PacketEnd::kFlushedAtReset);
       if (tracer_ != nullptr && pkt->trace_id != 0)
         tracer_->Instant(track_recirc_, pkt->trace_id, "recirc_flushed",
                          sim_->now());
@@ -172,6 +173,9 @@ void SwitchDevice::Apply(const IngressResult& result, sim::PacketPtr pkt,
   switch (result.action) {
     case Action::kDrop:
       ++stats_.dropped_by_program;
+      // First-wins: a program that absorbed the packet (request table)
+      // already marked it; only an unexplained Drop lands here.
+      sim::MarkEnd(*pkt, sim::PacketEnd::kDroppedByProgram);
       return;
     case Action::kForwardPort:
       SendOut(result.port, std::move(pkt), pipe_delay);
@@ -180,6 +184,7 @@ void SwitchDevice::Apply(const IngressResult& result, sim::PacketPtr pkt,
       const int port = RouteOf(result.addr);
       if (port < 0) {
         ++stats_.dropped_unrouted;
+        sim::MarkEnd(*pkt, sim::PacketEnd::kDroppedUnrouted);
         LOG_WARN(name_ << ": no route for addr " << result.addr);
         return;
       }
@@ -193,6 +198,7 @@ void SwitchDevice::Apply(const IngressResult& result, sim::PacketPtr pkt,
       const auto* targets = pre_.Group(result.mcast_group);
       if (targets == nullptr || targets->empty()) {
         ++stats_.dropped_unrouted;
+        sim::MarkEnd(*pkt, sim::PacketEnd::kDroppedUnrouted);
         LOG_WARN(name_ << ": unknown multicast group " << result.mcast_group);
         return;
       }
@@ -234,6 +240,7 @@ void SwitchDevice::Recirculate(sim::PacketPtr pkt, SimTime pipe_delay) {
       static_cast<double>(backlog_ns) * cfg.recirc_rate_gbps / 8.0);
   if (backlog_bytes + bytes > cfg.recirc_queue_bytes) {
     ++stats_.recirc_drops;
+    sim::MarkEnd(*pkt, sim::PacketEnd::kDroppedRecirc);
     if (tracer_ != nullptr && pkt->trace_id != 0)
       tracer_->Instant(track_recirc_, pkt->trace_id, "recirc_overflow",
                        sim_->now(), nullptr, bytes);

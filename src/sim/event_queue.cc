@@ -30,6 +30,7 @@ Event& EventQueue::Append(SimTime t) {
 }
 
 void EventQueue::PushDelivery(SimTime t, Node* node, int port, PacketPtr pkt) {
+  ++pending_deliveries_;
   Event& e = Append(t);
   e.time = t;
   e.node = node;
@@ -61,6 +62,7 @@ Event EventQueue::Pop() {
   Bucket& b = buckets_[top.bucket];
   Event e = std::move(b.events[b.head++]);
   --size_;
+  if (e.node != nullptr) --pending_deliveries_;
   if (b.head == b.events.size()) {
     // Bucket drained: recycle it (the events vector keeps its capacity)
     // and retire its heap entry.

@@ -70,6 +70,10 @@ class EventQueue {
 
   bool empty() const { return size_ == 0; }
   size_t size() const { return size_; }
+  // Packet-delivery events currently queued (the packets "on the wire").
+  // The verification layer balances this against the packet pool's live
+  // count at end of run.
+  size_t pending_deliveries() const { return pending_deliveries_; }
   // Earliest pending timestamp. Precondition: !empty().
   SimTime next_time() const;
 
@@ -101,6 +105,7 @@ class EventQueue {
   std::vector<Bucket> buckets_;
   std::vector<uint32_t> free_buckets_;
   size_t size_ = 0;
+  size_t pending_deliveries_ = 0;
   uint64_t next_bucket_seq_ = 0;
   // One-entry open-bucket cache: the most recently created or appended-to
   // bucket. Consecutive pushes at the same timestamp (clone storms, bursty

@@ -63,6 +63,7 @@ void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
   Channel& ch = chans_[from];
   if (down_) {
     ++ch.stats.down_drops;
+    MarkEnd(*pkt, PacketEnd::kDroppedLink);
     StampDrop(ch, *pkt, DropReason::kLinkDown);
     if (drop_tap_ != nullptr && *drop_tap_)
       (*drop_tap_)(*pkt, chans_[1 - from].to, ch.to, DropReason::kLinkDown,
@@ -71,6 +72,7 @@ void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
   }
   if (LossCoin()) {
     ++ch.stats.lost;
+    MarkEnd(*pkt, PacketEnd::kDroppedLink);
     StampDrop(ch, *pkt, DropReason::kInjectedLoss);
     if (drop_tap_ != nullptr && *drop_tap_)
       (*drop_tap_)(*pkt, chans_[1 - from].to, ch.to, DropReason::kInjectedLoss,
@@ -87,6 +89,7 @@ void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
       static_cast<double>(backlog_ns) * config_.rate_gbps / 8.0);
   if (backlog_bytes + bytes > config_.queue_limit_bytes) {
     ++ch.stats.drops;
+    MarkEnd(*pkt, PacketEnd::kDroppedLink);
     StampDrop(ch, *pkt, DropReason::kQueueOverflow);
     if (drop_tap_ != nullptr && *drop_tap_)
       (*drop_tap_)(*pkt, chans_[1 - from].to, ch.to,

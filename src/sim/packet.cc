@@ -31,6 +31,7 @@ void Packet::Reset() {
   recirc_generation = 0;
   trace_id = 0;
   int_id = 0;
+  end_reason = PacketEnd::kNone;
 }
 
 void Packet::CopyFrom(const Packet& other) {
@@ -80,6 +81,7 @@ PacketPtr PacketPool::Acquire() {
 }
 
 void PacketPool::Release(Packet* pkt) {
+  if (observer_ != nullptr) observer_->OnRelease(*pkt);
   ++stats_.released;
   free_.push_back(pkt);
 }

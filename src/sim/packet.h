@@ -29,6 +29,25 @@ namespace orbit::sim {
 
 class PacketPool;
 
+// Terminal state of a packet's life, written unconditionally at every site
+// that consumes, absorbs, or drops a packet. Purely observational — nothing
+// in the simulation reads it back — but it lets the verification layer
+// (src/verify/) prove that no packet ever vanished silently: a packet
+// returning to the pool while still kNone was dropped without a reason.
+enum class PacketEnd : uint8_t {
+  kNone = 0,          // still in flight
+  kConsumed,          // delivered to and consumed by an endpoint
+  kAbsorbed,          // request absorbed into the switch request table
+  kCloneSource,       // PRE source descriptor retired after cloning
+  kDroppedByProgram,  // switch program chose Drop
+  kDroppedUnrouted,   // no route for the destination address
+  kDroppedLink,       // link down / injected loss / queue overflow
+  kDroppedRecirc,     // recirculation FIFO overflow
+  kDroppedRxQueue,    // server admission (socket buffer) drop
+  kFlushedAtReset,    // lost to a switch reboot barrier
+  kIgnored,           // endpoint received an op it does not handle
+};
+
 struct Packet {
   Addr src = kInvalidAddr;
   Addr dst = kInvalidAddr;
@@ -61,6 +80,10 @@ struct Packet {
   // clone/reply inheritance rules as trace_id.
   uint32_t int_id = 0;
 
+  // How this packet's life ended (see PacketEnd). Observational only;
+  // cleared on Reset, never copied by CopyFrom (a clone starts fresh).
+  PacketEnd end_reason = PacketEnd::kNone;
+
   uint32_t wire_bytes() const {
     return proto::kEncapBytes + proto::Message::kHeaderBytes +
            msg.payload_bytes();
@@ -89,6 +112,22 @@ struct PacketDeleter {
 
 using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
 
+// Records a packet's terminal state. First writer wins: a request absorbed
+// by the switch program is marked at the absorb site, and the device-level
+// Drop handling that follows must not overwrite it.
+inline void MarkEnd(Packet& pkt, PacketEnd reason) {
+  if (pkt.end_reason == PacketEnd::kNone) pkt.end_reason = reason;
+}
+
+// Observer of packet-pool releases (implemented by verify::Verifier).
+// Installed only under --verify; the pool's release path costs one
+// null-pointer test otherwise.
+class PoolObserver {
+ public:
+  virtual ~PoolObserver() = default;
+  virtual void OnRelease(const Packet& pkt) = 0;
+};
+
 // Freelist-backed packet descriptor pool. Slab storage (deque-of-chunks)
 // keeps addresses stable for the packet's whole lifetime; destroying the
 // pool reclaims every packet it ever produced, including ones still
@@ -116,6 +155,10 @@ class PacketPool {
   const Stats& stats() const { return stats_; }
   size_t free_count() const { return free_.size(); }
 
+  // Verification hook: `observer` (may be null) sees every Release while
+  // set. Not owned; uninstall (set null) before the observer dies.
+  void set_observer(PoolObserver* observer) { observer_ = observer; }
+
   // RAII thread-local installation (nestable: restores the previous pool).
   class ScopedInstall {
    public:
@@ -135,6 +178,7 @@ class PacketPool {
   size_t chunk_used_ = kChunkPackets;  // slots consumed in the last chunk
   std::vector<Packet*> free_;
   Stats stats_;
+  PoolObserver* observer_ = nullptr;
 };
 
 // A blank packet with only the addressing filled in, drawn from the

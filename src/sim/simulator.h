@@ -63,6 +63,9 @@ class Simulator {
 
   uint64_t events_processed() const { return events_processed_; }
   size_t pending_events() const { return queue_.size(); }
+  // Packets sitting in undelivered Deliver events — the verification
+  // layer's packet-conservation check counts these as legitimately live.
+  size_t pending_deliveries() const { return queue_.pending_deliveries(); }
 
   // This simulator's packet pool. Constructing a Simulator installs the
   // pool as the calling thread's current pool (NewPacket/ClonePacket draw

@@ -25,6 +25,7 @@
 #include "telemetry/trace.h"
 #include "testbed/constants.h"
 #include "testbed/workload_source.h"
+#include "verify/verify.h"
 #include "workload/dynamic.h"
 #include "workload/keyspace.h"
 #include "workload/zipf.h"
@@ -119,6 +120,9 @@ std::vector<std::string> TestbedConfig::Validate() const {
     if (!fault.events.empty())
       err("fault injection targets the single-switch testbed; scripted "
           "fault.events are not supported on a fabric yet");
+    if (verify.enabled)
+      err("verify.enabled targets the single-switch testbed; the fabric "
+          "path is not instrumented for the shadow oracle yet");
   }
 
   if (workload.num_keys == 0) err("workload.num_keys must be >= 1");
@@ -170,8 +174,29 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
   // stays the untouched single-ToR path (and its exact event ordering).
   if (config.topo.fabric.enabled()) return fabric::RunFabricTestbed(config);
 
+  // The verifier is declared before the simulator on purpose: teardown of
+  // the event queue and pool releases packets, and the pool's observer
+  // pointer must stay valid through that (the calls are no-ops once
+  // Finalize() disarms accounting — including on exception unwind).
+  std::unique_ptr<verify::Verifier> verifier;
+  if (config.verify.enabled) {
+    verify::VerifyOptions vopt;
+    // Version-strictness mirrors the scheme: only OrbitCache has the
+    // epoch-guard ablation and write-back's switch-minted versions;
+    // NetCache/NoCache serve only server-minted versions.
+    vopt.epoch_guard =
+        config.scheme != Scheme::kOrbitCache || config.cache.epoch_guard;
+    vopt.write_back =
+        config.scheme == Scheme::kOrbitCache && config.cache.write_back;
+    verifier = std::make_unique<verify::Verifier>(vopt);
+  }
+
   sim::Simulator sim;
   sim::Network net(&sim);
+  if (verifier != nullptr) {
+    sim.packet_pool().set_observer(verifier.get());
+    verifier->ArmPacketAccounting();
+  }
 
   rmt::SwitchDevice sw(&sim, &net, "tor", config.topo.asic);
 
@@ -280,6 +305,12 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     sw.AddRoute(ccfg.addr, at.port_b);
     if (orbit != nullptr) orbit->RegisterCloneTarget(ccfg.addr, at.port_b);
     clients.push_back(std::move(node));
+  }
+
+  if (verifier != nullptr) {
+    if (orbit != nullptr) orbit->SetVerifier(verifier.get());
+    for (auto& s : servers) s->SetVerifier(verifier.get());
+    for (auto& c : clients) c->SetVerifier(verifier.get());
   }
 
   // ---- controller ---------------------------------------------------------
@@ -662,6 +693,66 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
         flight->TriggerDump(sim.now(), "end of run");
       if (flight->HasDumps()) cap->flight_dump = flight->DumpText();
     }
+  }
+
+  // ---- verification -------------------------------------------------------
+  // Run last so that the fail_fast throw (below) happens after every metric
+  // and capture is filled — a verification failure reports on a complete
+  // run, and the flight-recorder check hook still gets its dump.
+  if (verifier != nullptr) {
+    verify::Verifier::EndOfRun eor;
+    const sim::PacketPool::Stats& ps = sim.packet_pool().stats();
+    eor.pool_acquired = ps.allocated + ps.recycled;
+    eor.pool_released = ps.released;
+    uint64_t server_queued = 0;
+    for (auto& s : servers) server_queued += s->queue_depth();
+    eor.expected_live = sim.pending_deliveries() + server_queued;
+    eor.recirc_in_flight =
+        static_cast<int64_t>(sw.stats().recirc_in_flight);
+    // The orbit census (one circulating packet per valid entry) is exact
+    // only when nothing forked, dropped, or invalidated cache packets
+    // outside the serve loop; otherwise record why it was skipped.
+    std::string census_skip;
+    if (orbit == nullptr) {
+      census_skip = "scheme has no orbiting cache packets";
+    } else if (!config.cache.enable_cloning) {
+      census_skip = "no-cloning ablation refetches instead of orbiting";
+    } else if (config.cache.multi_packet) {
+      census_skip = "multi-packet entries orbit fragment sets";
+    } else if (config.cache.write_back) {
+      census_skip = "write-back forks flush copies";
+    } else if (!config.fault.events.empty()) {
+      census_skip = "fault schedule may reset data-plane state";
+    } else if (config.workload.write_ratio > 0 ||
+               config.workload.twitter != nullptr) {
+      census_skip = "writes invalidate entries while packets still orbit";
+    } else if (sw.stats().recirc_drops > 0) {
+      census_skip = "recirculation ring dropped cache packets";
+    } else if (orbit->stats().cp_drop_evicted + orbit->stats().cp_drop_invalid +
+                   orbit->stats().cp_drop_epoch >
+               0) {
+      census_skip = "cache packets were retired mid-run";
+    } else if (orbit_ctrl != nullptr &&
+               (orbit_ctrl->stats().evictions > 0 ||
+                orbit_ctrl->stats().fetch_retries > 0 ||
+                orbit_ctrl->stats().fetch_failures > 0)) {
+      census_skip = "controller evicted or re-fetched entries";
+    }
+    if (census_skip.empty()) {
+      eor.valid_entries = static_cast<int64_t>(orbit->CountValidEntries());
+    } else {
+      eor.valid_entries = -1;
+      eor.orbit_skip_reason = std::move(census_skip);
+    }
+    eor.resources = &sw.resources();
+    verifier->Finalize(eor);
+    sim.packet_pool().set_observer(nullptr);
+    res.verify_violations = verifier->violation_count();
+    res.verify_replies_checked = verifier->replies_checked();
+    res.verify_allowed_stale = verifier->allowed_stale();
+    res.verify_report = verifier->Report();
+    ORBIT_CHECK_MSG(!config.verify.fail_fast || verifier->ok(),
+                    "verification failed:\n" << res.verify_report);
   }
 
   return res;

@@ -155,6 +155,20 @@ struct TestbedConfig {
   };
   Telemetry telemetry;
 
+  // Verification (src/verify/): shadow KV oracle, packet-conservation
+  // accounting, and switch invariant checks. Observational only — a run
+  // with verify enabled produces byte-identical metrics to the same run
+  // without it — and, like Telemetry, excluded from ConfigJson /
+  // ConfigFingerprint so enabling it never changes a run's identity.
+  struct Verify {
+    bool enabled = false;
+    // Throw CheckFailure after metrics collection when violations were
+    // found (the harness records it as the point's error). When false the
+    // violations only populate TestbedResult::verify_*.
+    bool fail_fast = true;
+  };
+  Verify verify;
+
   // Checks cross-field invariants; returns one actionable message per
   // violation (empty = valid). RunTestbed() refuses invalid configs.
   std::vector<std::string> Validate() const;
@@ -217,6 +231,13 @@ struct TestbedResult {
   double rmt_sram_fraction = 0;
   int rmt_alus_used = 0;
   uint64_t events_processed = 0;
+
+  // Verification outcome (populated only when config.verify.enabled; never
+  // serialized into result metrics, so --verify stays results-neutral).
+  uint64_t verify_violations = 0;
+  uint64_t verify_replies_checked = 0;
+  uint64_t verify_allowed_stale = 0;
+  std::string verify_report;
 };
 
 TestbedResult RunTestbed(const TestbedConfig& config);

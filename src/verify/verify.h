@@ -1,0 +1,185 @@
+// Shadow-oracle verification layer (opt-in, results-neutral).
+//
+// When a testbed runs with `verify.enabled`, a `Verifier` mirrors the
+// protocol at its commit points and checks three independent properties
+// at near-zero cost to the simulated system (every hook is a null-checked
+// pointer call; nothing the verifier does feeds back into simulation
+// state, RNG draws, or serialized metrics):
+//
+//  1. Reply correctness (shadow KV oracle). Every client request is
+//     registered at send time together with the key's completed-operation
+//     version floor; every accepted reply's (size, version) is validated
+//     against the set of linearizable outcomes. Version authorities are
+//     hooked directly — the storage server's Put calls and the switch's
+//     write-back version mints — so cache-served replies, retransmit
+//     duplicates, and post-fault rebuilds are all covered. Stale reads
+//     (version below the floor a completed operation established before
+//     the request was sent) are violations under the epoch guard and
+//     counted-but-allowed when the guard is off or write-back is on (the
+//     coherence windows the paper permits; see docs/VERIFY.md).
+//
+//  2. Packet conservation. Every pooled packet must reach a terminal
+//     state (consumed, absorbed, dropped-with-reason, flushed at reset)
+//     before it is returned to the pool; at end of run the pool's live
+//     count must equal the packets legitimately still in flight (pending
+//     deliveries + server service queues). Catches silent drops and pool
+//     leaks per component.
+//
+//  3. Switch invariants. Request-table ring state (qlen/front/rear) is
+//     checked on every mutation, the orbit gauge must match the number of
+//     valid cache entries at end of run (when the configuration makes the
+//     count exact), and the declared RMT stage/SRAM/ALU budgets are
+//     re-validated against the ASIC limits.
+//
+// The verifier never throws; it records violations. The testbed turns a
+// non-empty violation list into a CheckFailure after metrics collection
+// when `verify.fail_fast` is set, so the failure is visible without ever
+// perturbing the measured results.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/packet.h"
+
+namespace orbit::rmt {
+class Resources;
+}
+
+namespace orbit::verify {
+
+struct VerifyOptions {
+  // Mirrors OrbitConfig::epoch_guard: with the guard on, a stale cached
+  // read is a protocol violation; with it off (the paper's unhardened
+  // protocol) staleness is possible by design and only counted.
+  bool epoch_guard = true;
+  // Write-back mode interleaves switch-minted and server-minted versions
+  // (and a switch reset legally discards unflushed versions), so version
+  // lower bounds are advisory there: staleness is counted, not flagged.
+  bool write_back = false;
+};
+
+struct Violation {
+  std::string check;   // short machine-ish name, e.g. "stale_read"
+  std::string detail;  // human-readable specifics
+};
+
+class Verifier : public sim::PoolObserver {
+ public:
+  explicit Verifier(const VerifyOptions& options);
+
+  // ---- shadow KV oracle -------------------------------------------------
+  // A client put a new request on the wire (first transmission only;
+  // retransmissions keep the registration of the original send).
+  void OnClientSend(Addr client, uint32_t seq, const Key& key, bool is_write,
+                    uint32_t write_size);
+  // One new (non-duplicate) fragment of a multi-packet reply arrived.
+  void OnClientFragment(Addr client, uint32_t seq, uint32_t bytes);
+  // The client accepted a reply and retired the request. `size` is the
+  // last fragment's value size; for multi-fragment replies the oracle
+  // uses the bytes accumulated via OnClientFragment.
+  void OnClientAccept(Addr client, uint32_t seq, const Key& key,
+                      bool is_write, bool multi_frag, uint32_t size,
+                      uint64_t version);
+  // The client abandoned the request (hash-collision correction, retry
+  // budget exhausted, or Stop() retirement).
+  void OnClientDrop(Addr client, uint32_t seq);
+  // A version authority committed (key, size, version): the storage
+  // server's Put / first-touch synthesis, or the switch's write-back mint.
+  void OnCommit(const Key& key, uint32_t size, uint64_t version);
+  // The switch data plane was wiped. Under write-back this legally loses
+  // dirty versions (servers re-mint lower ones), so version lower bounds
+  // are relaxed from here on.
+  void OnSwitchReset();
+
+  // ---- switch invariants ------------------------------------------------
+  // Request-table ring state after a mutation at slot `idx`.
+  void OnQueueState(const char* where, uint32_t idx, uint32_t qlen,
+                    uint32_t front, uint32_t rear, uint32_t queue_size);
+
+  // ---- packet conservation ---------------------------------------------
+  // PoolObserver: called by the packet pool on every release. While armed,
+  // a packet returning to the pool without a terminal end reason is a
+  // silent drop.
+  void OnRelease(const sim::Packet& pkt) override;
+  void ArmPacketAccounting() { packet_accounting_ = true; }
+  // Call before teardown: destruction of the event queue and nodes
+  // legitimately releases still-in-flight packets unmarked.
+  void DisarmPacketAccounting() { packet_accounting_ = false; }
+
+  // ---- end of run -------------------------------------------------------
+  struct EndOfRun {
+    uint64_t pool_acquired = 0;  // allocated + recycled
+    uint64_t pool_released = 0;
+    // Packets legitimately still in flight when the run stopped: pending
+    // simulator deliveries plus packets riding server completion timers.
+    uint64_t expected_live = 0;
+    // Orbit census: recirculating packets vs valid cache entries. Set
+    // valid_entries to -1 (with a reason) when the configuration makes
+    // the count inexact (no-cloning, multi-packet, write-back, faults,
+    // recirculation drops, evictions).
+    int64_t recirc_in_flight = 0;
+    int64_t valid_entries = -1;
+    std::string orbit_skip_reason;
+    const rmt::Resources* resources = nullptr;  // null = no budget check
+  };
+  // Disarms packet accounting and runs the end-of-run checks.
+  void Finalize(const EndOfRun& end);
+
+  // ---- results ----------------------------------------------------------
+  void AddViolation(const std::string& check, const std::string& detail);
+  uint64_t violation_count() const { return violation_count_; }
+  bool ok() const { return violation_count_ == 0; }
+  // First violations, in event order (storage capped; the count is not).
+  const std::vector<Violation>& violations() const { return violations_; }
+  uint64_t allowed_stale() const { return allowed_stale_; }
+  uint64_t replies_checked() const { return replies_checked_; }
+  // Deterministic multi-line summary (checks run, counts, violations).
+  std::string Report() const;
+
+ private:
+  struct KeyState {
+    uint64_t cur = 0;      // highest committed version
+    uint64_t floor_v = 0;  // highest version observed by a completed op
+    // Committed version -> value size, pruned below the floor.
+    std::map<uint64_t, uint32_t> sizes;
+  };
+  struct PendingOp {
+    Key key;
+    bool is_write = false;
+    uint32_t write_size = 0;
+    uint64_t floor_at_send = 0;
+    uint64_t frag_bytes = 0;
+  };
+
+  static uint64_t OpKey(Addr client, uint32_t seq) {
+    return (static_cast<uint64_t>(client) << 32) | seq;
+  }
+  KeyState& StateOf(const Key& key) { return keys_[key]; }
+
+  VerifyOptions options_;
+  bool strict_versions_;        // epoch_guard && !write_back
+  bool reset_relaxed_ = false;  // a write-back switch reset happened
+  bool packet_accounting_ = false;
+
+  std::unordered_map<uint64_t, PendingOp> pending_;
+  std::unordered_map<Key, KeyState> keys_;
+
+  std::vector<Violation> violations_;
+  uint64_t violation_count_ = 0;
+  uint64_t allowed_stale_ = 0;
+  uint64_t replies_checked_ = 0;
+  uint64_t commits_seen_ = 0;
+  uint64_t queue_states_checked_ = 0;
+  uint64_t releases_checked_ = 0;
+  std::string orbit_note_;
+  bool finalized_ = false;
+
+  static constexpr size_t kMaxStoredViolations = 32;
+};
+
+}  // namespace orbit::verify

@@ -129,5 +129,62 @@ TEST(CompareResults, ExplicitMetricListAndDottedPaths) {
   EXPECT_TRUE(CompareResults(a, b, options).ok());
 }
 
+TEST(CompareResults, ZeroBaselineUsesLargerSideAsScale) {
+  // A metric that was 0 in the baseline and becomes 1.0 is a 100%
+  // relative difference (scale = max side), not a divide-by-zero pass.
+  const std::vector<MetricsRecord> a = {MakeRecord("e", "s", 0, 0.0)};
+  const std::vector<MetricsRecord> b = {MakeRecord("e", "s", 0, 1.0)};
+  CompareOptions options;
+  options.tolerance = 0.05;
+  options.slack = 0;
+  const CompareReport report = CompareResults(a, b, options);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.diffs.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.diffs[0].rel, 1.0);
+  // Two exact zeros agree under any tolerance, even with zero slack.
+  EXPECT_TRUE(CompareResults(a, a, options).ok());
+}
+
+TEST(CompareResults, AsymmetricMissingMetricFails) {
+  const std::vector<MetricsRecord> a = {MakeRecord("e", "s", 0, 1.0)};
+  std::vector<MetricsRecord> b = {MakeRecord("e", "s", 0, 1.0)};
+  // B's record lost rx_mrps entirely (e.g. a metric got renamed).
+  MetricsRecord stripped;
+  stripped.experiment = b[0].experiment;
+  stripped.point = b[0].point;
+  stripped.rep = b[0].rep;
+  stripped.seed = b[0].seed;
+  stripped.params = b[0].params;
+  stripped.metrics.Set("read_p99_us", 120.5);
+  b[0] = stripped;
+  const CompareReport report = CompareResults(a, b, CompareOptions{});
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.missing_metrics.size(), 1u);
+  EXPECT_NE(report.missing_metrics[0].find("rx_mrps"), std::string::npos);
+  // read_p99_us still compared; the loss is surfaced, not silently skipped.
+  EXPECT_EQ(report.metrics_compared, 1u);
+}
+
+TEST(CompareResults, MetricAbsentFromBothSidesIsASkip) {
+  // The default set includes metrics (sat_tx_mrps, ...) that not every
+  // experiment emits; absent-on-both-sides must stay a silent skip.
+  const std::vector<MetricsRecord> a = {MakeRecord("e", "s", 0, 1.0)};
+  const CompareReport report = CompareResults(a, a, CompareOptions{});
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.missing_metrics.empty());
+  EXPECT_EQ(report.metrics_compared, 2u);  // rx_mrps + read_p99_us only
+}
+
+TEST(CompareResults, VacuousComparisonIsNotAPass) {
+  const std::vector<MetricsRecord> a = {MakeRecord("e", "s", 0, 1.0)};
+  CompareOptions options;
+  options.metrics = {"no_such_metric"};  // e.g. a typo'd --metrics flag
+  const CompareReport report = CompareResults(a, a, options);
+  EXPECT_EQ(report.matched, 1u);
+  EXPECT_EQ(report.metrics_compared, 0u);
+  EXPECT_TRUE(report.vacuous());
+  EXPECT_FALSE(report.ok()) << "a gate that compared nothing must fail";
+}
+
 }  // namespace
 }  // namespace orbit::harness

@@ -290,5 +290,74 @@ TEST_F(ClientTest, DuplicateRepliesAreStray) {
   EXPECT_EQ(client_->stats().timeouts, 0u);
 }
 
+// Regression: SEQ allocation near the 32-bit wrap. Matching, duplicate
+// classification, and timeout accounting must be seamless across the
+// UINT32_MAX -> 1 rollover (0 stays reserved as "unset").
+TEST_F(ClientTest, SeqWraparoundKeepsMatchingSeamless) {
+  Build(20'000);
+  client_->set_next_seq_for_test(UINT32_MAX - 3);
+  sim_.RunUntil(2 * kMillisecond);  // ~40 sends, rolling through the wrap
+  EXPECT_GT(client_->stats().tx_requests, 10u);
+  EXPECT_EQ(client_->stats().rx_replies, client_->stats().tx_requests);
+  EXPECT_EQ(client_->stats().stray_replies, 0u);
+  EXPECT_EQ(client_->stats().timeouts, 0u);
+}
+
+// Regression: a recycled SEQ that is still live (what the wrap produces
+// when a slow request survives 2^32 sends) must not silently overwrite
+// the pending entry — that orphans the original request's accounting.
+TEST_F(ClientTest, RecycledSeqCannotOrphanALivePending) {
+  Build(20'000);
+  peer_->drop_all = true;          // every request stays pending
+  sim_.RunUntil(500 * kMicrosecond);
+  ASSERT_GT(client_->stats().tx_requests, 2u);
+  // SEQs 1..tx_requests are all live; restart allocation at 1.
+  client_->set_next_seq_for_test(1);
+  sim_.RunUntil(3 * kMillisecond);  // more sends, all inside the 5ms timeout
+  ASSERT_GT(client_->stats().tx_requests, 4u);
+  // Retire everything while nothing has timed out yet: every sent request
+  // must still be accounted for. An overwritten pending would vanish.
+  client_->Stop();
+  EXPECT_EQ(client_->stats().timeouts, 0u);
+  EXPECT_EQ(client_->stats().inflight_at_stop, client_->stats().tx_requests);
+}
+
+// A workload with an unbounded stream of distinct keys, for the staleness
+// tracking-map bound.
+class ManyKeysWorkload : public WorkloadSource {
+ public:
+  Request Next(Rng&) override {
+    Request req;
+    req.key = "distinct-key-" + std::to_string(counter_++);
+    req.hkey = HashKey128(req.key);
+    req.server = kServerAddr;
+    req.value_size = 64;
+    return req;
+  }
+
+ private:
+  uint64_t counter_ = 0;
+};
+
+// Regression: check_staleness used to grow last_version_ with every
+// distinct key forever; the map must respect staleness_max_keys.
+TEST(ClientStaleness, TrackingMapRespectsConfiguredBound) {
+  sim::Simulator sim;
+  sim::Network net{&sim};
+  ClientConfig cfg;
+  cfg.addr = kClientAddr;
+  cfg.rate_rps = 50'000;
+  cfg.seed = 3;
+  cfg.staleness_max_keys = 8;
+  auto client = std::make_unique<ClientNode>(
+      &sim, &net, 0, cfg, std::make_shared<ManyKeysWorkload>());
+  MockPeer peer(&sim, &net);
+  net.Connect(client.get(), &peer, sim::LinkConfig{});
+  client->Start();
+  sim.RunUntil(5 * kMillisecond);  // ~250 distinct keys stream through
+  EXPECT_GT(client->stats().rx_replies, 50u);
+  EXPECT_LE(client->staleness_tracked_keys(), 8u);
+}
+
 }  // namespace
 }  // namespace orbit::app

@@ -195,6 +195,58 @@ TEST(NetCache, WriteInvalidatesThenWriteReplyRefreshes) {
   EXPECT_EQ(read->msg.value.version(), 2u);
 }
 
+TEST(NetCache, LostNewestWriteReplyCannotRevalidateStaleValue) {
+  // The stale-revalidation race the verification swarm caught: two writes
+  // pass the switch (both invalidate), the first write's reply arrives and
+  // the second write's reply is lost. Revalidating from the first reply
+  // would pin the cache at the older version while the store holds the
+  // newer one — the entry must instead stay invalid so reads fall through.
+  NetRig rig(SmallConfig());
+  const Key key = "nckey-0000000014";
+  rig.CacheAndFetch(key, 0);
+  const uint32_t idx = *rig.program_->FindIdx(key);
+
+  auto make = [&](proto::Op op, uint8_t flag, uint32_t epoch, uint64_t ver) {
+    proto::Message msg;
+    msg.op = op;
+    msg.hkey = HashKey128(key);
+    msg.key = key;
+    msg.flag = flag;
+    msg.epoch = epoch;
+    if (op == proto::Op::kWriteRep) msg.value = kv::Value::Synthetic(32, ver);
+    return sim::MakePacket(kClientAddr, kServerAddr, 9000, kPort,
+                           std::move(msg));
+  };
+
+  // Both write requests pass the switch before either reply returns.
+  auto w1 = make(proto::Op::kWriteReq, 0, 0, 0);
+  auto w2 = make(proto::Op::kWriteReq, 0, 0, 0);
+  rig.program_->Ingress(*w1, rig.sw_);
+  rig.program_->Ingress(*w2, rig.sw_);
+  EXPECT_FALSE(rig.program_->IsValid(idx));
+
+  // The first write's reply (server version 2) echoes the older epoch; the
+  // second write's reply (version 3) is lost in transit.
+  auto rep1 = make(proto::Op::kWriteRep, w1->msg.flag, w1->msg.epoch, 2);
+  rig.program_->Ingress(*rep1, rig.sw_);
+  EXPECT_FALSE(rig.program_->IsValid(idx))
+      << "an overtaken reply revalidated the entry with a stale value";
+  EXPECT_EQ(rig.program_->stats().stale_revalidations, 1u);
+
+  // Reads fall through to the server (fresh data) instead of the cache.
+  rig.Send(proto::Op::kReadReq, key, 7);
+  rig.Settle();
+  ASSERT_NE(rig.FindReply(7), nullptr);
+  EXPECT_EQ(rig.FindReply(7)->msg.cached, 0);
+
+  // A current-epoch reply (a later write completing normally) recovers.
+  auto w3 = make(proto::Op::kWriteReq, 0, 0, 0);
+  rig.program_->Ingress(*w3, rig.sw_);
+  auto rep3 = make(proto::Op::kWriteRep, w3->msg.flag, w3->msg.epoch, 4);
+  rig.program_->Ingress(*rep3, rig.sw_);
+  EXPECT_TRUE(rig.program_->IsValid(idx));
+}
+
 TEST(NetCache, InvalidEntryReadsGoToServer) {
   NetRig rig(SmallConfig());
   const Key key = "nckey-0000000006";

@@ -10,8 +10,10 @@
 // With --counters the inputs are counter-snapshot JSONL files (from
 // --counters-out); snapshots match on (experiment, point, rep, t_ns) and
 // every counter/gauge is compared under the same tolerance rules.
-// Exit 0: match within tolerance. Exit 1: drift, missing records, or
-// asymmetric failures. Exit 2: usage / unreadable input.
+// Exit 0: match within tolerance. Exit 1: drift, missing records,
+// one-sided metric loss, or asymmetric failures. Exit 2: usage,
+// unreadable input, or nothing comparable (no selected metric present
+// in both files — a gate that compares nothing must not pass).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -208,5 +210,13 @@ int main(int argc, char** argv) {
 
   const auto report = orbit::harness::CompareResults(a, b, options);
   std::fputs(orbit::harness::FormatReport(report, options).c_str(), stdout);
+  // Comparing nothing is a usage error (typo'd --metrics, wrong files),
+  // not a drift verdict — exit 2 like the other "can't compare" cases.
+  if (report.vacuous()) {
+    std::fprintf(stderr,
+                 "no comparable metrics: none of the selected metric names "
+                 "appear in both files (see --metrics / --all-metrics)\n");
+    return 2;
+  }
   return report.ok() ? 0 : 1;
 }
