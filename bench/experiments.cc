@@ -1,6 +1,7 @@
 #include "bench/experiments.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 
@@ -767,6 +768,151 @@ ExperimentSpec FigFabric() {
   return spec;
 }
 
+ExperimentSpec FigFabricFailover() {
+  ExperimentSpec spec;
+  spec.name = "fig_fabric_failover";
+  spec.title =
+      "Fabric failover — collapse and recovery vs detection window (§3.9)";
+  // Per-rack building block: 4 servers + 2 clients per rack (half of
+  // fig_fabric's block, keeping the 8-rack timeline points affordable),
+  // at a fixed offered load above each rack's aggregate server capacity
+  // (4 × 100K): the workload is only sustainable while the per-leaf
+  // caches absorb the hot keys, so a leaf crash collapses that rack's
+  // delivered throughput until the survivors' top-up and the rebuild
+  // land. Two spines with static addr%2 routing mean a spine crash
+  // blackholes half of every rack's flows for exactly the failover
+  // detection window — the collapse depth is the window made visible.
+  spec.base.scheme = testbed::Scheme::kOrbitCache;
+  spec.base.topo.num_servers = 4;
+  spec.base.topo.num_clients = 2;
+  spec.base.topo.server_rate_rps = 100'000;
+  spec.base.topo.client_rate_rps = 500'000;
+  spec.base.cache.orbit_cache_size = 128;  // per leaf
+  spec.base.topo.fabric.num_spines = 2;
+  spec.base.topo.fabric.failover = true;
+  spec.base.topo.fabric.probe_interval = 100 * kMicrosecond;
+  spec.base.client.max_retries = 3;
+  spec.base.client.request_timeout = 5 * kMillisecond;
+  spec.scale_fn = [](testbed::TestbedConfig& cfg, harness::Scale scale) {
+    cfg.warmup = 0;  // the full timeline is the result
+    switch (scale) {
+      case harness::Scale::kFull:
+        cfg.duration = 3 * kSecond;
+        cfg.timeline_bin = 50 * kMillisecond;
+        break;
+      case harness::Scale::kDefault:
+        cfg.duration = 900 * kMillisecond;
+        cfg.timeline_bin = 20 * kMillisecond;
+        break;
+      case harness::Scale::kQuick:
+        cfg.duration = 300 * kMillisecond;
+        cfg.timeline_bin = 10 * kMillisecond;
+        break;
+    }
+  };
+  // Axis order: scenario (slowest) × detection window × rack count, so the
+  // table groups each fault's window sweep per rack count. Fault builders
+  // run after scaling and after the rack axis, so event times track the
+  // scaled window and rack targets are always in range.
+  spec.axes = {
+      harness::FaultAxis(
+          {{"spine-crash",
+            [](testbed::TestbedConfig& cfg) {
+              cfg.fault = fault::SpineCrashAt(/*spine=*/1, cfg.duration / 3,
+                                              /*restart_at=*/2 * cfg.duration /
+                                                  3);
+            }},
+           {"leaf-crash",
+            [](testbed::TestbedConfig& cfg) {
+              cfg.fault = fault::LeafCrashAt(
+                  /*rack=*/0, cfg.duration / 3,
+                  /*restart_at=*/2 * cfg.duration / 3,
+                  /*rebuild_delay=*/cfg.duration / 20);
+            }}}),
+      harness::NumericAxis("detection_window_ms", {0.5, 2, 8},
+                           [](testbed::TestbedConfig& cfg, double v) {
+                             cfg.topo.fabric.detection_window =
+                                 static_cast<SimTime>(v * kMillisecond);
+                           }),
+      harness::FabricRackAxis({2, 4, 8}, /*servers_per_rack=*/4,
+                              /*clients_per_rack=*/2)};
+  spec.run = [](const harness::PointRun& p, harness::SaturationCache&) {
+    const testbed::TestbedResult res = testbed::RunTestbed(p.config);
+    testbed::ResultMetricsOptions opts;
+    opts.include_timelines = true;
+    JsonValue metrics = testbed::ResultMetrics(res, opts);
+    metrics.Set("window_s", static_cast<double>(p.config.duration) / kSecond);
+    metrics.Set("timeline_bin_s",
+                static_cast<double>(p.config.timeline_bin) / kSecond);
+
+    // Recovery analysis on the throughput timeline, as in fig_failures but
+    // with the acceptance threshold at 95% of the pre-fault baseline:
+    // failover + degradation should restore ≥95% within the detection
+    // window plus the rebuild delay. Baseline = mean of the pre-fault bins
+    // (skipping bin 0's cold start); recovered = two consecutive bins back
+    // at ≥95% of baseline.
+    const SimTime bin = p.config.timeline_bin;
+    const SimTime fault_at = p.config.fault.events.front().at;
+    const size_t fault_bin = static_cast<size_t>(fault_at / bin);
+    const auto& tl = res.throughput_timeline;
+    double baseline = 0;
+    size_t n_base = 0;
+    for (size_t i = 1; i < fault_bin && i < tl.size(); ++i) {
+      baseline += tl[i];
+      ++n_base;
+    }
+    if (n_base > 0) baseline /= static_cast<double>(n_base);
+    double min_tput = baseline;
+    for (size_t i = fault_bin; i < tl.size(); ++i)
+      min_tput = std::min(min_tput, tl[i]);
+    double recovery_ms = -1;  // -1 = did not recover inside the window
+    for (size_t i = fault_bin; i + 1 < tl.size(); ++i) {
+      if (tl[i] >= 0.95 * baseline && tl[i + 1] >= 0.95 * baseline) {
+        recovery_ms = static_cast<double>(static_cast<SimTime>(i + 1) * bin -
+                                          fault_at) /
+                      kMillisecond;
+        break;
+      }
+    }
+    metrics.Set("fault_at_ms", static_cast<double>(fault_at) / kMillisecond);
+    metrics.Set("baseline_mrps", baseline / 1e6);
+    metrics.Set("collapse_frac",
+                baseline > 0 ? 1.0 - min_tput / baseline : 0.0);
+    metrics.Set("recovery_ms", recovery_ms);
+    return metrics;
+  };
+  spec.include_timelines = true;
+  spec.table_metrics = {"rx_mrps",      "collapse_frac",      "recovery_ms",
+                        "reroutes",     "blackholed_packets", "retransmissions",
+                        "retries_exhausted"};
+  spec.epilogue = [](const std::vector<MetricsRecord>& rs) {
+    const auto param = [](const MetricsRecord& r, const char* name) {
+      for (const auto& [k, v] : r.params)
+        if (k == name) return v;
+      return std::string();
+    };
+    for (const auto& r : rs) {
+      if (!r.ok()) continue;
+      const std::string recovery =
+          r.Metric("recovery_ms") < 0
+              ? "none"
+              : std::to_string(static_cast<int>(r.Metric("recovery_ms"))) +
+                    "ms";
+      std::printf(
+          "  %s window=%sms racks=%s: collapse %.0f%%, recovery %s, "
+          "%" PRIu64 " reroutes, %" PRIu64 " blackholed\n",
+          param(r, "fault").c_str(), param(r, "detection_window_ms").c_str(),
+          param(r, "racks").c_str(), 100 * r.Metric("collapse_frac"),
+          recovery.c_str(), static_cast<uint64_t>(r.Metric("reroutes")),
+          static_cast<uint64_t>(r.Metric("blackholed_packets")));
+    }
+    std::printf("(spine-crash recovery rides the detection window: shorter "
+                "windows reroute sooner and blackhole less; leaf-crash "
+                "recovery adds the controller's rebuild delay)\n");
+  };
+  return spec;
+}
+
 std::vector<harness::ExperimentSpec> AllExperiments() {
   return {MotivationCacheability(),
           Fig09Skewness(),
@@ -790,7 +936,8 @@ std::vector<harness::ExperimentSpec> AllExperiments() {
           // Appended last so earlier experiments keep their record slots
           // in existing baselines.
           FigFailures(),
-          FigFabric()};
+          FigFabric(),
+          FigFabricFailover()};
 }
 
 }  // namespace orbit::benchexp

@@ -39,6 +39,10 @@ harness::ExperimentSpec FigFailures();
 // Leaf–spine scale-out (src/fabric/): aggregate saturated throughput and
 // p99 latency versus rack count and skew, NoCache vs per-leaf OrbitCache.
 harness::ExperimentSpec FigFabric();
+// Fabric fault tolerance: throughput collapse depth and recovery time
+// under spine and leaf crashes versus the failover detection window,
+// across 2/4/8 racks (probe-based rerouting + graceful cache degradation).
+harness::ExperimentSpec FigFabricFailover();
 
 // Registration order is the suite order and the JSONL record order.
 std::vector<harness::ExperimentSpec> AllExperiments();

@@ -1,0 +1,10 @@
+// Fabric fault tolerance: collapse depth and recovery time under spine
+// and leaf crashes, versus the failover detection window, across 2/4/8
+// racks. Spec commentary lives on FigFabricFailover() in experiments.cc.
+#include "bench/experiments.h"
+#include "harness/cli.h"
+
+int main(int argc, char** argv) {
+  return orbit::harness::HarnessMain({orbit::benchexp::FigFabricFailover()},
+                                     argc, argv);
+}

@@ -24,6 +24,7 @@
 namespace {
 
 using orbit::Rng;
+using orbit::kMicrosecond;
 using orbit::kMillisecond;
 using orbit::SimTime;
 namespace fault = orbit::fault;
@@ -35,6 +36,13 @@ orbit::harness::Flags MakeFlags() {
   flags.AddUint64("seed", 1, "N", "swarm base seed (default 1)");
   flags.AddInt("point", -1, "I",
                "run only point index I (reproduce a reported failure)");
+  flags.AddBool("fabric",
+                "randomize leaf-spine fabric points (racks, spines, failover) "
+                "with the fabric fault taxonomy instead of single-switch "
+                "points");
+  flags.AddBool("fail_fast",
+                "abort a point at its first verifier violation (CI chaos "
+                "profile); the abort is reported like any other failure");
   flags.AddBool("verbose", "print every point's config, not just failures");
   flags.AddBool("help", "this message").Alias("-h");
   return flags;
@@ -126,6 +134,99 @@ testbed::TestbedConfig RandomConfig(Rng& rng) {
   return cfg;
 }
 
+// One randomized leaf–spine point (--fabric): a small fabric with the
+// fabric fault taxonomy — uplink down/up, leaf and spine crashes, gray
+// links, rack partitions, bursty uplinks — and probe-based failover on
+// half the points. A separate generator keeps the default point stream
+// byte-identical, so existing `swarm --seed S --point I` reproductions
+// are unaffected by the fabric axis.
+testbed::TestbedConfig RandomFabricConfig(Rng& rng) {
+  testbed::TestbedConfig cfg;
+
+  switch (rng.UniformU64(4)) {
+    case 0: cfg.scheme = testbed::Scheme::kNoCache; break;
+    case 1: cfg.scheme = testbed::Scheme::kNetCache; break;
+    default: cfg.scheme = testbed::Scheme::kOrbitCache; break;
+  }
+
+  const int racks = 2 << rng.UniformU64(2);  // 2, 4, 8
+  const int spines = 1 + static_cast<int>(rng.UniformU64(2));
+  const int servers_per_rack = 2 << rng.UniformU64(2);  // 2, 4, 8
+  cfg.topo.fabric.num_racks = racks;
+  cfg.topo.fabric.num_spines = spines;
+  cfg.topo.num_servers = racks * servers_per_rack;
+  cfg.topo.num_clients = racks;  // one client per rack
+  cfg.topo.server_rate_rps = 10'000 * (1 + rng.UniformU64(4));
+  cfg.topo.client_rate_rps =
+      cfg.topo.server_rate_rps * cfg.topo.num_servers *
+      (0.5 + 1.5 * rng.UniformDouble());  // under- to over-saturated
+
+  // Failover on half the points: faults then exercise detection +
+  // rerouting; without it the same faults exercise blackhole accounting.
+  if (rng.UniformU64(2) == 0) {
+    cfg.topo.fabric.failover = true;
+    cfg.topo.fabric.probe_interval = 100 * kMicrosecond;
+    cfg.topo.fabric.detection_window =
+        static_cast<SimTime>(1 + rng.UniformU64(4)) * 500 * kMicrosecond;
+  }
+
+  cfg.workload.num_keys = 20'000 * (1 + rng.UniformU64(5));
+  const double thetas[] = {0.0, 0.5, 0.9, 0.99};
+  cfg.workload.zipf_theta = thetas[rng.UniformU64(4)];
+  const double write_ratios[] = {0.0, 0.0, 0.05, 0.2, 0.5};
+  cfg.workload.write_ratio = write_ratios[rng.UniformU64(5)];
+
+  cfg.cache.orbit_cache_size = size_t{8} << rng.UniformU64(4);  // per leaf
+  cfg.cache.orbit_capacity = 128;
+  cfg.cache.orbit_queue_size = size_t{2} << rng.UniformU64(3);
+  cfg.cache.netcache_size = 500 * (1 + rng.UniformU64(2));
+
+  cfg.client.max_retries = static_cast<int>(rng.UniformU64(3));
+  cfg.client.request_timeout = 10 * kMillisecond;
+
+  cfg.warmup = 10 * kMillisecond;
+  cfg.duration = (30 + 10 * rng.UniformU64(3)) * kMillisecond;
+
+  // Fabric fault axis. Faults land inside the measurement window and heal
+  // before it ends, so the oracle sees outage, failover, and recovery.
+  const SimTime mid = cfg.warmup + cfg.duration / 3;
+  const SimTime heal = cfg.warmup + 2 * cfg.duration / 3;
+  const int rack = static_cast<int>(rng.UniformU64(static_cast<uint64_t>(racks)));
+  const int spine =
+      static_cast<int>(rng.UniformU64(static_cast<uint64_t>(spines)));
+  switch (rng.UniformU64(7)) {
+    case 0:
+      break;  // fault-free fabric point
+    case 1:
+      cfg.fault = fault::FabricLinkDownAt(rack, spine, mid, heal);
+      break;
+    case 2:
+      cfg.fault = fault::LeafCrashAt(rack, mid, heal,
+                                     /*rebuild_delay=*/2 * kMillisecond);
+      break;
+    case 3:
+      cfg.fault = fault::SpineCrashAt(spine, mid, heal);
+      break;
+    case 4:
+      cfg.fault = fault::LinkDegradeAt(
+          rack, spine, /*dir=*/static_cast<int>(rng.UniformU64(2)),
+          /*loss=*/0.3, /*extra_latency=*/20 * kMicrosecond, mid, heal);
+      break;
+    case 5:
+      cfg.fault = fault::RackPartitionAt(rack, mid, heal);
+      break;
+    default:
+      cfg.fault.fabric_burst_loss.p_enter_bad = 0.01;
+      cfg.fault.fabric_burst_loss.p_exit_bad = 0.2;
+      cfg.fault.fabric_burst_loss.loss_bad = 0.5;
+      break;
+  }
+
+  cfg.verify.enabled = true;
+  cfg.verify.fail_fast = false;  // main() flips this under --fail_fast
+  return cfg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,13 +237,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (flags.GetBool("help")) {
-    std::fprintf(stderr, "usage: swarm [--points N] [--seed N] [--point I]\n%s",
+    std::fprintf(stderr,
+                 "usage: swarm [--points N] [--seed N] [--point I] [--fabric] "
+                 "[--fail_fast]\n%s",
                  MakeFlags().Usage().c_str());
     return 0;
   }
   const int points = flags.GetInt("points");
   const uint64_t base_seed = flags.GetUint64("seed");
   const int only_point = flags.GetInt("point");
+  const bool fabric = flags.GetBool("fabric");
+  const bool fail_fast = flags.GetBool("fail_fast");
   const bool verbose = flags.GetBool("verbose");
   if (points < 1) {
     std::fprintf(stderr, "bad --points value: %s\n", flags.Raw("points").c_str());
@@ -161,7 +266,9 @@ int main(int argc, char** argv) {
     // Seed the point generator and the testbed from disjoint streams so
     // adding config axes never reshuffles the workloads of later points.
     Rng rng(base_seed * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(i));
-    testbed::TestbedConfig cfg = RandomConfig(rng);
+    testbed::TestbedConfig cfg =
+        fabric ? RandomFabricConfig(rng) : RandomConfig(rng);
+    if (fail_fast) cfg.verify.fail_fast = true;
     cfg.seed = base_seed ^ (0xabcd0000ull + static_cast<uint64_t>(i));
     ++ran;
 
@@ -187,9 +294,9 @@ int main(int argc, char** argv) {
     }
     if (violations > 0) {
       ++failures;
-      std::printf("  reproduce: swarm --seed %llu --point %d\n%s\n",
+      std::printf("  reproduce: swarm --seed %llu --point %d%s\n%s\n",
                   static_cast<unsigned long long>(base_seed), i,
-                  report.c_str());
+                  fabric ? " --fabric" : "", report.c_str());
     }
   }
 

@@ -201,6 +201,7 @@ void ClientNode::OnDeadline(uint32_t seq, int attempt) {
     return;
   }
   ++stats_.timeouts;
+  if (config_.max_retries > 0) ++stats_.retries_exhausted;
   if (tracer_ != nullptr && pending.trace_id != 0)
     tracer_->Span(track_, pending.trace_id, "request", pending.sent_at,
                   sim_->now() - pending.sent_at, "timeout");
@@ -377,6 +378,8 @@ void ClientNode::RegisterTelemetry(telemetry::Registry& reg,
   reg.AddCounter(prefix + ".timeouts", [this] { return stats_.timeouts; }, who);
   reg.AddCounter(prefix + ".retransmissions",
                  [this] { return stats_.retransmissions; }, who);
+  reg.AddCounter(prefix + ".retries_exhausted",
+                 [this] { return stats_.retries_exhausted; }, who);
   reg.AddCounter(prefix + ".inflight_at_stop",
                  [this] { return stats_.inflight_at_stop; }, who);
   reg.AddCounter(prefix + ".collisions", [this] { return stats_.collisions; },

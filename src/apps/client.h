@@ -134,6 +134,11 @@ class ClientNode : public sim::Node, public sim::TimerHandler {
     uint64_t collisions = 0;   // CRN-REQs triggered
     uint64_t timeouts = 0;     // retry budget exhausted, request given up
     uint64_t retransmissions = 0;
+    // Timeouts where a retry budget existed and was fully spent
+    // (max_retries > 0). Distinguishes "gave up after retrying" from the
+    // timeout-only configs where every deadline expiry is a timeout; any
+    // fault-free run must keep this at zero.
+    uint64_t retries_exhausted = 0;
     uint64_t inflight_at_stop = 0;  // pending when Stop() was called
     uint64_t stray_replies = 0;
     uint64_t stale_reads = 0;  // coherence violations observed

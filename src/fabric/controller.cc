@@ -20,6 +20,9 @@ FabricController::FabricController(
   ORBIT_CHECK_MSG(static_cast<int>(server_addrs_.size()) % racks == 0,
                   "servers must split evenly across racks");
   ORBIT_CHECK(scheme_ != testbed::Scheme::kNoCache);
+  degraded_.assign(static_cast<size_t>(racks), false);
+  standby_.assign(static_cast<size_t>(racks), {});
+  installed_extras_.assign(static_cast<size_t>(racks), {});
 
   for (int r = 0; r < racks; ++r) {
     const Addr addr = controller_addr(r);
@@ -48,14 +51,23 @@ void FabricController::PreloadTopKeys(
     const std::function<bool(const Key&)>& admit) {
   const size_t racks = static_cast<size_t>(num_racks());
   std::vector<std::vector<Key>> groups(racks);
+  // full counts (preload set, standby list) pairs that reached per_leaf;
+  // the scan stops once both are complete for every rack or ranks run out.
   size_t full = 0;
-  for (uint64_t rank = 0; rank < max_rank && full < racks; ++rank) {
+  for (uint64_t rank = 0; rank < max_rank && full < 2 * racks; ++rank) {
     Key key = keyspace.KeyAtRank(rank);
     if (admit && !admit(key)) continue;
-    auto& group = groups[static_cast<size_t>(RackOfKey(key))];
-    if (group.size() >= per_leaf) continue;
-    group.push_back(std::move(key));
-    if (group.size() == per_leaf) ++full;
+    const auto r = static_cast<size_t>(RackOfKey(key));
+    auto& group = groups[r];
+    if (group.size() < per_leaf) {
+      group.push_back(std::move(key));
+      if (group.size() == per_leaf) ++full;
+      continue;
+    }
+    auto& standby = standby_[r];
+    if (standby.size() >= per_leaf) continue;
+    standby.push_back(std::move(key));
+    if (standby.size() == per_leaf) ++full;
   }
   for (size_t r = 0; r < racks; ++r) {
     if (groups[r].empty()) continue;
@@ -75,6 +87,93 @@ size_t FabricController::TotalCacheSize() const {
   size_t total = 0;
   for (const auto& c : orbit_ctrls_) total += c->current_cache_size();
   return total;
+}
+
+bool FabricController::AnyDegraded() const {
+  for (const bool d : degraded_)
+    if (d) return true;
+  return false;
+}
+
+size_t FabricController::degraded_leaves() const {
+  size_t n = 0;
+  for (const bool d : degraded_)
+    if (d) ++n;
+  return n;
+}
+
+void FabricController::OnLeafDown(int rack) {
+  const auto down = static_cast<size_t>(rack);
+  ORBIT_CHECK(down < degraded_.size());
+  if (degraded_[down]) return;
+  degraded_[down] = true;
+  ++stats_.leaf_down_events;
+  // Top up every non-degraded leaf with its own rack's standby keys.
+  // Installing per key (rather than one batch) records exactly which keys
+  // went in, so OnLeafUp withdraws only what this path added.
+  for (size_t r = 0; r < degraded_.size(); ++r) {
+    if (degraded_[r] || !installed_extras_[r].empty()) continue;
+    for (const Key& key : standby_[r]) {
+      const size_t installed =
+          scheme_ == testbed::Scheme::kOrbitCache
+              ? orbit_ctrls_[r]->InstallExtra({key})
+              : net_ctrls_[r]->InstallExtra({key});
+      if (installed == 1) {
+        installed_extras_[r].push_back(key);
+        ++stats_.extra_keys_installed;
+      }
+    }
+  }
+}
+
+void FabricController::OnLeafUp(int rack) {
+  const auto up = static_cast<size_t>(rack);
+  ORBIT_CHECK(up < degraded_.size());
+  if (!degraded_[up]) return;
+  degraded_[up] = false;
+  ++stats_.leaf_up_events;
+  if (AnyDegraded()) return;  // another leaf still in bypass; keep extras
+  for (size_t r = 0; r < installed_extras_.size(); ++r) {
+    for (const Key& key : installed_extras_[r]) {
+      const bool withdrawn = scheme_ == testbed::Scheme::kOrbitCache
+                                 ? orbit_ctrls_[r]->WithdrawKey(key)
+                                 : net_ctrls_[r]->WithdrawKey(key);
+      if (withdrawn) ++stats_.extra_keys_withdrawn;
+    }
+    installed_extras_[r].clear();
+  }
+}
+
+void FabricController::RebuildLeaf(int rack) {
+  const auto r = static_cast<size_t>(rack);
+  ORBIT_CHECK(r < degraded_.size());
+  ++stats_.leaf_rebuilds;
+  if (scheme_ == testbed::Scheme::kOrbitCache)
+    orbit_ctrls_[r]->RebuildCache();
+  else
+    net_ctrls_[r]->RebuildCache();
+}
+
+void FabricController::RegisterTelemetry(telemetry::Registry& reg) {
+  const std::string who = "FabricController::RegisterTelemetry";
+  reg.AddCounter(
+      "fabric.ctrl.leaf_down_events",
+      [this] { return stats_.leaf_down_events; }, who);
+  reg.AddCounter(
+      "fabric.ctrl.leaf_up_events", [this] { return stats_.leaf_up_events; },
+      who);
+  reg.AddCounter(
+      "fabric.ctrl.extra_keys_installed",
+      [this] { return stats_.extra_keys_installed; }, who);
+  reg.AddCounter(
+      "fabric.ctrl.extra_keys_withdrawn",
+      [this] { return stats_.extra_keys_withdrawn; }, who);
+  reg.AddCounter(
+      "fabric.ctrl.leaf_rebuilds", [this] { return stats_.leaf_rebuilds; },
+      who);
+  reg.AddGauge(
+      "fabric.ctrl.degraded_leaves",
+      [this] { return static_cast<uint64_t>(degraded_leaves()); }, who);
 }
 
 }  // namespace orbit::fabric

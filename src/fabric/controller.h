@@ -22,6 +22,7 @@
 #include "kv/partition.h"
 #include "netcache/controller.h"
 #include "orbitcache/controller.h"
+#include "telemetry/counters.h"
 #include "testbed/constants.h"
 #include "testbed/testbed.h"
 #include "workload/keyspace.h"
@@ -72,7 +73,9 @@ class FabricController {
 
   // Walks popularity ranks 0.. and deals each key passing `admit` (null =
   // admit all) to its owning leaf until every leaf holds `per_leaf` keys
-  // or `max_rank` ranks were scanned, then preloads each leaf.
+  // or `max_rank` ranks were scanned, then preloads each leaf. Keeps
+  // scanning past the preload set to stash up to `per_leaf` next-hottest
+  // keys per rack as the degraded-mode standby list (OnLeafDown).
   void PreloadTopKeys(const wl::KeySpace& keyspace, size_t per_leaf,
                       uint64_t max_rank,
                       const std::function<bool(const Key&)>& admit);
@@ -83,13 +86,50 @@ class FabricController {
   // Sum of per-leaf dynamic-sizing outcomes (kOrbitCache only).
   size_t TotalCacheSize() const;
 
+  // Graceful degradation (PR 10). OnLeafDown marks `rack`'s preload set
+  // invalid (its leaf is in bypass; nothing caches its keys — caching them
+  // on another rack's leaf would break write coherence, since writes no
+  // longer traverse a caching switch) and tops up every surviving leaf
+  // with its own rack's standby keys. OnLeafUp clears the mark; once no
+  // leaf is degraded the extras are withdrawn and the fabric returns to
+  // its per-leaf budget. RebuildLeaf re-installs and refetches `rack`'s
+  // tracked entries after its wiped data plane comes back (scheme
+  // dispatch over the per-leaf controllers).
+  void OnLeafDown(int rack);
+  void OnLeafUp(int rack);
+  void RebuildLeaf(int rack);
+  bool leaf_degraded(int rack) const {
+    return degraded_[static_cast<size_t>(rack)];
+  }
+  size_t degraded_leaves() const;
+
+  struct Stats {
+    uint64_t leaf_down_events = 0;
+    uint64_t leaf_up_events = 0;
+    uint64_t extra_keys_installed = 0;   // degraded-mode top-ups
+    uint64_t extra_keys_withdrawn = 0;
+    uint64_t leaf_rebuilds = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Registers fabric.ctrl.* degradation counters plus a degraded-leaves
+  // gauge against `reg`.
+  void RegisterTelemetry(telemetry::Registry& reg);
+
  private:
+  bool AnyDegraded() const;
   FabricTopology* topo_;
   const kv::Partitioner* partitioner_;
   std::vector<Addr> server_addrs_;
   testbed::Scheme scheme_;
   std::vector<std::unique_ptr<oc::Controller>> orbit_ctrls_;
   std::vector<std::unique_ptr<nc::NetController>> net_ctrls_;
+
+  // Degradation state (sized to num_racks by the constructor).
+  std::vector<bool> degraded_;
+  std::vector<std::vector<Key>> standby_;          // next-hottest, per rack
+  std::vector<std::vector<Key>> installed_extras_;  // currently topped up
+  Stats stats_;
 };
 
 }  // namespace orbit::fabric

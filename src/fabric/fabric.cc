@@ -7,7 +7,9 @@
 #include "apps/server.h"
 #include "common/check.h"
 #include "fabric/controller.h"
+#include "fabric/failover.h"
 #include "fabric/topology.h"
+#include "fault/fault.h"
 #include "kv/partition.h"
 #include "netcache/program.h"
 #include "nocache/program.h"
@@ -22,6 +24,7 @@
 #include "telemetry/trace.h"
 #include "testbed/constants.h"
 #include "testbed/workload_source.h"
+#include "verify/verify.h"
 #include "workload/dynamic.h"
 
 namespace orbit::fabric {
@@ -35,8 +38,26 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
   const int racks = fb.num_racks;
   const int per_rack = config.topo.num_servers / racks;
 
+  // The verifier is declared before the simulator on purpose: teardown of
+  // the event queue and pool releases packets, and the pool's observer
+  // pointer must stay valid through that (the calls are no-ops once
+  // Finalize() disarms accounting — including on exception unwind).
+  std::unique_ptr<verify::Verifier> verifier;
+  if (config.verify.enabled) {
+    verify::VerifyOptions vopt;
+    vopt.epoch_guard = config.scheme != testbed::Scheme::kOrbitCache ||
+                       config.cache.epoch_guard;
+    vopt.write_back = config.scheme == testbed::Scheme::kOrbitCache &&
+                      config.cache.write_back;
+    verifier = std::make_unique<verify::Verifier>(vopt);
+  }
+
   sim::Simulator sim;
   sim::Network net(&sim);
+  if (verifier != nullptr) {
+    sim.packet_pool().set_observer(verifier.get());
+    verifier->ArmPacketAccounting();
+  }
 
   // ---- switches (leaves + spines + uplink mesh) ---------------------------
   TopologySpec tspec;
@@ -45,6 +66,10 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
   tspec.asic = config.topo.asic;
   tspec.uplink.rate_gbps = fb.uplink_gbps;
   tspec.uplink.propagation = fb.uplink_delay;
+  // Scheduled burst loss rides on every uplink; the topology's Connect
+  // calls decorrelate the per-link RNG seeds.
+  tspec.uplink.burst_loss = config.fault.fabric_burst_loss;
+  tspec.uplink.loss_seed = config.seed;
   FabricTopology topo(&sim, &net, tspec);
 
   auto size_fn = testbed::MakeValueSizeFn(config);
@@ -123,7 +148,9 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
       config.control.run_cache_updates;
   std::vector<std::unique_ptr<app::ServerNode>> servers;
   std::vector<Addr> server_addrs;
+  std::vector<sim::Link*> server_links;  // fault-injection handles
   servers.reserve(static_cast<size_t>(config.topo.num_servers));
+  server_links.reserve(static_cast<size_t>(config.topo.num_servers));
   for (int i = 0; i < config.topo.num_servers; ++i) {
     const int rack = i / per_rack;
     app::ServerConfig scfg;
@@ -141,11 +168,13 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
     sim::LinkConfig lc;
     lc.rate_gbps = config.topo.server_link_gbps;
     lc.propagation = config.topo.link_delay;
+    lc.burst_loss = config.fault.server_burst_loss;
     lc.loss_seed = config.seed;
     auto node = std::make_unique<app::ServerNode>(&sim, &net, /*port=*/0,
                                                   scfg, size_fn);
     const auto at = topo.AttachHost(node.get(), scfg.addr, rack, lc);
     ORBIT_CHECK(at.port_a == 0);
+    server_links.push_back(at.link);
     servers.push_back(std::move(node));
     register_clone_target(scfg.addr);
   }
@@ -171,6 +200,12 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
     ORBIT_CHECK(at.port_a == 0);
     register_clone_target(ccfg.addr);
     clients.push_back(std::move(node));
+  }
+
+  if (verifier != nullptr) {
+    for (auto& p : orbits) p->SetVerifier(verifier.get());
+    for (auto& s : servers) s->SetVerifier(verifier.get());
+    for (auto& c : clients) c->SetVerifier(verifier.get());
   }
 
   // ---- control plane (one rack-scoped controller per leaf) ---------------
@@ -208,6 +243,100 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
     }
   }
 
+  // ---- failure detection & rerouting --------------------------------------
+  // Opt-in (probes share uplink bandwidth with data): per-uplink liveness
+  // probing from the leaf side, ECMP-style next-hop recomputation around
+  // dead links, blackhole accounting when no path survives.
+  std::unique_ptr<FailoverManager> failover;
+  if (fb.failover) {
+    FailoverConfig focfg;
+    focfg.probe_interval = fb.probe_interval;
+    focfg.detection_window = fb.detection_window;
+    failover = std::make_unique<FailoverManager>(&sim, &topo, focfg);
+    // Keep PRE clone targets in lockstep with the L3 table: a rerouted
+    // address's cache packets must fork toward the new uplink.
+    failover->set_route_update_hook(
+        [&orbit_ptrs](int rack, Addr addr, int port) {
+          auto* op = orbit_ptrs[static_cast<size_t>(rack)];
+          if (op != nullptr) op->UpdateCloneTarget(addr, port);
+        });
+  }
+
+  // ---- fault injection ----------------------------------------------------
+  // Fabric hooks: uplink down/degrade flips the Link, a spine crash downs
+  // all its uplinks at once, a rack partition downs all the rack's
+  // uplinks, and a leaf crash wipes that leaf's data plane and degrades it
+  // to transparent pass-through while the fabric controller tops up the
+  // survivors (graceful degradation).
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config.fault.events.empty()) {
+    fault::FaultHooks hooks;
+    hooks.set_server_link_down = [&server_links,
+                                  n = config.topo.num_servers](int s,
+                                                               bool down) {
+      ORBIT_CHECK_MSG(s >= 0 && s < n, "fault targets unknown server " << s);
+      server_links[static_cast<size_t>(s)]->set_down(down);
+    };
+    hooks.set_fabric_link_down = [&topo](int r, int s, bool down) {
+      topo.uplink(r, s)->set_down(down);
+    };
+    hooks.set_fabric_link_degrade = [&topo](int r, int s, int dir,
+                                            double loss, SimTime lat) {
+      topo.uplink(r, s)->SetDegrade(dir, loss, lat);
+    };
+    hooks.set_spine_down = [&topo, racks](int s, bool down) {
+      for (int r = 0; r < racks; ++r) topo.uplink(r, s)->set_down(down);
+    };
+    hooks.set_rack_partition = [&topo, spines = fb.num_spines](
+                                   int r, bool partitioned) {
+      for (int s = 0; s < spines; ++s)
+        topo.uplink(r, s)->set_down(partitioned);
+    };
+    // Leaf crash: wipe the data plane *before* entering bypass so the
+    // device's recirculation barrier retires every orbiting cache packet,
+    // then pass everything through (NoCache forwarding). The fabric
+    // controller invalidates the rack's preload set and redistributes.
+    hooks.set_leaf_down = [&orbit_ptrs, &net_ptrs, &fab_ctrl](int r,
+                                                              bool down) {
+      auto* op = orbit_ptrs[static_cast<size_t>(r)];
+      auto* np = net_ptrs[static_cast<size_t>(r)];
+      if (down) {
+        if (op != nullptr) {
+          op->ResetDataPlane();
+          op->set_bypass(true);
+        }
+        if (np != nullptr) {
+          np->ResetDataPlane();
+          np->set_bypass(true);
+        }
+        if (fab_ctrl != nullptr) fab_ctrl->OnLeafDown(r);
+      } else {
+        if (op != nullptr) op->set_bypass(false);
+        if (np != nullptr) np->set_bypass(false);
+        if (fab_ctrl != nullptr) fab_ctrl->OnLeafUp(r);
+      }
+    };
+    hooks.rebuild_leaf = [&fab_ctrl](int r) {
+      if (fab_ctrl != nullptr) fab_ctrl->RebuildLeaf(r);
+    };
+    // Whole-fabric switch reset (the single-switch kind): every leaf's
+    // data plane is wiped, every rack's controller rebuilds after the
+    // configured delay.
+    hooks.reset_switch = [&orbit_ptrs, &net_ptrs] {
+      for (auto* op : orbit_ptrs)
+        if (op != nullptr) op->ResetDataPlane();
+      for (auto* np : net_ptrs)
+        if (np != nullptr) np->ResetDataPlane();
+    };
+    if (fab_ctrl != nullptr) {
+      hooks.rebuild_cache = [&fab_ctrl, racks] {
+        for (int r = 0; r < racks; ++r) fab_ctrl->RebuildLeaf(r);
+      };
+    }
+    injector = std::make_unique<fault::FaultInjector>(&sim, config.fault,
+                                                      std::move(hooks));
+  }
+
   // ---- telemetry ----------------------------------------------------------
   // Mirrors the single-switch block; switch-scope counters get per-leaf /
   // per-spine prefixes, and trace tracks are named after the devices, so a
@@ -240,6 +369,8 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
         topo.spine(s).SetFlightRecorder(flight.get());
       for (auto& srv : servers) srv->SetFlightRecorder(flight.get());
       for (auto& c : clients) c->SetFlightRecorder(flight.get());
+      if (injector != nullptr) injector->SetFlightRecorder(flight.get());
+      if (failover != nullptr) failover->SetFlightRecorder(flight.get());
       check_hook = std::make_unique<ScopedCheckFailureHook>(
           [&flight, &sim, cap = config.telemetry.capture](
               const std::string& what) {
@@ -291,6 +422,10 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
         case sim::DropReason::kLinkDown: ++*drop_down; break;
       }
     });
+    if (injector != nullptr)
+      injector->RegisterTelemetry(registry.get(), tracer.get());
+    if (failover != nullptr) failover->RegisterTelemetry(registry.get());
+    if (fab_ctrl != nullptr) fab_ctrl->RegisterTelemetry(*registry);
   }
 
   // ---- preload ------------------------------------------------------------
@@ -320,6 +455,8 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
   for (auto& s : servers) s->Start();
   for (auto& c : clients) c->Start();
   if (fab_ctrl != nullptr) fab_ctrl->Start();
+  if (failover != nullptr) failover->Start();
+  if (injector != nullptr) injector->Arm();
 
   std::unique_ptr<sim::PeriodicTask> overflow_sampler;
   std::unique_ptr<sim::PeriodicTask> telemetry_snapper;
@@ -441,7 +578,19 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
     res.stale_reads += c->stats().stale_reads;
     res.timeouts += c->stats().timeouts;
     res.retransmissions += c->stats().retransmissions;
+    res.retries_exhausted += c->stats().retries_exhausted;
     res.inflight_at_stop += c->stats().inflight_at_stop;
+  }
+  if (injector != nullptr) res.faults_injected = injector->stats().injected;
+  if (failover != nullptr) res.reroutes = failover->stats().reroutes;
+  // Packets discarded at down uplinks (blackholes, spine crashes,
+  // partitions) — counted whether or not failover is rerouting.
+  for (int r = 0; r < racks; ++r) {
+    for (int s = 0; s < fb.num_spines; ++s) {
+      const sim::Link* ul = topo.uplink(r, s);
+      res.blackholed_packets +=
+          ul->stats(0).down_drops + ul->stats(1).down_drops;
+    }
   }
   res.rx_rps = static_cast<double>(rx) / secs;
   res.tx_rps = static_cast<double>(tx - snap.client_tx) / secs;
@@ -541,6 +690,72 @@ TestbedResult RunFabricTestbed(const TestbedConfig& config) {
         flight->TriggerDump(sim.now(), "end of run");
       if (flight->HasDumps()) cap->flight_dump = flight->DumpText();
     }
+  }
+
+  // ---- verification -------------------------------------------------------
+  // Mirrors the single-switch epilogue with fabric-wide sums: conservation
+  // must balance across every leaf, spine, uplink, and blackholed packet.
+  if (verifier != nullptr) {
+    verify::Verifier::EndOfRun eor;
+    const sim::PacketPool::Stats& ps = sim.packet_pool().stats();
+    eor.pool_acquired = ps.allocated + ps.recycled;
+    eor.pool_released = ps.released;
+    uint64_t server_queued = 0;
+    for (auto& s : servers) server_queued += s->queue_depth();
+    eor.expected_live = sim.pending_deliveries() + server_queued;
+    int64_t recirc = 0;
+    for (int r = 0; r < racks; ++r)
+      recirc += static_cast<int64_t>(topo.leaf(r).stats().recirc_in_flight);
+    eor.recirc_in_flight = recirc;
+    std::string census_skip;
+    if (orbits.empty()) {
+      census_skip = "scheme has no orbiting cache packets";
+    } else if (!config.cache.enable_cloning) {
+      census_skip = "no-cloning ablation refetches instead of orbiting";
+    } else if (config.cache.multi_packet) {
+      census_skip = "multi-packet entries orbit fragment sets";
+    } else if (config.cache.write_back) {
+      census_skip = "write-back forks flush copies";
+    } else if (!config.fault.events.empty()) {
+      census_skip = "fault schedule may reset data-plane state";
+    } else if (config.workload.write_ratio > 0 ||
+               config.workload.twitter != nullptr) {
+      census_skip = "writes invalidate entries while packets still orbit";
+    } else if (sum_recirc_drops() > 0) {
+      census_skip = "recirculation ring dropped cache packets";
+    } else {
+      const auto s1 = sum_orbit_stats();
+      if (s1.cp_drop_evicted + s1.cp_drop_invalid + s1.cp_drop_epoch > 0)
+        census_skip = "cache packets were retired mid-run";
+    }
+    if (census_skip.empty() && fab_ctrl != nullptr) {
+      for (int r = 0; r < racks; ++r) {
+        const auto& cs = fab_ctrl->orbit(r)->stats();
+        if (cs.evictions > 0 || cs.fetch_retries > 0 ||
+            cs.fetch_failures > 0) {
+          census_skip = "controller evicted or re-fetched entries";
+          break;
+        }
+      }
+    }
+    if (census_skip.empty()) {
+      int64_t valid = 0;
+      for (const auto& p : orbits)
+        valid += static_cast<int64_t>(p->CountValidEntries());
+      eor.valid_entries = valid;
+    } else {
+      eor.valid_entries = -1;
+      eor.orbit_skip_reason = std::move(census_skip);
+    }
+    eor.resources = &topo.leaf(0).resources();
+    verifier->Finalize(eor);
+    sim.packet_pool().set_observer(nullptr);
+    res.verify_violations = verifier->violation_count();
+    res.verify_replies_checked = verifier->replies_checked();
+    res.verify_allowed_stale = verifier->allowed_stale();
+    res.verify_report = verifier->Report();
+    ORBIT_CHECK_MSG(!config.verify.fail_fast || verifier->ok(),
+                    "verification failed:\n" << res.verify_report);
   }
 
   return res;

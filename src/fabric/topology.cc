@@ -1,5 +1,7 @@
 #include "fabric/topology.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace orbit::fabric {
@@ -26,6 +28,9 @@ FabricTopology::FabricTopology(sim::Simulator* sim, sim::Network* net,
                            std::vector<int>(static_cast<size_t>(spec.num_spines), -1));
   spine_down_port_.assign(static_cast<size_t>(spec.num_spines),
                           std::vector<int>(static_cast<size_t>(spec.num_racks), -1));
+  uplinks_.assign(static_cast<size_t>(spec.num_racks),
+                  std::vector<sim::Link*>(static_cast<size_t>(spec.num_spines),
+                                          nullptr));
   for (int r = 0; r < spec.num_racks; ++r) {
     for (int s = 0; s < spec.num_spines; ++s) {
       const auto at = net_->Connect(leaves_[static_cast<size_t>(r)].get(),
@@ -35,8 +40,18 @@ FabricTopology::FabricTopology(sim::Simulator* sim, sim::Network* net,
           at.port_a;
       spine_down_port_[static_cast<size_t>(s)][static_cast<size_t>(r)] =
           at.port_b;
+      uplinks_[static_cast<size_t>(r)][static_cast<size_t>(s)] = at.link;
     }
   }
+}
+
+void FabricTopology::ForEachHost(
+    const std::function<void(Addr, int rack)>& fn) const {
+  std::vector<Addr> addrs;
+  addrs.reserve(hosts_.size());
+  for (const auto& [addr, entry] : hosts_) addrs.push_back(addr);
+  std::sort(addrs.begin(), addrs.end());
+  for (Addr addr : addrs) fn(addr, hosts_.at(addr).rack);
 }
 
 sim::Network::Attachment FabricTopology::AttachHost(

@@ -16,6 +16,7 @@
 // leaf routes it into the uplink toward the address's spine.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -62,6 +63,20 @@ class FabricTopology {
   // Rack the address was attached to (-1 if unknown).
   int RackOf(Addr addr) const;
 
+  // The (rack, spine) uplink and its port numbers — fault injection brings
+  // links down, the failover manager probes them and rewires next-hops.
+  sim::Link* uplink(int rack, int spine) const {
+    return uplinks_[static_cast<size_t>(rack)][static_cast<size_t>(spine)];
+  }
+  int leaf_uplink_port(int rack, int spine) const {
+    return leaf_uplink_port_[static_cast<size_t>(rack)]
+                            [static_cast<size_t>(spine)];
+  }
+
+  // Visits every attached host as (addr, owning rack), in address order —
+  // deterministic, so route recomputation is reproducible.
+  void ForEachHost(const std::function<void(Addr, int rack)>& fn) const;
+
  private:
   struct HostEntry {
     int rack = -1;
@@ -75,6 +90,7 @@ class FabricTopology {
   std::vector<std::unique_ptr<rmt::SwitchDevice>> spines_;
   std::vector<std::vector<int>> leaf_uplink_port_;  // [rack][spine] on leaf
   std::vector<std::vector<int>> spine_down_port_;   // [spine][rack] on spine
+  std::vector<std::vector<sim::Link*>> uplinks_;    // [rack][spine]
   std::unordered_map<Addr, HostEntry> hosts_;
 };
 

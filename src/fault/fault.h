@@ -17,10 +17,28 @@
 //       the controller rebuilds the cache from its shadow copy.
 //   kCtrlDown / kCtrlUp — the switch-CPU channel drops all controller
 //       traffic (fetches, reports, installs) until restored.
+//
+// Fabric fault taxonomy (leaf–spine topologies, PR 10):
+//   kFabricLinkDown / kFabricLinkUp — the (rack, spine) uplink goes
+//       down/up in both directions; packets offered meanwhile are
+//       discarded (DropReason::kLinkDown).
+//   kLeafCrash / kLeafRestart — rack r's leaf data plane is wiped and the
+//       leaf degrades to transparent pass-through (NoCache forwarding);
+//       on restart the fabric controller rebuilds the leaf's cache after
+//       `switch_rebuild_delay`.
+//   kSpineCrash / kSpineRestart — all of spine s's down-links go down/up
+//       at once (the spine itself holds no cache state).
+//   kLinkDegrade / kLinkRestore — asymmetric "gray" uplink: one direction
+//       (dir 0 = leaf->spine, 1 = spine->leaf) of the (rack, spine) link
+//       loses packets with `degrade_loss` and delays survivors by
+//       `degrade_latency`; the other direction is untouched.
+//   kRackPartition / kRackHeal — every uplink of rack r goes down/up at
+//       once: the rack can only reach itself until healed.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -43,6 +61,17 @@ enum class FaultKind {
   kSwitchReset,
   kCtrlDown,
   kCtrlUp,
+  // Fabric faults (leaf–spine topologies only).
+  kFabricLinkDown,
+  kFabricLinkUp,
+  kLeafCrash,
+  kLeafRestart,
+  kSpineCrash,
+  kSpineRestart,
+  kLinkDegrade,
+  kLinkRestore,
+  kRackPartition,
+  kRackHeal,
 };
 const char* FaultKindName(FaultKind kind);
 
@@ -50,6 +79,13 @@ struct FaultEvent {
   SimTime at = 0;                           // absolute sim time
   FaultKind kind = FaultKind::kSwitchReset;
   int server = -1;                          // kServerCrash/kServerRestart only
+  // Fabric targets (unused fields stay -1 and are omitted from the
+  // serialized config, so pre-fabric fingerprints are unchanged).
+  int rack = -1;   // leaf / partition / uplink events
+  int spine = -1;  // spine / uplink events
+  int dir = -1;    // kLinkDegrade/kLinkRestore: 0 leaf->spine, 1 spine->leaf
+  double degrade_loss = 0.0;     // kLinkDegrade only
+  SimTime degrade_latency = 0;   // kLinkDegrade only
 };
 
 // Scripted fault timeline; default-constructed = no faults. Part of
@@ -59,19 +95,42 @@ struct FaultSchedule {
   // Bursty loss on every server link for the whole run (decorrelated per
   // link by Network::Connect's seed mixing).
   sim::GilbertElliottConfig server_burst_loss;
-  // Delay between a switch reset and the controller's cache rebuild —
-  // models failure detection plus reinstall time on the switch CPU.
+  // Bursty loss on every leaf–spine uplink (fabric topologies only; same
+  // per-link seed decorrelation).
+  sim::GilbertElliottConfig fabric_burst_loss;
+  // Delay between a switch reset (or leaf restart) and the controller's
+  // cache rebuild — models failure detection plus reinstall time on the
+  // switch CPU.
   SimTime switch_rebuild_delay = 2 * kMillisecond;
 
   bool empty() const {
-    return events.empty() && !server_burst_loss.enabled();
+    return events.empty() && !server_burst_loss.enabled() &&
+           !fabric_burst_loss.enabled();
   }
+
+  // Structural validation: every event names a target of the right shape,
+  // degrade parameters are sane, and no two events on the same target
+  // overlap or contradict (a crash during an existing crash, a restart
+  // with nothing to restart, two events on one target at the same
+  // instant). Returns "" when valid, else one actionable error message.
+  // Target ranges (racks/spines/servers) are checked by the testbed,
+  // which knows the topology.
+  std::string Validate() const;
 };
 
 // Convenience builders for the common single-fault timelines.
 FaultSchedule SwitchResetAt(SimTime at,
                             SimTime rebuild_delay = 2 * kMillisecond);
 FaultSchedule ServerCrashAt(int server, SimTime crash_at, SimTime restart_at);
+FaultSchedule FabricLinkDownAt(int rack, int spine, SimTime down_at,
+                               SimTime up_at);
+FaultSchedule LeafCrashAt(int rack, SimTime crash_at, SimTime restart_at,
+                          SimTime rebuild_delay = 2 * kMillisecond);
+FaultSchedule SpineCrashAt(int spine, SimTime crash_at, SimTime restart_at);
+FaultSchedule LinkDegradeAt(int rack, int spine, int dir, double loss,
+                            SimTime extra_latency, SimTime at,
+                            SimTime restore_at);
+FaultSchedule RackPartitionAt(int rack, SimTime at, SimTime heal_at);
 
 // How the injector acts on the testbed. Hooks left empty make the
 // corresponding fault kind a no-op (e.g. reset_switch on a scheme with no
@@ -81,6 +140,17 @@ struct FaultHooks {
   std::function<void(bool down)> set_ctrl_link_down;
   std::function<void()> reset_switch;
   std::function<void()> rebuild_cache;
+  // Fabric hooks (empty on single-switch testbeds).
+  std::function<void(int rack, int spine, bool down)> set_fabric_link_down;
+  std::function<void(int rack, int spine, int dir, double loss,
+                     SimTime extra_latency)>
+      set_fabric_link_degrade;
+  std::function<void(int rack, bool down)> set_leaf_down;
+  std::function<void(int spine, bool down)> set_spine_down;
+  std::function<void(int rack, bool partitioned)> set_rack_partition;
+  // Fired `switch_rebuild_delay` after a kLeafRestart: the fabric
+  // controller reinstalls rack r's cache from its shadow copy.
+  std::function<void(int rack)> rebuild_leaf;
 };
 
 // Binds a schedule to a live simulation: Arm() turns every FaultEvent into
@@ -97,6 +167,13 @@ class FaultInjector {
     uint64_t switch_resets = 0;
     uint64_t cache_rebuilds = 0;
     uint64_t ctrl_transitions = 0;  // down + up
+    uint64_t fabric_link_transitions = 0;  // down + up
+    uint64_t leaf_crashes = 0;
+    uint64_t leaf_restarts = 0;
+    uint64_t leaf_rebuilds = 0;
+    uint64_t spine_transitions = 0;  // crash + restart
+    uint64_t link_degrades = 0;      // degrade + restore
+    uint64_t partitions = 0;         // partition + heal
   };
 
   FaultInjector(sim::Simulator* sim, const FaultSchedule& schedule,

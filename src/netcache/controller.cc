@@ -24,8 +24,11 @@ NetController::NetController(sim::Simulator* sim, sim::Network* net,
               partitioner != nullptr);
   ORBIT_CHECK_MSG(config_.cache_size <= program->config().capacity,
                   "cache size exceeds lookup capacity");
-  for (uint32_t i = 0; i < config_.cache_size; ++i)
-    free_idxs_.push_back(static_cast<uint32_t>(config_.cache_size) - 1 - i);
+  // Free-index pool covers the full lookup capacity; cache_size caps how
+  // many are in normal use, leaving headroom for degraded-mode extras.
+  const auto capacity = static_cast<uint32_t>(program->config().capacity);
+  for (uint32_t i = 0; i < capacity; ++i)
+    free_idxs_.push_back(capacity - 1 - i);
 }
 
 void NetController::Preload(const std::vector<Key>& keys) {
@@ -39,6 +42,37 @@ void NetController::Preload(const std::vector<Key>& keys) {
     }
     InsertKey(key, AllocIdx());
   }
+}
+
+void NetController::RebuildCache() {
+  pending_fetches_.clear();
+  for (const auto& [idx, entry] : by_idx_) {
+    // The data plane was wiped, so re-insertion cannot conflict.
+    ORBIT_CHECK(program_->InsertEntry(entry.key, idx));
+    SendFetch(entry.key, server_addrs_[partitioner_->ServerFor(entry.key)]);
+  }
+}
+
+size_t NetController::InstallExtra(const std::vector<Key>& keys) {
+  size_t installed = 0;
+  for (const Key& key : keys) {
+    if (by_key_.count(key) > 0 || blacklist_.count(key) > 0) continue;
+    if (key.size() > program_->config().max_key_bytes) {
+      ++stats_.skipped_wide_keys;
+      continue;
+    }
+    if (free_idxs_.empty()) break;  // lookup capacity exhausted
+    InsertKey(key, AllocIdx());
+    if (by_key_.count(key) > 0) ++installed;  // table may reject (full)
+  }
+  return installed;
+}
+
+bool NetController::WithdrawKey(const Key& key) {
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) return false;
+  EvictIdx(it->second);
+  return true;
 }
 
 void NetController::Start() {

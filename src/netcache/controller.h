@@ -40,6 +40,19 @@ class NetController : public sim::Node, public sim::TimerHandler {
   void Preload(const std::vector<Key>& keys);
   void Start();
 
+  // Switch-failure recovery: after ResetDataPlane wiped the lookup table
+  // and value registers, re-install every tracked entry and refetch the
+  // values. Retries ride the periodic-update timeout machinery.
+  void RebuildCache();
+
+  // Degraded-mode top-up (fabric leaf crash, PR 10): installs keys beyond
+  // the cache_size target — bounded only by lookup capacity — so a
+  // surviving leaf absorbs its rack's next-hottest keys while a sibling
+  // leaf is in bypass. Returns the number actually installed. WithdrawKey
+  // removes one cached key; returns false if it was not cached.
+  size_t InstallExtra(const std::vector<Key>& keys);
+  bool WithdrawKey(const Key& key);
+
   void OnPacket(sim::PacketPtr pkt, int port) override;
   std::string name() const override { return "nc-controller"; }
   void OnTimer(uint64_t arg) override;  // periodic update tick

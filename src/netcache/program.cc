@@ -119,6 +119,21 @@ std::vector<Key> NetProgram::DrainSelfEvictions() {
   return out;
 }
 
+void NetProgram::ResetDataPlane() {
+  device_->FlushRecirculation();  // recirculating reads die at the barrier
+  lookup_.Clear();
+  valid_.Fill(0);
+  wepoch_.Fill(0);
+  vlen_.Fill(0);
+  popularity_.Fill(0);
+  for (auto& words : value_words_) words->Fill(0);
+  for (auto& ext : extended_values_) ext.clear();
+  sketch_.Reset();
+  hot_reports_.clear();
+  reported_.clear();
+  self_evictions_.clear();
+}
+
 // ---------------------------------------------------------------------------
 // Value word registers
 // ---------------------------------------------------------------------------
@@ -162,6 +177,11 @@ std::string NetProgram::LoadValue(uint32_t idx) const {
 
 IngressResult NetProgram::Ingress(sim::Packet& pkt, rmt::SwitchDevice& sw) {
   (void)sw;
+  if (bypass_) {
+    // Degraded mode: transparent pass-through (see set_bypass).
+    ++stats_.bypass_forwarded;
+    return IngressResult::ToAddr(pkt.dst);
+  }
   if (!IsOrbit(pkt)) return IngressResult::ToAddr(pkt.dst);
 
   using proto::Op;
@@ -182,6 +202,11 @@ IngressResult NetProgram::Ingress(sim::Packet& pkt, rmt::SwitchDevice& sw) {
     case Op::kCorrectionReq:  // not part of NetCache; forward like a read
     case Op::kReadRep:
     case Op::kTopKReport:
+      return IngressResult::ToAddr(pkt.dst);
+    case Op::kProbe:
+    case Op::kProbeAck:
+      // Fabric liveness probes are consumed by the device's CPU path and
+      // never reach the program; forward defensively if one ever does.
       return IngressResult::ToAddr(pkt.dst);
   }
   return IngressResult::Drop();
@@ -318,6 +343,8 @@ void NetProgram::RegisterTelemetry(telemetry::Registry& reg,
                  [this] { return stats_.hot_reports; }, who);
   reg.AddCounter(prefix + "netcache.request_recircs",
                  [this] { return stats_.request_recircs; }, who);
+  reg.AddCounter(prefix + "netcache.bypass_forwarded",
+                 [this] { return stats_.bypass_forwarded; }, who);
   reg.AddGauge(prefix + "netcache.entries", [this] { return lookup_.size(); }, who);
 
   reg.AddCounter(prefix + "rmt.s0.nc_lookup.lookups",

@@ -87,6 +87,17 @@ class NetProgram : public rmt::SwitchProgram {
   std::vector<Key> DrainSelfEvictions();
   void ResetSketch() { sketch_.Reset(); }
 
+  // Simulates an ASIC reboot: lookup table, validity/epoch/value
+  // registers, sketch and report state are wiped, and any recirculating
+  // read (recirc_read_mode) dies at the reboot barrier. Routes survive.
+  void ResetDataPlane();
+
+  // Degraded mode (fabric leaf crash, PR 10): while set, Ingress is
+  // transparent NoCache forwarding. Callers wipe the data plane when
+  // entering bypass.
+  void set_bypass(bool on) { bypass_ = on; }
+  bool bypass() const { return bypass_; }
+
   struct Stats {
     uint64_t read_requests = 0;
     uint64_t read_hits = 0;
@@ -100,6 +111,7 @@ class NetProgram : public rmt::SwitchProgram {
     uint64_t uncacheable_values = 0;   // fetch produced an over-limit value
     uint64_t hot_reports = 0;
     uint64_t request_recircs = 0;  // recirc-read strawman passes
+    uint64_t bypass_forwarded = 0;  // packets passed through while degraded
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
@@ -151,6 +163,7 @@ class NetProgram : public rmt::SwitchProgram {
   telemetry::IntSink* int_ = nullptr;
   uint32_t int_hist_value_ = 0;
 
+  bool bypass_ = false;
   Stats stats_;
 };
 

@@ -39,6 +39,24 @@ void Controller::Preload(const std::vector<Key>& keys) {
   }
 }
 
+size_t Controller::InstallExtra(const std::vector<Key>& keys) {
+  size_t installed = 0;
+  for (const Key& key : keys) {
+    if (by_key_.count(key) > 0) continue;
+    if (free_idxs_.empty()) break;  // data-plane capacity exhausted
+    InsertKey(key, AllocIdx());
+    if (by_key_.count(key) > 0) ++installed;  // table may reject (full)
+  }
+  return installed;
+}
+
+bool Controller::WithdrawKey(const Key& key) {
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) return false;
+  EvictIdx(it->second);
+  return true;
+}
+
 void Controller::Start() {
   ORBIT_CHECK(!started_);
   started_ = true;

@@ -78,6 +78,15 @@ class Controller : public sim::Node, public sim::TimerHandler {
   // and completes quickly.
   void RebuildCache();
 
+  // Degraded-mode top-up (fabric leaf crash, PR 10): installs keys beyond
+  // the cache_size target — bounded only by data-plane capacity — so a
+  // surviving leaf can absorb its rack's next-hottest keys while a sibling
+  // leaf is in bypass. Returns how many keys were actually installed.
+  // WithdrawKey removes one such extra (or any cached key) when the crashed
+  // leaf recovers; returns false if the key was not cached.
+  size_t InstallExtra(const std::vector<Key>& keys);
+  bool WithdrawKey(const Key& key);
+
   size_t current_cache_size() const { return config_.cache_size; }
   size_t num_cached() const { return by_key_.size(); }
   bool IsCached(const Key& key) const { return by_key_.count(key) > 0; }

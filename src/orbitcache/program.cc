@@ -109,6 +109,14 @@ void OrbitProgram::RegisterCloneTarget(Addr addr, int port) {
                   "clone group table full for addr " << addr);
 }
 
+bool OrbitProgram::UpdateCloneTarget(Addr addr, int port) {
+  const int* group = clone_groups_.Lookup(addr);
+  if (group == nullptr) return false;
+  device_->pre().SetGroup(
+      *group, {rmt::McastTarget{false, port}, rmt::McastTarget{true, -1}});
+  return true;
+}
+
 size_t OrbitProgram::RequestSnapshot() {
   size_t marked = 0;
   for (uint32_t i = 0; i < config_.capacity; ++i) {
@@ -159,6 +167,13 @@ OrbitProgram::HitOverflow OrbitProgram::ReadAndResetHitOverflow() {
 // ---------------------------------------------------------------------------
 
 IngressResult OrbitProgram::Ingress(sim::Packet& pkt, rmt::SwitchDevice& sw) {
+  if (bypass_) {
+    // Degraded mode: transparent pass-through. Orbiting packets from
+    // before the crash were flushed at the device's reboot barrier, so
+    // everything arriving here is ordinary host traffic.
+    ++stats_.bypass_forwarded;
+    return IngressResult::ToAddr(pkt.dst);
+  }
   // Non-OrbitCache traffic (including TCP top-k reports) takes the plain
   // forwarding path.
   if (!IsOrbit(pkt)) return IngressResult::ToAddr(pkt.dst);
@@ -200,6 +215,11 @@ IngressResult OrbitProgram::Ingress(sim::Packet& pkt, rmt::SwitchDevice& sw) {
       }
       return HandleServerReply(pkt);
     case Op::kTopKReport:
+      return IngressResult::ToAddr(pkt.dst);
+    case Op::kProbe:
+    case Op::kProbeAck:
+      // Fabric liveness probes are consumed by the device's CPU path and
+      // never reach the program; forward defensively if one ever does.
       return IngressResult::ToAddr(pkt.dst);
   }
   return IngressResult::Drop();
@@ -539,6 +559,8 @@ void OrbitProgram::RegisterTelemetry(telemetry::Registry& reg,
   reg.AddCounter(prefix + "orbit.corrections_forwarded",
                  [this] { return stats_.corrections_forwarded; }, who);
   reg.AddCounter(prefix + "orbit.refetches", [this] { return stats_.refetches; }, who);
+  reg.AddCounter(prefix + "orbit.bypass_forwarded",
+                 [this] { return stats_.bypass_forwarded; }, who);
   if (config_.write_back) {
     reg.AddCounter(prefix + "orbit.wb.returned_replies",
                    [this] { return stats_.wb_returned_replies; }, who);

@@ -90,6 +90,9 @@ class OrbitProgram : public rmt::SwitchProgram {
 
   // Registers a clone destination: multicast group {port(addr), recirc}.
   void RegisterCloneTarget(Addr addr, int port);
+  // Repoints addr's clone destination after a fabric reroute; returns
+  // false when no group was ever registered for the address.
+  bool UpdateCloneTarget(Addr addr, int port);
 
   // Write-back snapshotting (§3.10 names snapshot generation as the module
   // write-back needs; FarReach-style). Marks every dirty entry for flush;
@@ -106,6 +109,14 @@ class OrbitProgram : public rmt::SwitchProgram {
   // groups and routes survive, as they would be restored from switch
   // configuration. The controller rebuilds the cache afterwards.
   void ResetDataPlane();
+
+  // Degraded mode (fabric leaf crash, PR 10): while set, Ingress is
+  // transparent NoCache forwarding — every packet goes straight to its L3
+  // route, nothing is absorbed or recirculated. Callers wipe the data
+  // plane (ResetDataPlane) when entering bypass so no cache packet
+  // outlives the crash.
+  void set_bypass(bool on) { bypass_ = on; }
+  bool bypass() const { return bypass_; }
 
   // Reads and clears the per-entry popularity counters.
   std::vector<uint64_t> ReadAndResetPopularity();
@@ -164,6 +175,7 @@ class OrbitProgram : public rmt::SwitchProgram {
     uint64_t wb_returned_replies = 0;  // write-back: W-REPs minted by switch
     uint64_t wb_flushes = 0;           // write-back: eviction flushes
     uint64_t wb_snapshot_flushes = 0;  // write-back: snapshot flushes
+    uint64_t bypass_forwarded = 0;     // packets passed through while degraded
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
@@ -212,6 +224,7 @@ class OrbitProgram : public rmt::SwitchProgram {
   rmt::RegisterArray<uint8_t> flush_pending_;  // snapshot in progress
 
   int next_group_id_ = 1;
+  bool bypass_ = false;
   RefetchFn refetch_;
   Stats stats_;
   verify::Verifier* verifier_ = nullptr;  // not owned; null = no checks

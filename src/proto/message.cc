@@ -12,6 +12,8 @@ const char* OpName(Op op) {
     case Op::kFetchRep: return "F-REP";
     case Op::kCorrectionReq: return "CRN-REQ";
     case Op::kTopKReport: return "TOPK";
+    case Op::kProbe: return "PROBE";
+    case Op::kProbeAck: return "PROBE-ACK";
   }
   return "?";
 }

@@ -32,6 +32,8 @@ enum class Op : uint8_t {
   kFetchRep = 6,       // F-REP (server -> controller; becomes a cache packet)
   kCorrectionReq = 7,  // CRN-REQ (client bypasses the cache after collision)
   kTopKReport = 8,     // server -> controller hot-key report (TCP in paper)
+  kProbe = 9,          // fabric liveness probe (switch CPU -> neighbor)
+  kProbeAck = 10,      // neighbor turns a probe around on its ingress port
 };
 
 const char* OpName(Op op);

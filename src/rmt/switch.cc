@@ -113,6 +113,19 @@ void SwitchDevice::OnPacket(sim::PacketPtr pkt, int port) {
   ++stats_.rx_packets;
 
   pkt->ingress_port = port;
+  if (pkt->msg.op == proto::Op::kProbe) {
+    // Turn the probe around on its ingress port: a completed round trip
+    // proves both directions of the link alive (a gray link that eats
+    // either leg starves the prober of acks).
+    pkt->msg.op = proto::Op::kProbeAck;
+    SendOut(port, std::move(pkt), /*pipe_delay=*/0);
+    return;
+  }
+  if (pkt->msg.op == proto::Op::kProbeAck) {
+    sim::MarkEnd(*pkt, sim::PacketEnd::kConsumed);
+    if (probe_ack_handler_) probe_ack_handler_(port);
+    return;
+  }
   if (port == kRecircPort) {
     if (pkt->recirc_generation != recirc_generation_) {
       // The packet was in the loop when the ASIC rebooted: it no longer

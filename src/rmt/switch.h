@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 
@@ -107,6 +108,16 @@ class SwitchDevice : public sim::Node {
   void OnPacket(sim::PacketPtr pkt, int port) override;
   std::string name() const override { return name_; }
 
+  // Fabric liveness probing (see fabric/failover.h). A kProbe arriving on
+  // any front port is turned around as a kProbeAck out the same port; a
+  // kProbeAck is consumed and handed to the registered handler (the
+  // failover manager acting as this switch's CPU). Both ride the CPU path:
+  // no program dispatch, no pipeline slot — but they do share link
+  // bandwidth, which is why probing is opt-in per run.
+  void set_probe_ack_handler(std::function<void(int port)> handler) {
+    probe_ack_handler_ = std::move(handler);
+  }
+
   struct Stats {
     uint64_t rx_packets = 0;
     uint64_t tx_packets = 0;
@@ -158,6 +169,7 @@ class SwitchDevice : public sim::Node {
   SwitchProgram* program_ = nullptr;
 
   std::unordered_map<Addr, int> routes_;
+  std::function<void(int port)> probe_ack_handler_;
 
   // Pipeline pacing.
   SimTime pipe_next_free_ = 0;

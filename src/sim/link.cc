@@ -70,7 +70,14 @@ void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
                    sim_->now());
     return;
   }
-  if (LossCoin()) {
+  // The per-direction degrade coin composes with the link-wide loss
+  // models; each coin is drawn only while its model is active so that
+  // enabling one never reshuffles the draws of the other.
+  bool lost = LossCoin();
+  if (!lost && ch.degrade_loss > 0 && loss_rng_.Bernoulli(ch.degrade_loss)) {
+    lost = true;
+  }
+  if (lost) {
     ++ch.stats.lost;
     MarkEnd(*pkt, PacketEnd::kDroppedLink);
     StampDrop(ch, *pkt, DropReason::kInjectedLoss);
@@ -126,10 +133,19 @@ void Link::Send(int from, PacketPtr pkt, SimTime extra_delay) {
   if (tap_ != nullptr && *tap_)
     (*tap_)(*pkt, chans_[1 - from].to, ch.to, sim_->now());
 
-  // The packet lands at the far end after propagation.
+  // The packet lands at the far end after propagation (plus any injected
+  // gray-link latency for this direction).
   pkt->ingress_port = ch.to_port;
   pkt->from_recirc = false;
-  sim_->Deliver(done + config_.propagation, ch.to, ch.to_port, std::move(pkt));
+  sim_->Deliver(done + config_.propagation + ch.degrade_latency, ch.to,
+                ch.to_port, std::move(pkt));
+}
+
+void Link::SetDegrade(int from, double loss_rate, SimTime extra_latency) {
+  ORBIT_CHECK(from == 0 || from == 1);
+  ORBIT_CHECK(loss_rate >= 0 && loss_rate <= 1 && extra_latency >= 0);
+  chans_[from].degrade_loss = loss_rate;
+  chans_[from].degrade_latency = extra_latency;
 }
 
 }  // namespace orbit::sim

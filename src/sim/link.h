@@ -86,6 +86,16 @@ class Link {
   void set_down(bool down) { down_ = down; }
   bool down() const { return down_; }
 
+  // Gray-link injection for one direction (`from` = 0 for a->b): every
+  // packet sent that way is additionally dropped with `loss_rate` and, if
+  // it survives, delivered `extra_latency` ns late. The loss coin is only
+  // drawn while the degrade is active, so SetDegrade(from, 0, 0) restores
+  // the link without perturbing the shared loss RNG for later draws.
+  void SetDegrade(int from, double loss_rate, SimTime extra_latency);
+  bool degraded(int from) const {
+    return chans_[from].degrade_loss > 0 || chans_[from].degrade_latency > 0;
+  }
+
   // Port-mirroring tap (owned by the Network); observes packets that were
   // actually committed to the wire.
   void set_tap(const TapFn* tap) { tap_ = tap; }
@@ -118,6 +128,9 @@ class Link {
     uint32_t int_hop = 0;  // interned hop name for this direction
     // Always-on queue-depth histogram; nullptr when histograms are off.
     stats::Histogram* int_queue_hist = nullptr;
+    // Gray-link degrade state for this direction (see SetDegrade).
+    double degrade_loss = 0.0;
+    SimTime degrade_latency = 0;
   };
 
   SimTime TxTime(uint32_t bytes) const;

@@ -55,19 +55,29 @@ JsonValue ConfigJson(const TestbedConfig& config) {
       e.Set("at", ev.at);
       e.Set("kind", fault::FaultKindName(ev.kind));
       if (ev.server >= 0) e.Set("server", ev.server);
+      // Fabric targets: emitted only when set, so pre-fabric schedules
+      // keep their exact serialization (and fingerprints).
+      if (ev.rack >= 0) e.Set("rack", ev.rack);
+      if (ev.spine >= 0) e.Set("spine", ev.spine);
+      if (ev.dir >= 0) e.Set("dir", ev.dir);
+      if (ev.degrade_loss > 0) e.Set("degrade_loss", ev.degrade_loss);
+      if (ev.degrade_latency > 0) e.Set("degrade_latency", ev.degrade_latency);
       events.Append(std::move(e));
     }
     ft.Set("events", std::move(events));
     ft.Set("rebuild_delay", config.fault.switch_rebuild_delay);
-    const auto& ge = config.fault.server_burst_loss;
-    if (ge.enabled()) {
+    const auto burst_json = [](const sim::GilbertElliottConfig& ge) {
       JsonValue burst = JsonValue::MakeObject();
       burst.Set("p_enter_bad", ge.p_enter_bad);
       burst.Set("p_exit_bad", ge.p_exit_bad);
       burst.Set("loss_good", ge.loss_good);
       burst.Set("loss_bad", ge.loss_bad);
-      ft.Set("server_burst_loss", std::move(burst));
-    }
+      return burst;
+    };
+    if (config.fault.server_burst_loss.enabled())
+      ft.Set("server_burst_loss", burst_json(config.fault.server_burst_loss));
+    if (config.fault.fabric_burst_loss.enabled())
+      ft.Set("fabric_burst_loss", burst_json(config.fault.fabric_burst_loss));
     out.Set("fault", std::move(ft));
   }
   out.Set("warmup", config.warmup);
@@ -106,6 +116,15 @@ JsonValue ConfigJson(const TestbedConfig& config) {
     fb.Set("num_spines", config.topo.fabric.num_spines);
     fb.Set("uplink_gbps", config.topo.fabric.uplink_gbps);
     fb.Set("uplink_delay", config.topo.fabric.uplink_delay);
+    if (config.topo.fabric.failover) {
+      // Probes share uplink bandwidth (outcome-affecting), so failover
+      // feeds the fingerprint — but only when on, keeping every
+      // pre-failover fabric config byte-identical.
+      JsonValue fo = JsonValue::MakeObject();
+      fo.Set("probe_interval", config.topo.fabric.probe_interval);
+      fo.Set("detection_window", config.topo.fabric.detection_window);
+      fb.Set("failover", std::move(fo));
+    }
     out.Set("fabric", std::move(fb));
   }
   return out;
@@ -166,8 +185,11 @@ JsonValue ResultMetrics(const TestbedResult& result,
   out.Set("stale_reads", result.stale_reads);
   out.Set("timeouts", result.timeouts);
   out.Set("retransmissions", result.retransmissions);
+  out.Set("retries_exhausted", result.retries_exhausted);
   out.Set("inflight_at_stop", result.inflight_at_stop);
   out.Set("faults_injected", result.faults_injected);
+  out.Set("reroutes", result.reroutes);
+  out.Set("blackholed_packets", result.blackholed_packets);
   out.Set("server_drops", result.server_drops);
   out.Set("cache_entries", static_cast<int64_t>(result.cache_entries));
   out.Set("controller_cache_size",

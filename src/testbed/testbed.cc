@@ -117,12 +117,51 @@ std::vector<std::string> TestbedConfig::Validate() const {
       err("topo.fabric.uplink_gbps must be > 0");
     if (topo.fabric.uplink_delay < 0)
       err("topo.fabric.uplink_delay must be >= 0");
-    if (!fault.events.empty())
-      err("fault injection targets the single-switch testbed; scripted "
-          "fault.events are not supported on a fabric yet");
-    if (verify.enabled)
-      err("verify.enabled targets the single-switch testbed; the fabric "
-          "path is not instrumented for the shadow oracle yet");
+    if (topo.fabric.failover) {
+      if (topo.fabric.probe_interval <= 0)
+        err("topo.fabric.probe_interval must be > 0 when failover is on");
+      else if (topo.fabric.detection_window < topo.fabric.probe_interval)
+        err("topo.fabric.detection_window (" +
+            std::to_string(topo.fabric.detection_window) +
+            "ns) must cover at least one probe_interval (" +
+            std::to_string(topo.fabric.probe_interval) +
+            "ns) — a shorter window declares every link dead between "
+            "probes");
+    }
+    // Fabric fault targets must exist in this topology.
+    for (const fault::FaultEvent& ev : fault.events) {
+      if (ev.rack >= topo.fabric.num_racks)
+        err(std::string("fault event ") + fault::FaultKindName(ev.kind) +
+            " targets rack " + std::to_string(ev.rack) + " but only " +
+            std::to_string(topo.fabric.num_racks) + " racks exist");
+      if (ev.spine >= topo.fabric.num_spines)
+        err(std::string("fault event ") + fault::FaultKindName(ev.kind) +
+            " targets spine " + std::to_string(ev.spine) + " but only " +
+            std::to_string(topo.fabric.num_spines) + " spines exist");
+      if (ev.kind == fault::FaultKind::kCtrlDown ||
+          ev.kind == fault::FaultKind::kCtrlUp)
+        err("kCtrlDown/kCtrlUp target the single-switch controller "
+            "channel; on a fabric, crash the leaf (kLeafCrash) instead");
+    }
+  } else {
+    // Single-switch testbed: fabric-scoped knobs and fault kinds have no
+    // target here.
+    if (topo.fabric.failover)
+      err("topo.fabric.failover requires a fabric topology "
+          "(topo.fabric.num_racks >= 1)");
+    if (fault.fabric_burst_loss.enabled())
+      err("fault.fabric_burst_loss rides on leaf-spine uplinks; enable the "
+          "fabric (topo.fabric.num_racks >= 1) to use it");
+    for (const fault::FaultEvent& ev : fault.events) {
+      if (ev.rack >= 0 || ev.spine >= 0)
+        err(std::string("fault event ") + fault::FaultKindName(ev.kind) +
+            " targets the fabric, but topo.fabric is disabled "
+            "(num_racks == 0)");
+    }
+  }
+  {
+    const std::string ferr = fault.Validate();
+    if (!ferr.empty()) err("fault schedule: " + ferr);
   }
 
   if (workload.num_keys == 0) err("workload.num_keys must be >= 1");
@@ -591,6 +630,7 @@ TestbedResult RunTestbed(const TestbedConfig& config) {
     res.stale_reads += c->stats().stale_reads;
     res.timeouts += c->stats().timeouts;
     res.retransmissions += c->stats().retransmissions;
+    res.retries_exhausted += c->stats().retries_exhausted;
     res.inflight_at_stop += c->stats().inflight_at_stop;
   }
   if (injector != nullptr) res.faults_injected = injector->stats().injected;

@@ -60,6 +60,13 @@ struct TestbedConfig {
       int num_spines = 1;
       double uplink_gbps = 100.0;  // each leaf<->spine link
       SimTime uplink_delay = 500;  // ns one way
+      // Probe-based uplink liveness + rerouting (fabric/failover.h).
+      // Opt-in: probes share uplink bandwidth with data, so enabling it
+      // changes results; the knobs are serialized only when failover is
+      // on, keeping pre-failover fingerprints byte-identical.
+      bool failover = false;
+      SimTime probe_interval = 100 * kMicrosecond;
+      SimTime detection_window = 500 * kMicrosecond;
       bool enabled() const { return num_racks > 0; }
     };
     Fabric fabric;
@@ -207,13 +214,19 @@ struct TestbedResult {
   // Client-side protocol events (whole run).
   uint64_t collisions = 0;
   uint64_t stale_reads = 0;
-  uint64_t timeouts = 0;         // retry budget exhausted
+  uint64_t timeouts = 0;         // deadline expiries (including retries)
   uint64_t retransmissions = 0;
+  // Requests abandoned after the full retry budget (max_retries > 0) was
+  // spent. Zero in any fault-free run — the CI quick suite asserts it.
+  uint64_t retries_exhausted = 0;
   uint64_t inflight_at_stop = 0; // pending when the run ended
   uint64_t server_drops = 0;
 
   // Fault injection (whole run; 0 when no schedule configured).
   uint64_t faults_injected = 0;
+  // Fabric failover (whole run; 0 on single-switch or failover-off runs).
+  uint64_t reroutes = 0;            // next-hop rewrites applied to leaves
+  uint64_t blackholed_packets = 0;  // discarded at down uplinks
 
   // Cache state at the end.
   size_t cache_entries = 0;

@@ -77,10 +77,20 @@ TEST(FabricConfig, ValidateRejectsEmptyRacksAndZeroSpines) {
   EXPECT_FALSE(cfg.Validate().empty());
 }
 
-TEST(FabricConfig, ValidateRejectsFaultInjectionOnFabrics) {
+TEST(FabricConfig, ValidateAcceptsFaultInjectionOnFabrics) {
+  // Server and fabric faults are both first-class on leaf–spine testbeds
+  // (tests/test_fabric_faults.cc exercises the schedules end to end); only
+  // the single-switch control channel has no fabric equivalent.
   TestbedConfig cfg = SmallFabricConfig(Scheme::kOrbitCache, 2);
   cfg.fault = fault::ServerCrashAt(0, kMillisecond, 2 * kMillisecond);
-  EXPECT_FALSE(cfg.Validate().empty());
+  EXPECT_TRUE(cfg.Validate().empty());
+  cfg.fault = fault::LeafCrashAt(0, kMillisecond, 2 * kMillisecond);
+  EXPECT_TRUE(cfg.Validate().empty());
+  cfg.fault = fault::FaultSchedule{};
+  cfg.fault.events.push_back({kMillisecond, fault::FaultKind::kCtrlDown, -1});
+  cfg.fault.events.push_back({2 * kMillisecond, fault::FaultKind::kCtrlUp, -1});
+  EXPECT_FALSE(cfg.Validate().empty())
+      << "the switch-CPU channel fault has no fabric equivalent";
 }
 
 TEST(FabricConfig, DisabledFabricStaysOutOfTheFingerprint) {

@@ -279,10 +279,18 @@ TEST(VerifyTestbed, ResultsNeutral) {
   EXPECT_GT(b.verify_replies_checked, 0u);
 }
 
-TEST(VerifyTestbed, RejectedOnFabricTopology) {
+TEST(VerifyTestbed, AcceptedAndCleanOnFabricTopology) {
+  // The oracle follows traffic across the leaf-spine fabric too: replies
+  // are checked and a healthy multi-rack run stays violation-free.
   testbed::TestbedConfig cfg = SmallConfig(testbed::Scheme::kOrbitCache);
   cfg.topo.fabric.num_racks = 2;
-  EXPECT_FALSE(cfg.Validate().empty());
+  cfg.topo.fabric.num_spines = 2;
+  cfg.warmup = 5 * kMillisecond;
+  cfg.duration = 30 * kMillisecond;
+  EXPECT_TRUE(cfg.Validate().empty());
+  testbed::TestbedResult res = testbed::RunTestbed(cfg);
+  EXPECT_EQ(res.verify_violations, 0u) << res.verify_report;
+  EXPECT_GT(res.verify_replies_checked, 0u);
 }
 
 }  // namespace
